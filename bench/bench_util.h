@@ -1,0 +1,170 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each binary regenerates one table or figure of the paper's evaluation
+// (see DESIGN.md for the index). Output is plain text in the same row /
+// column layout the paper uses so results can be compared side by side.
+
+#ifndef IVMF_BENCH_BENCH_UTIL_H_
+#define IVMF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stopwatch.h"
+#include "core/accuracy.h"
+#include "core/isvd.h"
+#include "core/lp_isvd.h"
+
+namespace ivmf::bench {
+
+// -- Minimal flag parsing ---------------------------------------------------
+
+// Returns the integer value of "--name=V" if present, else `fallback`.
+inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+// -- Strategy sweeps ----------------------------------------------------------
+
+struct MethodScore {
+  std::string name;
+  double harmonic_mean = 0.0;
+  double seconds = 0.0;
+  PhaseTimings timings;
+};
+
+// Runs ISVD0 and ISVD1–ISVD4 under the given target on one matrix,
+// reusing `gram` for strategies 2–4. Appends one MethodScore per method.
+inline void ScoreIsvdFamily(const IntervalMatrix& m, size_t rank,
+                            DecompositionTarget target, const GramEig& gram,
+                            std::vector<MethodScore>& out,
+                            bool include_isvd0 = true) {
+  IsvdOptions options;
+  options.target = target;
+  for (int strategy = include_isvd0 ? 0 : 1; strategy <= 4; ++strategy) {
+    // ISVD0 is target-c only; report it once under target c.
+    if (strategy == 0 && target != DecompositionTarget::kC) continue;
+    Stopwatch sw;
+    IsvdResult result;
+    switch (strategy) {
+      case 0:
+        result = Isvd0(m, rank, options);
+        break;
+      case 1:
+        result = Isvd1(m, rank, options);
+        break;
+      case 2:
+        result = Isvd2(m, rank, gram, options);
+        break;
+      case 3:
+        result = Isvd3(m, rank, gram, options);
+        break;
+      default:
+        result = Isvd4(m, rank, gram, options);
+        break;
+    }
+    MethodScore score;
+    score.name = IsvdName(strategy, target);
+    score.seconds = (strategy >= 2)
+                        ? sw.Seconds() + gram.preprocess_seconds +
+                              gram.decompose_seconds
+                        : sw.Seconds();
+    score.harmonic_mean =
+        DecompositionAccuracy(m, result.Reconstruct()).harmonic_mean;
+    score.timings = result.timings;
+    out.push_back(score);
+  }
+}
+
+// Accumulates per-method means over trials.
+class ScoreAccumulator {
+ public:
+  void Add(const std::vector<MethodScore>& scores) {
+    for (const MethodScore& s : scores) {
+      Entry& e = entries_[s.name];
+      e.h_sum += s.harmonic_mean;
+      e.sec_sum += s.seconds;
+      e.timings += s.timings;
+      ++e.count;
+    }
+    ++trials_;
+  }
+
+  double MeanH(const std::string& name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.count == 0) return 0.0;
+    return it->second.h_sum / it->second.count;
+  }
+
+  double MeanSeconds(const std::string& name) const {
+    const auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.count == 0) return 0.0;
+    return it->second.sec_sum / it->second.count;
+  }
+
+  PhaseTimings MeanTimings(const std::string& name) const {
+    PhaseTimings t;
+    const auto it = entries_.find(name);
+    if (it == entries_.end() || it->second.count == 0) return t;
+    t = it->second.timings;
+    const double inv = 1.0 / it->second.count;
+    t.preprocess *= inv;
+    t.decompose *= inv;
+    t.align *= inv;
+    t.solve *= inv;
+    t.recompute *= inv;
+    t.renormalize *= inv;
+    return t;
+  }
+
+  std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    for (const auto& [name, entry] : entries_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  struct Entry {
+    double h_sum = 0.0;
+    double sec_sum = 0.0;
+    PhaseTimings timings;
+    int count = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  int trials_ = 0;
+};
+
+// -- Formatting ---------------------------------------------------------------
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const char* title) {
+  PrintRule();
+  std::printf("%s\n", title);
+  PrintRule();
+}
+
+}  // namespace ivmf::bench
+
+#endif  // IVMF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Figure 10: collaborative filtering RMSE vs decomposition rank on the
+// MovieLens-style interval rating matrix — PMF vs I-PMF vs AI-PMF.
+//
+// Ratings are split 80/20 into train/test; PMF trains on the scalar
+// ratings, I-PMF/AI-PMF on the F.2 interval matrix; predictions are the
+// interval-reconstruction midpoints.
+
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "data/ratings.h"
+#include "factor/pmf.h"
+
+int main(int argc, char** argv) {
+  using namespace ivmf;
+  using namespace ivmf::bench;
+
+  const int epochs = IntFlag(argc, argv, "epochs", 120);
+  const double alpha = 0.3;  // interval scale coefficient (F.2)
+
+  RatingsConfig config;
+  config.num_users = 300;
+  config.num_items = 500;
+  config.num_genres = 19;
+  config.fill = 0.15;
+  config.seed = 101;
+  const RatingsData data = GenerateRatings(config);
+  const IntervalMatrix cf = CfIntervalMatrix(data, alpha);
+
+  Rng split_rng(102);
+  const CfSplit split = SplitRatings(data, 0.2, split_rng);
+
+  PrintHeader("Figure 10 — collaborative filtering RMSE vs rank "
+              "(lower = better)");
+  std::printf("%-8s %10s %10s %10s\n", "rank", "PMF", "I-PMF", "AI-PMF");
+
+  double pmf_sum = 0.0, ipmf_sum = 0.0, aipmf_sum = 0.0;
+  int count = 0;
+  for (const size_t rank :
+       {size_t{5}, size_t{10}, size_t{20}, size_t{40}, size_t{60},
+        size_t{80}}) {
+    PmfOptions options;
+    options.epochs = static_cast<size_t>(epochs);
+
+    const PmfResult pmf =
+        ComputePmf(data.ratings, split.train_mask, rank, options);
+    const double rmse_pmf =
+        MaskedRmse(data.ratings, pmf.Reconstruct(), split.test_mask);
+
+    const IntervalPmfResult ipmf =
+        ComputeIntervalPmf(cf, split.train_mask, rank, options);
+    const double rmse_ipmf =
+        MaskedRmse(data.ratings, ipmf.PredictMid(), split.test_mask);
+
+    const IntervalPmfResult aipmf =
+        ComputeAlignedIntervalPmf(cf, split.train_mask, rank, options);
+    const double rmse_aipmf =
+        MaskedRmse(data.ratings, aipmf.PredictMid(), split.test_mask);
+
+    std::printf("%-8zu %10.4f %10.4f %10.4f%s\n", rank, rmse_pmf, rmse_ipmf,
+                rmse_aipmf, rmse_aipmf <= rmse_ipmf ? "   (AI <= I)" : "");
+    pmf_sum += rmse_pmf;
+    ipmf_sum += rmse_ipmf;
+    aipmf_sum += rmse_aipmf;
+    ++count;
+  }
+  PrintRule();
+  std::printf("means: PMF %.4f, I-PMF %.4f, AI-PMF %.4f\n", pmf_sum / count,
+              ipmf_sum / count, aipmf_sum / count);
+  std::printf("expected shape (paper Fig 10): AI-PMF always beats I-PMF; "
+              "AI-PMF beats PMF at higher ranks.\n");
+  return 0;
+}

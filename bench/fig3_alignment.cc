@@ -1,0 +1,67 @@
+// Figure 3: cosine similarities between corresponding min/max right factor
+// vectors before and after ILSA, averaged over random matrices drawn from
+// the default synthetic configuration (Table 1), components ordered by
+// increasing singular value (the paper's x-axis: 1 = smallest).
+
+#include <cstdio>
+#include <vector>
+
+#include "align/ilsa.h"
+#include "base/rng.h"
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "linalg/svd.h"
+
+int main(int argc, char** argv) {
+  using namespace ivmf;
+  using namespace ivmf::bench;
+
+  const int trials = IntFlag(argc, argv, "trials", 20);
+  const int rank = IntFlag(argc, argv, "rank", 20);
+
+  SyntheticConfig config;  // default: 40 x 250, 100% density & intensity
+  Rng master(42);
+
+  std::vector<double> before(rank, 0.0), after(rank, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = master.Fork();
+    const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+    const SvdResult lo = ComputeSvd(m.lower(), rank);
+    const SvdResult hi = ComputeSvd(m.upper(), rank);
+
+    const std::vector<double> pre = ColumnwiseCosine(lo.v, hi.v);
+    const IlsaResult ilsa = ComputeIlsa(lo.v, hi.v);
+    const Matrix aligned = ApplyIlsaToColumns(lo.v, ilsa);
+    const std::vector<double> post = ColumnwiseCosine(aligned, hi.v);
+
+    // Paper plots components in increasing order of singular value: index 1
+    // is the weakest component, index `rank` the strongest.
+    for (int j = 0; j < rank; ++j) {
+      before[j] += std::abs(pre[rank - 1 - j]);
+      after[j] += std::abs(post[rank - 1 - j]);
+    }
+  }
+  for (int j = 0; j < rank; ++j) {
+    before[j] /= trials;
+    after[j] /= trials;
+  }
+
+  PrintHeader(
+      "Figure 3 — cos(V*[i], V^*[i]) before/after ILSA "
+      "(default config, avg over trials; higher is better)");
+  std::printf("%-28s", "eigenvector (by asc. sigma)");
+  for (int j = 0; j < rank; ++j) std::printf("%6d", j + 1);
+  std::printf("\n%-28s", "before alignment");
+  for (int j = 0; j < rank; ++j) std::printf("%6.2f", before[j]);
+  std::printf("\n%-28s", "after alignment");
+  for (int j = 0; j < rank; ++j) std::printf("%6.2f", after[j]);
+  std::printf("\n");
+  PrintRule();
+
+  double gain = 0.0;
+  for (int j = 0; j < rank; ++j) gain += after[j] - before[j];
+  std::printf("mean similarity gain from alignment: %+.4f\n", gain / rank);
+  std::printf("(paper: alignment lifts low-rank components most — compare "
+              "the left side of the rows)\n");
+  return 0;
+}

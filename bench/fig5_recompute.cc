@@ -1,0 +1,85 @@
+// Figure 5: cosine similarities between corresponding min/max factor
+// vectors (V and U) before and after ISVD4's recomputation step, averaged
+// over random matrices from the default synthetic configuration.
+//
+// "Before" is the state after ISVD3 (aligned eigen-side V, solved U);
+// "after" is ISVD4's recomputed V. U's similarity is already high before
+// the recomputation (the corrective effect discussed in Section 4.5.1).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "align/ilsa.h"
+#include "base/rng.h"
+#include "bench_util.h"
+#include "core/isvd.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace ivmf;
+  using namespace ivmf::bench;
+
+  const int trials = IntFlag(argc, argv, "trials", 10);
+  const int rank = IntFlag(argc, argv, "rank", 20);
+
+  SyntheticConfig config;  // default 40 x 250
+  Rng master(43);
+
+  std::vector<double> v_before(rank, 0.0), v_after(rank, 0.0);
+  std::vector<double> u_before(rank, 0.0), u_after(rank, 0.0);
+
+  IsvdOptions options;
+  options.target = DecompositionTarget::kA;
+
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = master.Fork();
+    const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+    const GramEig gram = ComputeGramEig(m, rank, options);
+    const IsvdResult r3 = Isvd3(m, rank, gram, options);
+    const IsvdResult r4 = Isvd4(m, rank, gram, options);
+
+    const std::vector<double> v3 = ColumnwiseCosine(r3.v.lower(), r3.v.upper());
+    const std::vector<double> v4 = ColumnwiseCosine(r4.v.lower(), r4.v.upper());
+    const std::vector<double> u3 = ColumnwiseCosine(r3.u.lower(), r3.u.upper());
+    const std::vector<double> u4 = ColumnwiseCosine(r4.u.lower(), r4.u.upper());
+    for (int j = 0; j < rank; ++j) {
+      // Increasing order of singular value, as in the paper's plots.
+      const int src = rank - 1 - j;
+      v_before[j] += std::abs(v3[src]);
+      v_after[j] += std::abs(v4[src]);
+      u_before[j] += std::abs(u3[src]);
+      u_after[j] += std::abs(u4[src]);
+    }
+  }
+  for (int j = 0; j < rank; ++j) {
+    v_before[j] /= trials;
+    v_after[j] /= trials;
+    u_before[j] /= trials;
+    u_after[j] /= trials;
+  }
+
+  PrintHeader(
+      "Figure 5 — min/max factor cosine similarity before/after the ISVD4 "
+      "V-recomputation (default config)");
+  auto print_row = [&](const char* label, const std::vector<double>& row) {
+    std::printf("%-26s", label);
+    for (int j = 0; j < rank; ++j) std::printf("%6.2f", row[j]);
+    std::printf("\n");
+  };
+  std::printf("%-26s", "component (asc. sigma)");
+  for (int j = 0; j < rank; ++j) std::printf("%6d", j + 1);
+  std::printf("\n");
+  print_row("V before recomputation", v_before);
+  print_row("V after  recomputation", v_after);
+  print_row("U before recomputation", u_before);
+  print_row("U after  recomputation", u_after);
+  PrintRule();
+
+  double v_gain = 0.0;
+  for (int j = 0; j < rank; ++j) v_gain += v_after[j] - v_before[j];
+  std::printf("mean V-similarity gain: %+.4f (paper: clear lift, Fig 5b)\n",
+              v_gain / rank);
+  std::printf("U is already well aligned before recomputation (Fig 5a).\n");
+  return 0;
+}

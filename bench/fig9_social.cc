@@ -1,0 +1,105 @@
+// Figure 9 (a)–(c): reconstruction accuracy tables for the social-media
+// datasets — Ciao-style and Epinions-style user-category rating ranges and
+// a MovieLens-style user-genre interval matrix — at 100% / 50% / 5% of the
+// full rank, all 13 ISVD method/target combinations with per-column ranks.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "data/ratings.h"
+
+namespace {
+
+using namespace ivmf;
+using namespace ivmf::bench;
+
+void RunDataset(const char* title, const IntervalMatrix& m) {
+  const size_t full_rank = std::min(m.rows(), m.cols());
+  const std::vector<size_t> ranks = {full_rank,
+                                     std::max<size_t>(1, full_rank / 2),
+                                     std::max<size_t>(1, full_rank / 20)};
+
+  IsvdOptions options;
+  const GramEig full = ComputeGramEig(m, 0, options);
+
+  std::vector<ScoreAccumulator> acc(ranks.size());
+  for (size_t k = 0; k < ranks.size(); ++k) {
+    const GramEig gram = TruncateGramEig(full, ranks[k]);
+    std::vector<MethodScore> scores;
+    ScoreIsvdFamily(m, ranks[k], DecompositionTarget::kA, gram, scores);
+    ScoreIsvdFamily(m, ranks[k], DecompositionTarget::kB, gram, scores);
+    ScoreIsvdFamily(m, ranks[k], DecompositionTarget::kC, gram, scores);
+    acc[k].Add(scores);
+  }
+
+  PrintHeader(title);
+  std::printf("%-10s %16s %16s %16s\n", "method",
+              ("100% rank(=" + std::to_string(ranks[0]) + ")").c_str(),
+              ("50% rank(=" + std::to_string(ranks[1]) + ")").c_str(),
+              ("5% rank(=" + std::to_string(ranks[2]) + ")").c_str());
+  const std::vector<std::string> names = acc[0].Names();
+  for (const std::string& name : names) {
+    std::printf("%-10s", name.c_str());
+    for (size_t k = 0; k < ranks.size(); ++k) {
+      const double h = acc[k].MeanH(name);
+      int order = 1;
+      for (const std::string& other : names)
+        if (acc[k].MeanH(other) > h + 1e-12) ++order;
+      std::printf("   %8.3f (#%2d)", h, order);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int users_scale = IntFlag(argc, argv, "users", 700);
+
+  // (a) Ciao-style: 28 categories, density ~0.28, interval density ~0.44.
+  {
+    CategoryRangeConfig config;
+    config.num_users = static_cast<size_t>(users_scale);
+    config.num_categories = 28;
+    config.matrix_density = 0.28;
+    config.interval_density = 0.44;
+    config.mean_span = 2.20;
+    config.seed = 91;
+    RunDataset("Figure 9a — Ciao-style user-category ranges",
+               ivmf::GenerateCategoryRangeMatrix(config));
+  }
+
+  // (b) Epinions-style: 27 categories, density ~0.26, interval density ~0.49.
+  {
+    CategoryRangeConfig config;
+    config.num_users = static_cast<size_t>(users_scale * 10 / 7);
+    config.num_categories = 27;
+    config.matrix_density = 0.26;
+    config.interval_density = 0.49;
+    config.mean_span = 2.44;
+    config.seed = 92;
+    RunDataset("Figure 9b — Epinions-style user-category ranges",
+               ivmf::GenerateCategoryRangeMatrix(config));
+  }
+
+  // (c) MovieLens-style: user-genre interval matrix from synthetic ratings.
+  {
+    RatingsConfig config;
+    config.num_users = 300;
+    config.num_items = 500;
+    config.num_genres = 19;
+    config.seed = 93;
+    const RatingsData data = ivmf::GenerateRatings(config);
+    RunDataset("Figure 9c — MovieLens-style user-genre ranges (19 genres)",
+               ivmf::UserGenreIntervalMatrix(data));
+  }
+
+  std::printf("expected shape (paper Fig 9): option-b best overall with "
+              "ISVD3/4 leading at 100%%/50%% rank; option-a (ISVD1/2) wins "
+              "only the 5%%-rank column.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the computational kernels under the
+// ISVD pipeline: scalar/interval matrix products, one-sided Jacobi SVD,
+// symmetric Jacobi eigendecomposition, Hungarian assignment, ILSA, and a
+// full ISVD4-b decomposition.
+
+#include <benchmark/benchmark.h>
+
+#include "align/assignment.h"
+#include "align/ilsa.h"
+#include "base/rng.h"
+#include "core/isvd.h"
+#include "data/synthetic.h"
+#include "interval/interval_matrix.h"
+#include "linalg/eig.h"
+#include "linalg/svd.h"
+
+namespace ivmf {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.Uniform(-1.0, 1.0);
+  return m;
+}
+
+IntervalMatrix RandomInterval(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  return GenerateUniformIntervalMatrix(config, rng);
+}
+
+void BM_MatrixProduct(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomMatrix(n, n, 1);
+  const Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatrixProduct)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_IntervalMatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalMatrix a = RandomInterval(n, n, 3);
+  const IntervalMatrix b = RandomInterval(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalMatMul(a, b));
+  }
+}
+BENCHMARK(BM_IntervalMatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_IntervalMatMulExact(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const IntervalMatrix a = RandomInterval(n, n, 3);
+  const IntervalMatrix b = RandomInterval(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalMatMulExact(a, b));
+  }
+}
+BENCHMARK(BM_IntervalMatMulExact)->Arg(32)->Arg(64);
+
+void BM_Svd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix m = RandomMatrix(2 * n, n, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSvd(m));
+  }
+}
+BENCHMARK(BM_Svd)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SymmetricEig(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix base = RandomMatrix(n, n, 6);
+  const Matrix sym = base * base.Transpose();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSymmetricEig(sym));
+  }
+}
+BENCHMARK(BM_SymmetricEig)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Hungarian(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix w = RandomMatrix(n, n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignmentMax(w));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Ilsa(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  const Matrix v_min = RandomMatrix(256, r, 8);
+  const Matrix v_max = RandomMatrix(256, r, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeIlsa(v_min, v_max));
+  }
+}
+BENCHMARK(BM_Ilsa)->Arg(8)->Arg(20)->Arg(40);
+
+void BM_Isvd4FullPipeline(benchmark::State& state) {
+  const size_t cols = static_cast<size_t>(state.range(0));
+  const IntervalMatrix m = RandomInterval(40, cols, 10);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Isvd4(m, 10, options));
+  }
+}
+BENCHMARK(BM_Isvd4FullPipeline)->Arg(60)->Arg(120)->Arg(250);
+
+}  // namespace
+}  // namespace ivmf
+
+BENCHMARK_MAIN();

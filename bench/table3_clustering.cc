@@ -1,0 +1,95 @@
+// Table 3: clustering-based classification accuracy (NMI) and execution
+// time using (i) the original scalar pixel vectors, (ii) the interval-valued
+// pixel vectors, and (iii) the low-rank ISVD2-b (r = 20) representation —
+// at two image resolutions.
+//
+// The paper's claim: interval information improves NMI over scalar vectors
+// but costs much more clustering time; ISVD2-b matches the interval NMI at
+// a fraction of the cost (decomposition + k-means on r-dim features).
+
+#include <cstdio>
+#include <vector>
+
+#include "base/stopwatch.h"
+#include "bench_util.h"
+#include "core/isvd.h"
+#include "data/faces.h"
+#include "eval/kmeans.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace ivmf;
+using namespace ivmf::bench;
+
+Matrix IsvdFeatures(const IsvdResult& result) {
+  Matrix features = result.ScalarU();
+  for (size_t i = 0; i < features.rows(); ++i)
+    for (size_t j = 0; j < features.cols(); ++j)
+      features(i, j) *= result.sigma[j].Mid();
+  return features;
+}
+
+void RunResolution(size_t side, size_t rank) {
+  FaceCorpusConfig config;
+  config.width = side;
+  config.height = side;
+  const FaceCorpus corpus = GenerateFaceCorpus(config);
+
+  KMeansOptions kopts;
+  kopts.k = config.num_individuals;
+  kopts.restarts = 2;
+
+  // (i) scalar pixel vectors.
+  Stopwatch sw;
+  const KMeansResult scalar = KMeans(corpus.images, kopts);
+  const double scalar_time = sw.Seconds();
+  const double scalar_nmi =
+      NormalizedMutualInformation(corpus.labels, scalar.assignments);
+
+  // (ii) interval pixel vectors (doubled representation = the paper's
+  // interval Euclidean distance).
+  sw.Restart();
+  const KMeansResult interval = KMeansInterval(corpus.intervals, kopts);
+  const double interval_time = sw.Seconds();
+  const double interval_nmi =
+      NormalizedMutualInformation(corpus.labels, interval.assignments);
+
+  // (iii) ISVD2-b at rank r: decomposition + k-means on the features.
+  sw.Restart();
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.gram_side = GramSide::kAuto;
+  const IsvdResult isvd = Isvd2(corpus.intervals, rank, options);
+  const double decomp_time = sw.Seconds();
+  sw.Restart();
+  const KMeansResult low_rank = KMeans(IsvdFeatures(isvd), kopts);
+  const double cluster_time = sw.Seconds();
+  const double isvd_nmi =
+      NormalizedMutualInformation(corpus.labels, low_rank.assignments);
+
+  std::printf("%zux%-6zu %12.3f %14.3f %12.3f\n", side, side, scalar_nmi,
+              interval_nmi, isvd_nmi);
+  std::printf("%-9s %12.3f %14.3f %12.3f (%.3f+%.3f)\n", "  time(s)",
+              scalar_time, interval_time, decomp_time + cluster_time,
+              decomp_time, cluster_time);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 20));
+
+  PrintHeader(
+      "Table 3 — clustering NMI (top) and execution time in seconds "
+      "(bottom) per resolution");
+  std::printf("%-9s %12s %14s %12s\n", "res.", "scalar vecs", "interval vecs",
+              "ISVD2-b r=20");
+  RunResolution(16, rank);
+  RunResolution(32, rank);
+  PrintRule();
+  std::printf("expected shape (paper Table 3): interval vectors beat scalar "
+              "NMI at a large time cost; ISVD2-b matches interval NMI far "
+              "faster.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Analyzing anonymized data (the paper's privacy motivation, Section 6.3.2):
+// a data publisher generalizes a scalar attribute table into value ranges;
+// the analyst decomposes the published interval matrix and still recovers
+// the dominant latent structure.
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "core/accuracy.h"
+#include "core/isvd.h"
+#include "data/anonymize.h"
+
+int main() {
+  using namespace ivmf;
+
+  // A private data set with planted rank-3 structure (e.g. user attributes
+  // driven by three hidden profiles).
+  Rng rng(2024);
+  const size_t users = 60, attributes = 40, hidden = 3;
+  Matrix profiles(users, hidden), loadings(attributes, hidden);
+  for (size_t i = 0; i < users; ++i)
+    for (size_t k = 0; k < hidden; ++k) profiles(i, k) = rng.Uniform();
+  for (size_t j = 0; j < attributes; ++j)
+    for (size_t k = 0; k < hidden; ++k) loadings(j, k) = rng.Uniform();
+  const Matrix secret = profiles * loadings.Transpose();
+
+  std::printf("private matrix: %zu users x %zu attributes, planted rank %zu\n",
+              users, attributes, hidden);
+
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+
+  for (const auto& [mix, label] :
+       std::vector<std::pair<AnonymizationMix, const char*>>{
+           {LowPrivacyMix(), "low privacy   [L1:40 L2:30 L3:20 L4:10]"},
+           {MediumPrivacyMix(), "medium privacy[25 each]"},
+           {HighPrivacyMix(), "high privacy  [L1:10 L2:20 L3:30 L4:40]"}}) {
+    // The publisher generalizes each cell into its bin range.
+    Rng publish_rng(7);
+    const IntervalMatrix published = AnonymizeMatrix(secret, mix, publish_rng);
+
+    // The analyst decomposes the published intervals at the planted rank.
+    const IsvdResult result = Isvd4(published, hidden, options);
+    const IntervalMatrix recon = result.Reconstruct();
+
+    // Two questions: how well does the decomposition represent the
+    // *published* intervals (Θ_HM), and how close does its midpoint come to
+    // the *secret* data the analyst never saw?
+    const AccuracyReport vs_published = DecompositionAccuracy(published, recon);
+    const double secret_err =
+        RelativeFrobenius(secret, recon.Mid());
+
+    std::printf("%-40s Θ_HM(published)=%.3f   rel.err(secret)=%.3f   "
+                "mean bin width=%.3f\n",
+                label, vs_published.harmonic_mean, secret_err,
+                published.Span().Sum() /
+                    static_cast<double>(published.rows() * published.cols()));
+  }
+
+  std::printf("\nEven under heavy generalization the interval decomposition "
+              "tracks the hidden structure — the paper's anonymized-data "
+              "use case.\n");
+  return 0;
+}

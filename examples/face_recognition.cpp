@@ -1,0 +1,78 @@
+// Face identification with interval-valued pixels (Section 6.4): pixels are
+// imprecise (pose jitter), so each image row becomes an interval vector via
+// the neighborhood-std construction; ISVD2-b features + 1-NN identify the
+// individual.
+
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/isvd.h"
+#include "data/faces.h"
+#include "eval/knn.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace ivmf;
+
+  FaceCorpusConfig config;
+  config.num_individuals = 20;
+  config.images_per_individual = 10;
+  config.width = 16;
+  config.height = 16;
+  const FaceCorpus corpus = GenerateFaceCorpus(config);
+  std::printf("corpus: %zu individuals x %zu images at %zux%zu px\n",
+              config.num_individuals, config.images_per_individual,
+              config.width, config.height);
+
+  // Decompose the interval-valued image matrix (ISVD2, option b): the
+  // classification task uses the U x Σ features (Section 6.1.2).
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.gram_side = GramSide::kAuto;
+  const size_t rank = 20;
+  const IsvdResult result = Isvd2(corpus.intervals, rank, options);
+
+  Matrix features = result.ScalarU();
+  for (size_t i = 0; i < features.rows(); ++i)
+    for (size_t j = 0; j < features.cols(); ++j)
+      features(i, j) *= result.sigma[j].Mid();
+
+  // 50/50 train/test split per individual.
+  Rng rng(99);
+  std::vector<size_t> train_rows, test_rows;
+  std::vector<int> train_labels, test_labels;
+  for (size_t i = 0; i < features.rows(); ++i) {
+    if (i % 2 == 0) {
+      train_rows.push_back(i);
+      train_labels.push_back(corpus.labels[i]);
+    } else {
+      test_rows.push_back(i);
+      test_labels.push_back(corpus.labels[i]);
+    }
+  }
+  Matrix train(train_rows.size(), rank), test(test_rows.size(), rank);
+  for (size_t i = 0; i < train_rows.size(); ++i)
+    train.SetRow(i, features.Row(train_rows[i]));
+  for (size_t i = 0; i < test_rows.size(); ++i)
+    test.SetRow(i, features.Row(test_rows[i]));
+
+  const std::vector<int> predicted = Classify1Nn(train, train_labels, test);
+  std::printf("1-NN on ISVD2-b features (rank %zu): F1=%.3f accuracy=%.3f\n",
+              rank, MacroF1(test_labels, predicted),
+              Accuracy(test_labels, predicted));
+
+  // Baseline: raw-pixel nearest neighbour (no decomposition).
+  Matrix train_px(train_rows.size(), corpus.images.cols());
+  Matrix test_px(test_rows.size(), corpus.images.cols());
+  for (size_t i = 0; i < train_rows.size(); ++i)
+    train_px.SetRow(i, corpus.images.Row(train_rows[i]));
+  for (size_t i = 0; i < test_rows.size(); ++i)
+    test_px.SetRow(i, corpus.images.Row(test_rows[i]));
+  const std::vector<int> raw_predicted =
+      Classify1Nn(train_px, train_labels, test_px);
+  std::printf("1-NN on raw %zu-dim pixels:            F1=%.3f (features are "
+              "%zu-dim)\n",
+              corpus.images.cols(), MacroF1(test_labels, raw_predicted), rank);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: decompose a small interval-valued matrix with ISVD4 and
+// inspect the factors, the reconstruction, and its accuracy.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/accuracy.h"
+#include "core/isvd.h"
+#include "interval/interval_matrix.h"
+
+int main() {
+  using namespace ivmf;
+
+  // An interval-valued matrix: e.g. sensor readings with per-cell
+  // measurement uncertainty. Entry (i, j) is the interval [lo, hi].
+  IntervalMatrix m(4, 5);
+  const double lo[4][5] = {{2.0, 3.1, 0.5, 1.2, 4.0},
+                           {1.9, 3.0, 0.4, 1.0, 3.8},
+                           {0.2, 0.5, 2.5, 2.2, 0.3},
+                           {0.3, 0.6, 2.4, 2.0, 0.4}};
+  const double span[4][5] = {{0.2, 0.4, 0.1, 0.3, 0.5},
+                             {0.1, 0.2, 0.1, 0.2, 0.4},
+                             {0.1, 0.1, 0.5, 0.4, 0.1},
+                             {0.1, 0.2, 0.4, 0.5, 0.1}};
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 5; ++j)
+      m.Set(i, j, Interval(lo[i][j], lo[i][j] + span[i][j]));
+
+  std::printf("input lower endpoints:\n%s\n", m.lower().ToString().c_str());
+  std::printf("input upper endpoints:\n%s\n", m.upper().ToString().c_str());
+
+  // Decompose at rank 2 with the paper's best strategy: ISVD4 under
+  // decomposition target b (scalar factors U, V + interval-valued core Σ†).
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult result = Isvd4(m, /*rank=*/2, options);
+
+  std::printf("scalar factor U (4 x 2):\n%s\n",
+              result.ScalarU().ToString().c_str());
+  std::printf("interval core Σ†: ");
+  for (const Interval& s : result.sigma)
+    std::printf("[%.3f, %.3f] ", s.lo, s.hi);
+  std::printf("\nscalar factor V (5 x 2):\n%s\n",
+              result.ScalarV().ToString().c_str());
+
+  // Reconstruct and score (Definition 5 of the paper).
+  const IntervalMatrix recon = result.Reconstruct();
+  const AccuracyReport report = DecompositionAccuracy(m, recon);
+  std::printf("reconstruction accuracy: Θ(min)=%.3f Θ(max)=%.3f "
+              "Θ_HM=%.3f\n",
+              report.theta_min, report.theta_max, report.harmonic_mean);
+
+  // Compare against the naive baseline that averages intervals away.
+  const IsvdResult naive = Isvd0(m, 2, options);
+  const AccuracyReport naive_report =
+      DecompositionAccuracy(m, naive.Reconstruct());
+  std::printf("naive ISVD0 baseline:    Θ_HM=%.3f\n",
+              naive_report.harmonic_mean);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Collaborative filtering with ambiguous ratings (Section 6.5): each rating
+// becomes an interval via the F.2 construction (x ± α·std of the user's and
+// item's ratings); AI-PMF trains on the intervals and predicts held-out
+// ratings from the interval midpoints.
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "data/ratings.h"
+#include "factor/pmf.h"
+
+int main() {
+  using namespace ivmf;
+
+  RatingsConfig config;
+  config.num_users = 200;
+  config.num_items = 300;
+  config.num_genres = 12;
+  config.fill = 0.2;
+  const RatingsData data = GenerateRatings(config);
+  std::printf("ratings: %zu users x %zu items, %.0f observed\n",
+              config.num_users, config.num_items, data.mask.Sum());
+
+  // Interval-ize the ratings (ambiguity model of the supplementary F.2).
+  const IntervalMatrix cf = CfIntervalMatrix(data, /*alpha=*/0.3);
+
+  // Hold out 20% of the observed ratings for evaluation.
+  Rng rng(7);
+  const CfSplit split = SplitRatings(data, 0.2, rng);
+
+  PmfOptions options;
+  options.epochs = 150;
+  const size_t rank = 20;
+
+  // Scalar PMF baseline on the raw ratings.
+  const PmfResult pmf = ComputePmf(data.ratings, split.train_mask, rank, options);
+  const double rmse_pmf =
+      MaskedRmse(data.ratings, pmf.Reconstruct(), split.test_mask);
+
+  // I-PMF: interval-aware, no alignment.
+  const IntervalPmfResult ipmf =
+      ComputeIntervalPmf(cf, split.train_mask, rank, options);
+  const double rmse_ipmf =
+      MaskedRmse(data.ratings, ipmf.PredictMid(), split.test_mask);
+
+  // AI-PMF: the paper's aligned interval PMF.
+  const IntervalPmfResult aipmf =
+      ComputeAlignedIntervalPmf(cf, split.train_mask, rank, options);
+  const double rmse_aipmf =
+      MaskedRmse(data.ratings, aipmf.PredictMid(), split.test_mask);
+
+  std::printf("held-out RMSE at rank %zu:\n", rank);
+  std::printf("  PMF    %.4f  (scalar baseline)\n", rmse_pmf);
+  std::printf("  I-PMF  %.4f  (interval-aware)\n", rmse_ipmf);
+  std::printf("  AI-PMF %.4f  (interval-aware + latent alignment)\n",
+              rmse_aipmf);
+
+  // Show a few predictions with their uncertainty intervals.
+  const IntervalMatrix recon = aipmf.Reconstruct();
+  std::printf("\nsample predictions (user, item): truth -> predicted "
+              "[interval]\n");
+  int shown = 0;
+  for (size_t i = 0; i < data.mask.rows() && shown < 5; ++i) {
+    for (size_t j = 0; j < data.mask.cols() && shown < 5; ++j) {
+      if (split.test_mask(i, j) == 0.0) continue;
+      std::printf("  (%3zu, %3zu): %.0f -> %.2f  [%.2f, %.2f]\n", i, j,
+                  data.ratings(i, j), recon.At(i, j).Mid(),
+                  recon.At(i, j).lo, recon.At(i, j).hi);
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Summarized-data analysis (the paper's first motivation, Section 1.1):
+// a large scalar dataset is collapsed into interval-valued group summaries
+// for interactive analysis; decomposing the small interval matrix recovers
+// the same latent directions as analyzing the full data — at a fraction of
+// the size.
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/rng.h"
+#include "base/stopwatch.h"
+#include "core/isvd.h"
+#include "data/summarize.h"
+#include "factor/interval_pca.h"
+#include "linalg/svd.h"
+
+int main() {
+  using namespace ivmf;
+
+  // Full data: 2000 observations x 16 features with planted rank-3
+  // structure (three latent "regimes" driving all features).
+  Rng rng(314);
+  const size_t n = 2000, d = 16, hidden = 3;
+  Matrix basis(d, hidden);
+  for (size_t j = 0; j < d; ++j)
+    for (size_t k = 0; k < hidden; ++k) basis(j, k) = rng.Normal();
+  // Latent weights follow a slow AR(1) walk, so consecutive observations
+  // are similar — the natural setting for block summarization (sensor
+  // windows, daily aggregates, ...).
+  Matrix full(n, d);
+  double weights[3] = {rng.Normal(), rng.Normal(), rng.Normal()};
+  for (size_t i = 0; i < n; ++i) {
+    for (double& w : weights) w = 0.98 * w + 0.2 * rng.Normal();
+    for (size_t j = 0; j < d; ++j) {
+      double v = 0.0;
+      for (size_t k = 0; k < hidden; ++k) v += weights[k] * basis(j, k);
+      full(i, j) = v + 0.05 * rng.Normal();
+    }
+  }
+
+  // Analyst's reference: top latent directions of the full data.
+  Stopwatch sw;
+  const SvdResult full_svd = ComputeSvd(full, hidden);
+  const double full_seconds = sw.Seconds();
+
+  // Publisher summarizes blocks of 20 observations into min..max intervals:
+  // 2000 x 16 scalars become 100 x 16 intervals.
+  const size_t group = 20;
+  const IntervalMatrix summary = SummarizeRows(full, group);
+  std::printf("full data: %zu x %zu -> summary: %zu x %zu intervals "
+              "(%.0fx smaller)\n",
+              n, d, summary.rows(), summary.cols(),
+              static_cast<double>(n) / summary.rows());
+
+  // Interval decomposition of the summary.
+  sw.Restart();
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult isvd = Isvd4(summary, hidden, options);
+  const double isvd_seconds = sw.Seconds();
+
+  // Interval PCA of the summary (midpoint-radius covariance).
+  sw.Restart();
+  const IntervalPcaResult pca = ComputeIntervalPca(summary, hidden);
+  const double pca_seconds = sw.Seconds();
+
+  // How well do the summary's latent directions match the full data's?
+  auto alignment = [&](const Matrix& components) {
+    double total = 0.0;
+    for (size_t k = 0; k < hidden; ++k) {
+      double best = 0.0;
+      for (size_t k2 = 0; k2 < hidden; ++k2) {
+        const double c = std::abs(
+            CosineSimilarity(components.Col(k2), full_svd.v.Col(k)));
+        best = std::max(best, c);
+      }
+      total += best;
+    }
+    return total / static_cast<double>(hidden);
+  };
+
+  std::printf("\nlatent-direction agreement with full-data SVD "
+              "(mean best |cos|, 1.0 = identical):\n");
+  std::printf("  ISVD4-b on summary:        %.3f   (%.4fs vs full SVD "
+              "%.4fs)\n",
+              alignment(isvd.ScalarV()), isvd_seconds, full_seconds);
+  std::printf("  interval MR-PCA on summary: %.3f   (%.4fs)\n",
+              alignment(pca.components), pca_seconds);
+  std::printf("  MR-PCA explained by rank-%zu: %.1f%%\n", hidden,
+              100.0 * pca.ExplainedRatio(hidden));
+
+  std::printf("\nThe 20x smaller interval summary preserves the latent "
+              "structure of the full dataset.\n");
+  return 0;
+}

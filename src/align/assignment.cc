@@ -1,0 +1,176 @@
+#include "align/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace ivmf {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::vector<size_t> SolveAssignmentMin(const Matrix& cost) {
+  IVMF_CHECK_MSG(cost.rows() == cost.cols(),
+                 "assignment needs a square cost matrix");
+  const size_t n = cost.rows();
+  if (n == 0) return {};
+
+  // Potential-based Hungarian algorithm (1-indexed sentinels at index 0).
+  // After termination, way/p encode the optimal matching: p[j] = row
+  // assigned to column j.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<size_t> match(n);
+  for (size_t j = 1; j <= n; ++j) match[j - 1] = p[j] - 1;
+  return match;
+}
+
+std::vector<size_t> SolveAssignmentMax(const Matrix& weight) {
+  // Negate and solve the min-cost problem.
+  Matrix cost(weight.rows(), weight.cols());
+  for (size_t i = 0; i < weight.rows(); ++i)
+    for (size_t j = 0; j < weight.cols(); ++j) cost(i, j) = -weight(i, j);
+  return SolveAssignmentMin(cost);
+}
+
+std::vector<size_t> SolveAssignmentGreedy(const Matrix& weight) {
+  IVMF_CHECK(weight.rows() == weight.cols());
+  const size_t n = weight.rows();
+  constexpr size_t kUnset = static_cast<size_t>(-1);
+
+  // Step 1: every column claims its best row.
+  std::vector<size_t> match(n, kUnset);
+  for (size_t j = 0; j < n; ++j) {
+    size_t best = 0;
+    for (size_t i = 1; i < n; ++i)
+      if (weight(i, j) > weight(best, j)) best = i;
+    match[j] = best;
+  }
+
+  // Step 2: rows claimed multiple times keep their best column; losing
+  // columns are released.
+  std::vector<size_t> owner(n, kUnset);  // owner[row] = winning column
+  for (size_t j = 0; j < n; ++j) {
+    const size_t row = match[j];
+    if (owner[row] == kUnset || weight(row, j) > weight(row, owner[row])) {
+      owner[row] = j;
+    }
+  }
+  std::vector<size_t> losers;
+  for (size_t j = 0; j < n; ++j) {
+    if (owner[match[j]] != j) {
+      match[j] = kUnset;
+      losers.push_back(j);
+    }
+  }
+
+  // Step 3: losers take the best still-unclaimed row, in descending order of
+  // their best achievable weight (a deterministic tie-break on index).
+  std::vector<char> row_taken(n, 0);
+  for (size_t j = 0; j < n; ++j)
+    if (match[j] != kUnset) row_taken[match[j]] = 1;
+  // Repeatedly give the next loser its best spare row. Rows freed never
+  // reappear, so a single pass per loser suffices.
+  for (size_t j : losers) {
+    size_t best = kUnset;
+    for (size_t i = 0; i < n; ++i) {
+      if (row_taken[i]) continue;
+      if (best == kUnset || weight(i, j) > weight(best, j)) best = i;
+    }
+    IVMF_CHECK(best != kUnset);
+    match[j] = best;
+    row_taken[best] = 1;
+  }
+  return match;
+}
+
+std::vector<size_t> SolveStableMarriage(const Matrix& weight) {
+  IVMF_CHECK(weight.rows() == weight.cols());
+  const size_t n = weight.rows();
+  constexpr size_t kUnset = static_cast<size_t>(-1);
+  if (n == 0) return {};
+
+  // Rows propose to columns in descending weight order.
+  std::vector<std::vector<size_t>> prefs(n);
+  for (size_t i = 0; i < n; ++i) {
+    prefs[i].resize(n);
+    std::iota(prefs[i].begin(), prefs[i].end(), 0);
+    std::stable_sort(prefs[i].begin(), prefs[i].end(), [&](size_t a, size_t b) {
+      return weight(i, a) > weight(i, b);
+    });
+  }
+
+  std::vector<size_t> next_proposal(n, 0);   // per row
+  std::vector<size_t> engaged_row(n, kUnset);  // per column
+  std::queue<size_t> free_rows;
+  for (size_t i = 0; i < n; ++i) free_rows.push(i);
+
+  while (!free_rows.empty()) {
+    const size_t i = free_rows.front();
+    free_rows.pop();
+    IVMF_CHECK(next_proposal[i] < n);
+    const size_t j = prefs[i][next_proposal[i]++];
+    const size_t current = engaged_row[j];
+    if (current == kUnset) {
+      engaged_row[j] = i;
+    } else if (weight(i, j) > weight(current, j)) {
+      engaged_row[j] = i;
+      free_rows.push(current);
+    } else {
+      free_rows.push(i);
+    }
+  }
+  return engaged_row;
+}
+
+double AssignmentWeight(const Matrix& weight,
+                        const std::vector<size_t>& match) {
+  double total = 0.0;
+  for (size_t j = 0; j < match.size(); ++j) total += weight(match[j], j);
+  return total;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,44 @@
+// Solvers for the matching problems behind interval latent-semantic
+// alignment (Section 3.3):
+//   * Problem 2 (optimal min-max vector alignment) is a linear assignment
+//     problem — solved exactly by the Hungarian algorithm in O(r^3);
+//   * Problem 1 (stable min-max vector alignment) is a stable-marriage
+//     instance — solved by Gale–Shapley in O(r^2);
+//   * the supplementary material's Algorithm 6 uses a greedy argmax matcher
+//     with conflict resolution, reproduced here as well.
+
+#ifndef IVMF_ALIGN_ASSIGNMENT_H_
+#define IVMF_ALIGN_ASSIGNMENT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// Solves the max-weight perfect assignment on a square weight matrix:
+// returns `match` with match[col] = row such that sum_j weight(match[j], j)
+// is maximal. Hungarian (Kuhn–Munkres) algorithm, O(n^3).
+std::vector<size_t> SolveAssignmentMax(const Matrix& weight);
+
+// Min-cost variant: minimizes sum_j cost(match[j], j).
+std::vector<size_t> SolveAssignmentMin(const Matrix& cost);
+
+// The greedy matcher of supplementary Algorithm 6 (procedure MAPPING): each
+// column j first claims its argmax row; rows claimed by several columns keep
+// their best column and the losers are reassigned to the best unclaimed
+// rows. Deterministic; not necessarily optimal.
+std::vector<size_t> SolveAssignmentGreedy(const Matrix& weight);
+
+// Gale–Shapley stable matching where both sides rank partners by `weight`
+// (rows propose). Returns match[col] = row. The result is stable: no
+// (row, col) pair prefers each other to their assigned partners.
+std::vector<size_t> SolveStableMarriage(const Matrix& weight);
+
+// Total weight of an assignment (match[col] = row).
+double AssignmentWeight(const Matrix& weight, const std::vector<size_t>& match);
+
+}  // namespace ivmf
+
+#endif  // IVMF_ALIGN_ASSIGNMENT_H_

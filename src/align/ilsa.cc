@@ -1,0 +1,102 @@
+#include "align/ilsa.h"
+
+#include <cmath>
+
+namespace ivmf {
+
+Matrix PairwiseAbsCosine(const Matrix& v_min, const Matrix& v_max) {
+  IVMF_CHECK(v_min.rows() == v_max.rows() && v_min.cols() == v_max.cols());
+  const size_t r = v_min.cols();
+  const size_t n = v_min.rows();
+
+  // Precompute column norms once.
+  std::vector<double> norm_min(r, 0.0), norm_max(r, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < r; ++j) {
+      norm_min[j] += v_min(i, j) * v_min(i, j);
+      norm_max[j] += v_max(i, j) * v_max(i, j);
+    }
+  }
+  for (size_t j = 0; j < r; ++j) {
+    norm_min[j] = std::sqrt(norm_min[j]);
+    norm_max[j] = std::sqrt(norm_max[j]);
+  }
+
+  Matrix sim(r, r);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < r; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < n; ++k) dot += v_min(k, i) * v_max(k, j);
+      const double denom = norm_min[i] * norm_max[j];
+      sim(i, j) = denom > 0.0 ? std::abs(dot) / denom : 0.0;
+    }
+  }
+  return sim;
+}
+
+IlsaResult ComputeIlsa(const Matrix& v_min, const Matrix& v_max,
+                       const IlsaOptions& options) {
+  IVMF_CHECK(v_min.rows() == v_max.rows() && v_min.cols() == v_max.cols());
+  const size_t r = v_min.cols();
+  const Matrix sim = PairwiseAbsCosine(v_min, v_max);
+
+  IlsaResult result;
+  switch (options.matcher) {
+    case AlignMatcher::kHungarian:
+      result.mapping = SolveAssignmentMax(sim);
+      break;
+    case AlignMatcher::kGreedy:
+      result.mapping = SolveAssignmentGreedy(sim);
+      break;
+    case AlignMatcher::kStableMarriage:
+      result.mapping = SolveStableMarriage(sim);
+      break;
+  }
+
+  result.flip.assign(r, false);
+  result.pair_similarity.resize(r);
+  result.total_similarity = 0.0;
+  for (size_t j = 0; j < r; ++j) {
+    const size_t i = result.mapping[j];
+    result.pair_similarity[j] = sim(i, j);
+    result.total_similarity += sim(i, j);
+    if (options.fix_directions) {
+      // Signed cosine decides the direction fix.
+      double dot = 0.0;
+      for (size_t k = 0; k < v_min.rows(); ++k)
+        dot += v_min(k, i) * v_max(k, j);
+      result.flip[j] = dot < 0.0;
+    }
+  }
+  return result;
+}
+
+Matrix ApplyIlsaToColumns(const Matrix& m, const IlsaResult& ilsa) {
+  IVMF_CHECK(m.cols() == ilsa.mapping.size());
+  Matrix result(m.rows(), m.cols());
+  for (size_t j = 0; j < m.cols(); ++j) {
+    const size_t src = ilsa.mapping[j];
+    const double sign = ilsa.flip[j] ? -1.0 : 1.0;
+    for (size_t i = 0; i < m.rows(); ++i) result(i, j) = sign * m(i, src);
+  }
+  return result;
+}
+
+std::vector<double> ApplyIlsaToDiagonal(const std::vector<double>& sigma,
+                                        const IlsaResult& ilsa) {
+  IVMF_CHECK(sigma.size() == ilsa.mapping.size());
+  std::vector<double> result(sigma.size());
+  for (size_t j = 0; j < sigma.size(); ++j) result[j] = sigma[ilsa.mapping[j]];
+  return result;
+}
+
+std::vector<double> ColumnwiseCosine(const Matrix& v_min, const Matrix& v_max) {
+  IVMF_CHECK(v_min.rows() == v_max.rows() && v_min.cols() == v_max.cols());
+  std::vector<double> cosines(v_min.cols());
+  for (size_t j = 0; j < v_min.cols(); ++j) {
+    cosines[j] = CosineSimilarity(v_min.Col(j), v_max.Col(j));
+  }
+  return cosines;
+}
+
+}  // namespace ivmf

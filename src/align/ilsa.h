@@ -1,0 +1,73 @@
+// Interval-valued latent semantic alignment (ILSA, Section 3.3).
+//
+// Given the min-side and max-side factor matrices V_* and V^* obtained by
+// decomposing M_* and M^* independently, ILSA finds the pairing of columns
+// that maximizes the summed |cosine| similarity and the per-pair direction
+// (sign) fix so that each aligned pair points the same way.
+//
+// Convention (matching Algorithms 8–11): the max-side columns stay in place;
+// `mapping[j]` names the min-side column that pairs with max-side column j,
+// and `flip[j]` says whether that min-side column must be multiplied by -1.
+// Callers permute all min-side matrices (U_*, Σ_*, V_*) by `mapping`.
+
+#ifndef IVMF_ALIGN_ILSA_H_
+#define IVMF_ALIGN_ILSA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "align/assignment.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// Which solver pairs the min/max latent vectors.
+enum class AlignMatcher {
+  kHungarian,       // Problem 2: optimal linear assignment (default).
+  kGreedy,          // supplementary Algorithm 6 (argmax + conflict fixing).
+  kStableMarriage,  // Problem 1: Gale–Shapley stable matching.
+};
+
+struct IlsaOptions {
+  AlignMatcher matcher = AlignMatcher::kHungarian;
+  // When true (paper behaviour), pairs with negative cosine get the
+  // min-side column flipped so both vectors point the same direction.
+  bool fix_directions = true;
+};
+
+struct IlsaResult {
+  // mapping[j] = min-side column index paired with max-side column j.
+  std::vector<size_t> mapping;
+  // flip[j] = true when the paired min-side column must be negated.
+  std::vector<bool> flip;
+  // |cos| similarity of each aligned pair, in max-side column order.
+  std::vector<double> pair_similarity;
+  // Sum of pair_similarity (the Problem-2 objective value).
+  double total_similarity = 0.0;
+};
+
+// Pairwise |cosine| similarities: entry (i, j) = |cos(v_min[:,i], v_max[:,j])|.
+Matrix PairwiseAbsCosine(const Matrix& v_min, const Matrix& v_max);
+
+// Runs ILSA on two equally-shaped factor matrices (columns are the latent
+// vectors). Requires v_min and v_max to have the same shape.
+IlsaResult ComputeIlsa(const Matrix& v_min, const Matrix& v_max,
+                       const IlsaOptions& options = {});
+
+// Applies an ILSA result to a min-side matrix whose *columns* are latent
+// vectors: returns m with columns permuted by `mapping` and flipped where
+// `flip` is set. (Used for U_* and V_*.)
+Matrix ApplyIlsaToColumns(const Matrix& m, const IlsaResult& ilsa);
+
+// Applies an ILSA result to the min-side singular values: returns
+// sigma[mapping[j]] for each j (no sign change; singular values stay >= 0).
+std::vector<double> ApplyIlsaToDiagonal(const std::vector<double>& sigma,
+                                        const IlsaResult& ilsa);
+
+// Per-pair cosine similarity cos(v_min[:,j], v_max[:,j]) of equally indexed
+// columns — the quantity plotted in Figures 3 and 5.
+std::vector<double> ColumnwiseCosine(const Matrix& v_min, const Matrix& v_max);
+
+}  // namespace ivmf
+
+#endif  // IVMF_ALIGN_ILSA_H_

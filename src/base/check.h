@@ -1,0 +1,51 @@
+// Invariant-checking macros used across the ivmf library.
+//
+// The library does not use exceptions (per the project style); programming
+// errors and violated preconditions abort with a diagnostic instead.
+
+#ifndef IVMF_BASE_CHECK_H_
+#define IVMF_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ivmf::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "[ivmf] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, (message != nullptr && message[0] != '\0') ? " — " : "",
+               message != nullptr ? message : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ivmf::internal
+
+// Aborts with a diagnostic when `condition` is false. Always enabled.
+#define IVMF_CHECK(condition)                                             \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::ivmf::internal::CheckFailed(__FILE__, __LINE__, #condition, "");  \
+    }                                                                     \
+  } while (false)
+
+// Like IVMF_CHECK but with an explanatory message (a C string literal).
+#define IVMF_CHECK_MSG(condition, message)                                    \
+  do {                                                                        \
+    if (!(condition)) {                                                       \
+      ::ivmf::internal::CheckFailed(__FILE__, __LINE__, #condition, message); \
+    }                                                                         \
+  } while (false)
+
+// Debug-only check; compiled out in NDEBUG builds. Use in hot loops.
+#ifdef NDEBUG
+#define IVMF_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#else
+#define IVMF_DCHECK(condition) IVMF_CHECK(condition)
+#endif
+
+#endif  // IVMF_BASE_CHECK_H_

@@ -1,0 +1,62 @@
+// Minimal data-parallel helper used by the heavier kernels (dense products,
+// Gram construction) and by benchmark trial loops.
+//
+// ParallelFor statically partitions [begin, end) across at most
+// `max_threads` std::thread workers (hardware concurrency by default).
+// Determinism: the partitioning depends only on the range and thread count,
+// and callers write to disjoint outputs, so results are bit-identical to
+// the serial execution.
+
+#ifndef IVMF_BASE_PARALLEL_H_
+#define IVMF_BASE_PARALLEL_H_
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ivmf {
+
+// Number of worker threads to use for a range of `n` items: at least 1,
+// at most hardware concurrency, and never more threads than items.
+inline size_t SuggestedThreads(size_t n, size_t max_threads = 0) {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (max_threads == 0 || max_threads > hw) max_threads = hw;
+  return n < max_threads ? (n == 0 ? 1 : n) : max_threads;
+}
+
+// Applies fn(i) for every i in [begin, end), possibly concurrently.
+// `fn` must be safe to call concurrently for distinct i (writes to
+// disjoint data). Falls back to a serial loop for small ranges.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t max_threads = 0,
+                 size_t min_items_per_thread = 1) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  size_t threads = SuggestedThreads(n, max_threads);
+  if (min_items_per_thread > 1) {
+    const size_t cap = (n + min_items_per_thread - 1) / min_items_per_thread;
+    if (threads > cap) threads = cap;
+  }
+  if (threads <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const size_t chunk = (n + threads - 1) / threads;
+  for (size_t t = 0; t < threads; ++t) {
+    const size_t lo = begin + t * chunk;
+    const size_t hi = lo + chunk < end ? lo + chunk : end;
+    if (lo >= hi) break;
+    workers.emplace_back([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace ivmf
+
+#endif  // IVMF_BASE_PARALLEL_H_

@@ -1,0 +1,10 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+namespace ivmf {
+
+double Rng::Sqrt(double x) { return std::sqrt(x); }
+double Rng::Log(double x) { return std::log(x); }
+
+}  // namespace ivmf

@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation for experiments.
+//
+// All data generators and randomized algorithms in this library draw from
+// Xoshiro256++ seeded through SplitMix64, so every experiment in the
+// benchmark harness is reproducible from a single 64-bit seed.
+
+#ifndef IVMF_BASE_RNG_H_
+#define IVMF_BASE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ivmf {
+
+// SplitMix64: used to expand a single 64-bit seed into a full generator
+// state. Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Xoshiro256++ 1.0, a fast all-purpose generator with 256 bits of state.
+// Reference: David Blackman and Sebastiano Vigna,
+// http://prng.di.unimi.it/xoshiro256plusplus.c
+class Rng {
+ public:
+  // Seeds the state deterministically from a single 64-bit value.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  // Next raw 64-bit output.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    // Use the top 53 bits for a dyadic rational in [0,1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformIndex(uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0ULL - n) % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double Normal() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = Sqrt(-2.0 * Log(s) / s);
+    cached_ = v * factor;
+    have_cached_ = true;
+    return u * factor;
+  }
+
+  // Normal with given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  // Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  // In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformIndex(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child stream (e.g. one per trial).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Tiny local wrappers keep <cmath> out of this header's public surface.
+  static double Sqrt(double x);
+  static double Log(double x);
+
+  uint64_t state_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace ivmf
+
+#endif  // IVMF_BASE_RNG_H_

@@ -1,0 +1,40 @@
+// A small monotonic stopwatch used for per-phase execution-time breakdowns
+// (Figure 6b of the paper) and benchmark harnesses.
+
+#ifndef IVMF_BASE_STOPWATCH_H_
+#define IVMF_BASE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ivmf {
+
+// Measures wall-clock time on the steady (monotonic) clock.
+//
+// Usage:
+//   Stopwatch sw;                 // starts running
+//   ... work ...
+//   double s = sw.Seconds();      // elapsed so far
+//   sw.Restart();                 // reset to zero and keep running
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Resets the elapsed time to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed wall-clock seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ivmf
+
+#endif  // IVMF_BASE_STOPWATCH_H_

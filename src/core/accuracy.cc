@@ -1,0 +1,36 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ivmf {
+
+double HarmonicMean(double a, double b) {
+  const double sum = a + b;
+  if (sum <= 0.0) return 0.0;
+  return 2.0 * a * b / sum;
+}
+
+double RelativeFrobenius(const Matrix& a, const Matrix& b) {
+  IVMF_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const Matrix diff = a - b;
+  const double denom = a.FrobeniusNorm();
+  const double num = diff.FrobeniusNorm();
+  if (denom == 0.0) {
+    return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return num / denom;
+}
+
+AccuracyReport DecompositionAccuracy(const IntervalMatrix& original,
+                                     const IntervalMatrix& reconstructed) {
+  AccuracyReport report;
+  report.delta_min = RelativeFrobenius(original.lower(), reconstructed.lower());
+  report.delta_max = RelativeFrobenius(original.upper(), reconstructed.upper());
+  report.theta_min = std::max(0.0, 1.0 - report.delta_min);
+  report.theta_max = std::max(0.0, 1.0 - report.delta_max);
+  report.harmonic_mean = HarmonicMean(report.theta_min, report.theta_max);
+  return report;
+}
+
+}  // namespace ivmf

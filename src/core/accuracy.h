@@ -1,0 +1,35 @@
+// Decomposition accuracy (Definition 5 of the paper): relative Frobenius
+// reconstruction errors of the interval endpoints, converted to accuracies
+// and combined with the harmonic mean (the "Θ_HM" / "H-mean" reported in
+// every accuracy table of the evaluation).
+
+#ifndef IVMF_CORE_ACCURACY_H_
+#define IVMF_CORE_ACCURACY_H_
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+struct AccuracyReport {
+  double delta_min = 0.0;  // ||M_* - M̃_*||_F / ||M_*||_F
+  double delta_max = 0.0;  // ||M^* - M̃^*||_F / ||M^*||_F
+  double theta_min = 0.0;  // max(0, 1 - delta_min)
+  double theta_max = 0.0;  // max(0, 1 - delta_max)
+  double harmonic_mean = 0.0;
+};
+
+// Harmonic mean 2ab / (a + b); zero when a + b == 0.
+double HarmonicMean(double a, double b);
+
+// Relative Frobenius distance ||a - b||_F / ||a||_F (0/0 counts as 0).
+double RelativeFrobenius(const Matrix& a, const Matrix& b);
+
+// Definition 5 applied to an original interval matrix and a reconstruction
+// (which may be degenerate for scalar decompositions).
+AccuracyReport DecompositionAccuracy(const IntervalMatrix& original,
+                                     const IntervalMatrix& reconstructed);
+
+}  // namespace ivmf
+
+#endif  // IVMF_CORE_ACCURACY_H_

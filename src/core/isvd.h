@@ -1,0 +1,168 @@
+// Interval singular value decomposition (ISVD) — Sections 3 and 4 of
+// "Matrix Factorization with Interval-Valued Data".
+//
+// Five decomposition strategies are provided (Figure 4 of the paper):
+//   ISVD0  average & decompose               (naive baseline, Section 4.1)
+//   ISVD1  decompose & align                 (Section 4.2)
+//   ISVD2  decompose, solve, align           (Section 4.3)
+//   ISVD3  decompose, align, solve           (Section 4.4)
+//   ISVD4  decompose, align, solve, recompute (Section 4.5)
+// each under three decomposition targets (Section 3.4):
+//   target a  interval-valued U†, Σ†, V†
+//   target b  scalar U, V with interval-valued core Σ†
+//   target c  scalar U, Σ, V.
+
+#ifndef IVMF_CORE_ISVD_H_
+#define IVMF_CORE_ISVD_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "align/ilsa.h"
+#include "interval/interval.h"
+#include "interval/interval_matrix.h"
+#include "linalg/eig.h"
+#include "linalg/lanczos.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace ivmf {
+
+// Which matrices stay interval-valued in the output (Section 3.4).
+enum class DecompositionTarget {
+  kA,  // interval U†, Σ†, V†
+  kB,  // scalar U, V; interval Σ†
+  kC,  // scalar U, Σ, V
+};
+
+// Which Gram matrix ISVD2–ISVD4 eigendecompose. The paper's pseudocode
+// always forms A† = M†ᵀ M† (m x m); kMMt works on the transpose instead
+// (equivalent mathematics, alignment happens on the U side) and kAuto picks
+// the smaller side for speed.
+enum class GramSide { kMtM, kMMt, kAuto };
+
+// Which symmetric eigensolver backs ISVD2–ISVD4. Jacobi computes the full
+// spectrum (exact, O(n³) per sweep); Lanczos computes only the requested
+// top-r pairs and is much faster at low rank. kAuto switches to Lanczos
+// when rank is small relative to the Gram dimension.
+enum class EigSolver { kJacobi, kLanczos, kAuto };
+
+struct IsvdOptions {
+  DecompositionTarget target = DecompositionTarget::kB;
+  IlsaOptions ilsa;
+  GramSide gram_side = GramSide::kMtM;
+  EigSolver eig_solver = EigSolver::kJacobi;
+  // Condition-number threshold above which V_avg (U_avg) inversion falls
+  // back to the Moore–Penrose pseudo-inverse (Section 4.4.2.2).
+  double cond_threshold = 1e8;
+  SvdOptions svd;
+  EigOptions eig;
+};
+
+// Wall-clock seconds spent in each pipeline phase (Figure 6b).
+struct PhaseTimings {
+  double preprocess = 0.0;   // Gram products / midpoint averaging
+  double decompose = 0.0;    // SVD / eigendecomposition calls
+  double align = 0.0;        // ILSA + permutation / sign fixes
+  double solve = 0.0;        // recovery of the non-eigen factor
+  double recompute = 0.0;    // ISVD4's V† recomputation
+  double renormalize = 0.0;  // target construction & average replacement
+
+  double Total() const {
+    return preprocess + decompose + align + solve + recompute + renormalize;
+  }
+  PhaseTimings& operator+=(const PhaseTimings& other);
+};
+
+// The result of an interval-valued decomposition M† ≃ U† Σ† V†ᵀ.
+//
+// Representation is uniform across targets: scalar factors are stored as
+// degenerate interval matrices (lower == upper). For target b, `u`/`v` are
+// degenerate and `sigma` is interval-valued; for target c everything is
+// degenerate.
+struct IsvdResult {
+  DecompositionTarget target = DecompositionTarget::kB;
+  IntervalMatrix u;             // n x r
+  std::vector<Interval> sigma;  // r diagonal core entries
+  IntervalMatrix v;             // m x r
+  PhaseTimings timings;
+
+  size_t rank() const { return sigma.size(); }
+
+  // Scalar views (valid for targets b / c where factors are degenerate; for
+  // target a these return the lower endpoint matrices).
+  const Matrix& ScalarU() const { return u.lower(); }
+  const Matrix& ScalarV() const { return v.lower(); }
+
+  // diag(sigma) endpoints as r x r scalar matrices.
+  Matrix SigmaLower() const;
+  Matrix SigmaUpper() const;
+
+  // Rebuilds M̃† = U† Σ† V†ᵀ per the target's reconstruction rule
+  // (supplementary Algorithms 12–14).
+  IntervalMatrix Reconstruct() const;
+};
+
+// -- Decomposition strategies ----------------------------------------------
+
+// ISVD0 (Section 4.1): decompose the midpoint matrix. The result is always
+// scalar (decomposition target c).
+IsvdResult Isvd0(const IntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
+// ISVD1 (Section 4.2): SVD of M_* and M^* independently, then ILSA.
+IsvdResult Isvd1(const IntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
+// Shared precomputation for ISVD2–ISVD4: the interval Gram matrix
+// A† = M†ᵀ M† (Algorithm 1) and the eigendecompositions of its endpoint
+// matrices. Computing it once lets callers evaluate several strategies on
+// the same input without repeating the dominant O(m^3) work.
+struct GramEig {
+  IntervalMatrix gram;       // m x m interval Gram matrix (possibly of M†ᵀ)
+  EigResult lo;              // eig of gram.lower()
+  EigResult hi;              // eig of gram.upper()
+  bool transposed = false;   // true when computed on M†ᵀ (kMMt route)
+  double preprocess_seconds = 0.0;
+  double decompose_seconds = 0.0;
+};
+
+GramEig ComputeGramEig(const IntervalMatrix& m, size_t rank,
+                       const IsvdOptions& options = {});
+
+// Slices a GramEig down to a smaller rank (keeps the top-r eigenpairs), so
+// rank sweeps pay for the eigendecomposition once:
+//   GramEig full = ComputeGramEig(m, 0, options);
+//   for (size_t r : ranks) result = Isvd4(m, r, TruncateGramEig(full, r), ...);
+GramEig TruncateGramEig(const GramEig& full, size_t rank);
+
+// ISVD2 (Section 4.3): eigendecompose A_*, A^*, solve for U_*, U^*, align.
+IsvdResult Isvd2(const IntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd2(const IntervalMatrix& m, size_t rank, const GramEig& gram,
+                 const IsvdOptions& options);
+
+// ISVD3 (Section 4.4): eigendecompose, align V†/Σ†, then solve for U† via
+// interval-valued inversion.
+IsvdResult Isvd3(const IntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd3(const IntervalMatrix& m, size_t rank, const GramEig& gram,
+                 const IsvdOptions& options);
+
+// ISVD4 (Section 4.5): ISVD3 plus recomputation of V† from the solved U†.
+IsvdResult Isvd4(const IntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd4(const IntervalMatrix& m, size_t rank, const GramEig& gram,
+                 const IsvdOptions& options);
+
+// Dispatch by strategy index 0..4 (handy for benchmark sweeps).
+IsvdResult RunIsvd(int strategy, const IntervalMatrix& m, size_t rank,
+                   const IsvdOptions& options = {});
+
+// "ISVD1-b"-style label for reports.
+std::string IsvdName(int strategy, DecompositionTarget target);
+
+}  // namespace ivmf
+
+#endif  // IVMF_CORE_ISVD_H_

@@ -1,0 +1,24 @@
+// Internal helpers shared between the ISVD strategies and the LP competitor.
+// Not part of the public API.
+
+#ifndef IVMF_CORE_ISVD_INTERNAL_H_
+#define IVMF_CORE_ISVD_INTERNAL_H_
+
+#include <vector>
+
+#include "core/isvd.h"
+
+namespace ivmf::isvd_internal {
+
+// Section 3.4 — builds the final result for the requested decomposition
+// target: average replacement (Algorithms 2–3) followed by the per-target
+// construction (interval factors, or renormalized scalar factors with the
+// column norms folded into the core). Adds its own time to
+// timings.renormalize.
+IsvdResult BuildResult(IntervalMatrix u, std::vector<Interval> sigma,
+                       IntervalMatrix v, DecompositionTarget target,
+                       PhaseTimings timings);
+
+}  // namespace ivmf::isvd_internal
+
+#endif  // IVMF_CORE_ISVD_INTERNAL_H_

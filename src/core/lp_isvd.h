@@ -1,0 +1,27 @@
+// The LP-based interval SVD competitor ("LPa/LPb/LPc" in Figures 6, 7, 9).
+//
+// This assembles a full interval decomposition out of the
+// linear-programming interval eigendecomposition of [33]/[35]
+// (src/lp/interval_eig_lp.h): the interval eigenpairs of A† = M†ᵀM†
+// provide V† and Σ†, and U† is recovered exactly as in ISVD3. No latent
+// semantic alignment is involved — the bounds come from a single midpoint
+// decomposition, which is the essential difference from the ISVD family.
+
+#ifndef IVMF_CORE_LP_ISVD_H_
+#define IVMF_CORE_LP_ISVD_H_
+
+#include "core/isvd.h"
+#include "lp/interval_eig_lp.h"
+
+namespace ivmf {
+
+// Runs the LP competitor at the given rank and decomposition target.
+// The per-component LP solves make this O(m) LPs of m variables each —
+// dramatically slower than any ISVD strategy, as the paper reports.
+IsvdResult LpIsvd(const IntervalMatrix& m, size_t rank,
+                  const IsvdOptions& options = {},
+                  const IntervalEigLpOptions& lp_options = {});
+
+}  // namespace ivmf
+
+#endif  // IVMF_CORE_LP_ISVD_H_

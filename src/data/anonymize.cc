@@ -1,0 +1,57 @@
+#include "data/anonymize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivmf {
+
+AnonymizationMix HighPrivacyMix() { return {0.10, 0.20, 0.30, 0.40}; }
+AnonymizationMix MediumPrivacyMix() { return {0.25, 0.25, 0.25, 0.25}; }
+AnonymizationMix LowPrivacyMix() { return {0.40, 0.30, 0.20, 0.10}; }
+
+Interval GeneralizeValue(double x, double domain_lo, double domain_hi,
+                         size_t bins) {
+  IVMF_CHECK(bins > 0);
+  if (domain_hi <= domain_lo) return Interval::Scalar(x);
+  const double width = (domain_hi - domain_lo) / static_cast<double>(bins);
+  double idx = std::floor((x - domain_lo) / width);
+  idx = std::clamp(idx, 0.0, static_cast<double>(bins - 1));
+  const double lo = domain_lo + idx * width;
+  return Interval(lo, lo + width);
+}
+
+IntervalMatrix AnonymizeMatrix(const Matrix& m, const AnonymizationMix& mix,
+                               Rng& rng) {
+  // Domain of the published attribute.
+  double lo = m(0, 0), hi = m(0, 0);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      lo = std::min(lo, m(i, j));
+      hi = std::max(hi, m(i, j));
+    }
+  }
+
+  const double cum1 = mix.l1;
+  const double cum2 = cum1 + mix.l2;
+  const double cum3 = cum2 + mix.l3;
+
+  IntervalMatrix result(m.rows(), m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      const double draw = rng.Uniform();
+      size_t level = 3;
+      if (draw < cum1) {
+        level = 0;
+      } else if (draw < cum2) {
+        level = 1;
+      } else if (draw < cum3) {
+        level = 2;
+      }
+      result.Set(i, j,
+                 GeneralizeValue(m(i, j), lo, hi, kGeneralizationBins[level]));
+    }
+  }
+  return result;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,53 @@
+// Privacy-preserving anonymization through value generalization
+// (Section 6.1.1, "anonymized matrices"; in the style of recoding /
+// generalization techniques such as Sweeney's k-anonymity [8]).
+//
+// Each scalar cell is replaced by the generalization bin that contains it:
+// the data domain is split into L equal-width bins and the cell value is
+// published only as its bin's [low, high) range. Four levels are used, from
+// L1 (100 bins, least anonymized) to L4 (5 bins, most anonymized); a data
+// set is anonymized with a *mixture* of levels (high / medium / low privacy
+// mixes of the paper).
+
+#ifndef IVMF_DATA_ANONYMIZE_H_
+#define IVMF_DATA_ANONYMIZE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "base/rng.h"
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// Number of generalization bins per level (paper Section 6.1.1).
+inline constexpr std::array<size_t, 4> kGeneralizationBins = {100, 50, 20, 5};
+
+// Fractions of cells anonymized at levels L1..L4 (must sum to ~1).
+struct AnonymizationMix {
+  double l1 = 0.25;
+  double l2 = 0.25;
+  double l3 = 0.25;
+  double l4 = 0.25;
+};
+
+// The three mixtures evaluated in Figure 7.
+AnonymizationMix HighPrivacyMix();    // L1:10% L2:20% L3:30% L4:40%
+AnonymizationMix MediumPrivacyMix();  // 25% each
+AnonymizationMix LowPrivacyMix();     // L1:40% L2:30% L3:20% L4:10%
+
+// Replaces the value `x` with its generalization interval for a domain
+// [domain_lo, domain_hi] split into `bins` equal-width bins.
+Interval GeneralizeValue(double x, double domain_lo, double domain_hi,
+                         size_t bins);
+
+// Anonymizes every cell of `m`: each cell independently draws a
+// generalization level from `mix` and is replaced by its bin interval. The
+// domain is the [min, max] value range of `m`.
+IntervalMatrix AnonymizeMatrix(const Matrix& m, const AnonymizationMix& mix,
+                               Rng& rng);
+
+}  // namespace ivmf
+
+#endif  // IVMF_DATA_ANONYMIZE_H_

@@ -1,0 +1,123 @@
+#include "data/faces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+struct Blob {
+  double cx, cy;      // center in [0, 1] x [0, 1]
+  double sigma;       // width
+  double amplitude;   // signed intensity
+};
+
+// Renders blobs onto a width x height canvas, clamped to [0, 1].
+void RenderFace(const std::vector<Blob>& blobs, size_t width, size_t height,
+                double pixel_noise, Rng& rng, double* out) {
+  for (size_t y = 0; y < height; ++y) {
+    for (size_t x = 0; x < width; ++x) {
+      const double px = (x + 0.5) / static_cast<double>(width);
+      const double py = (y + 0.5) / static_cast<double>(height);
+      double value = 0.45;  // background skin tone
+      for (const Blob& b : blobs) {
+        const double dx = px - b.cx;
+        const double dy = py - b.cy;
+        value += b.amplitude *
+                 std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+      }
+      value += pixel_noise * rng.Normal();
+      out[y * width + x] = std::clamp(value, 0.0, 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+IntervalMatrix BuildNeighborhoodIntervals(const Matrix& images, size_t width,
+                                          size_t height, size_t radius,
+                                          double alpha) {
+  IVMF_CHECK(images.cols() == width * height);
+  IntervalMatrix result(images.rows(), images.cols());
+  const long r = static_cast<long>(radius);
+
+  for (size_t img = 0; img < images.rows(); ++img) {
+    const double* pix = images.RowPtr(img);
+    for (long y = 0; y < static_cast<long>(height); ++y) {
+      for (long x = 0; x < static_cast<long>(width); ++x) {
+        // S_ij^(r): the pixels within Chebyshev distance r (clipped at the
+        // image border).
+        double sum = 0.0, sumsq = 0.0;
+        size_t count = 0;
+        for (long dy = -r; dy <= r; ++dy) {
+          const long ny = y + dy;
+          if (ny < 0 || ny >= static_cast<long>(height)) continue;
+          for (long dx = -r; dx <= r; ++dx) {
+            const long nx = x + dx;
+            if (nx < 0 || nx >= static_cast<long>(width)) continue;
+            const double v = pix[ny * static_cast<long>(width) + nx];
+            sum += v;
+            sumsq += v * v;
+            ++count;
+          }
+        }
+        const double mean = sum / static_cast<double>(count);
+        const double var =
+            std::max(0.0, sumsq / static_cast<double>(count) - mean * mean);
+        const double delta = alpha * std::sqrt(var);
+        const size_t j = static_cast<size_t>(y) * width + static_cast<size_t>(x);
+        const double center = pix[j];
+        result.Set(img, j, Interval(center - delta, center + delta));
+      }
+    }
+  }
+  return result;
+}
+
+FaceCorpus GenerateFaceCorpus(const FaceCorpusConfig& config) {
+  IVMF_CHECK(config.num_individuals > 0 && config.images_per_individual > 0);
+  Rng rng(config.seed);
+
+  const size_t num_images = config.num_individuals * config.images_per_individual;
+  const size_t num_pixels = config.width * config.height;
+
+  FaceCorpus corpus;
+  corpus.width = config.width;
+  corpus.height = config.height;
+  corpus.images = Matrix(num_images, num_pixels);
+  corpus.labels.resize(num_images);
+
+  size_t row = 0;
+  for (size_t person = 0; person < config.num_individuals; ++person) {
+    // The individual's signature: a fixed set of blobs.
+    std::vector<Blob> signature(config.blobs_per_face);
+    for (Blob& b : signature) {
+      b.cx = rng.Uniform(0.15, 0.85);
+      b.cy = rng.Uniform(0.15, 0.85);
+      b.sigma = rng.Uniform(0.06, 0.2);
+      b.amplitude = rng.Uniform(0.15, 0.45) * (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+    }
+    for (size_t shot = 0; shot < config.images_per_individual; ++shot) {
+      // Per-image pose variation: jitter the blob centers and widths.
+      std::vector<Blob> jittered = signature;
+      for (Blob& b : jittered) {
+        b.cx += config.jitter * rng.Normal();
+        b.cy += config.jitter * rng.Normal();
+        b.sigma *= 1.0 + 0.1 * config.jitter * rng.Normal();
+      }
+      RenderFace(jittered, config.width, config.height, config.pixel_noise,
+                 rng, corpus.images.RowPtr(row));
+      corpus.labels[row] = static_cast<int>(person);
+      ++row;
+    }
+  }
+
+  corpus.intervals = BuildNeighborhoodIntervals(
+      corpus.images, config.width, config.height, config.neighborhood_radius,
+      config.interval_alpha);
+  return corpus;
+}
+
+}  // namespace ivmf

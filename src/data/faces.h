@@ -1,0 +1,58 @@
+// Synthetic ORL-style face corpus (substitute for the ORL face dataset,
+// Section 6.1.2 — see DESIGN.md for the substitution rationale).
+//
+// Each "individual" has a stable signature built from a handful of Gaussian
+// intensity blobs; each of their images jitters the blob positions and adds
+// pixel noise, mimicking the minute pose/expression variation in multiple
+// facial images of one person. The interval construction follows the
+// supplementary material (F.1) exactly: for every pixel, the interval is
+// the pixel value +/- alpha times the standard deviation of the pixels in
+// its (2r+1) x (2r+1) spatial neighborhood.
+
+#ifndef IVMF_DATA_FACES_H_
+#define IVMF_DATA_FACES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+struct FaceCorpusConfig {
+  size_t num_individuals = 40;       // ORL: 40
+  size_t images_per_individual = 10; // ORL: 10
+  size_t width = 16;                 // pixels per side (ORL: 32)
+  size_t height = 16;
+  size_t blobs_per_face = 6;         // Gaussian blobs forming a signature
+  double jitter = 0.06;              // per-image blob-center displacement
+  double pixel_noise = 0.02;         // additive Gaussian pixel noise
+  // Interval construction (supplementary F.1).
+  size_t neighborhood_radius = 1;    // the r of S_ij^(r)
+  double interval_alpha = 1.0;       // the α of δ = α · std(S_ij^(r))
+  uint64_t seed = 17;
+};
+
+struct FaceCorpus {
+  // One image per row, pixels in row-major order; values in [0, 1].
+  Matrix images;              // (individuals * images) x (width * height)
+  std::vector<int> labels;    // individual id per image row
+  IntervalMatrix intervals;   // F.1 intervals, same shape as `images`
+  size_t width = 0;
+  size_t height = 0;
+};
+
+// Generates the corpus deterministically from config.seed.
+FaceCorpus GenerateFaceCorpus(const FaceCorpusConfig& config);
+
+// The F.1 interval construction on its own: given a row-major image matrix
+// (one image per row), returns [X - δ, X + δ] with
+// δ_ij = alpha * std(S_ij^(radius)).
+IntervalMatrix BuildNeighborhoodIntervals(const Matrix& images, size_t width,
+                                          size_t height, size_t radius,
+                                          double alpha);
+
+}  // namespace ivmf
+
+#endif  // IVMF_DATA_FACES_H_

@@ -1,0 +1,89 @@
+// Synthetic rating data (substitutes for MovieLens-100K and the Ciao /
+// Epinions category-rating datasets of Section 6.1.3; see DESIGN.md).
+//
+// Ratings come from a latent-factor model whose item vectors cluster around
+// per-genre prototypes, so the induced user-genre matrices carry low-rank
+// structure just like the real data. Interval constructions follow the
+// supplementary material: user-genre min/max ranges (F.2 eq. 4) and
+// collaborative-filtering intervals X ± α · std(S_ij) where S_ij collects
+// all ratings in the same row or column (F.2 eq. 5–7).
+
+#ifndef IVMF_DATA_RATINGS_H_
+#define IVMF_DATA_RATINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+struct RatingsConfig {
+  size_t num_users = 300;
+  size_t num_items = 500;
+  size_t num_genres = 19;   // MovieLens-100K has 19 genres
+  size_t latent_rank = 8;
+  double fill = 0.15;       // fraction of observed (user, item) pairs
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+  uint64_t seed = 23;
+};
+
+struct RatingsData {
+  Matrix ratings;               // n x m; 0 where unobserved
+  Matrix mask;                  // n x m; 1 observed, 0 missing
+  std::vector<int> item_genre;  // genre id per item
+  size_t num_genres = 0;
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+};
+
+// Generates a sparse integer-rating matrix from the latent-factor model.
+RatingsData GenerateRatings(const RatingsConfig& config);
+
+// User-genre interval matrix (F.2 eq. 4): cell (u, g) spans the min..max of
+// user u's ratings on genre-g items; users with no rating in a genre get
+// the scalar zero interval.
+IntervalMatrix UserGenreIntervalMatrix(const RatingsData& data);
+
+// Collaborative-filtering interval matrix (F.2 eq. 5–7): every observed
+// rating X_ij becomes [X_ij - δ, X_ij + δ] with δ = alpha * std(S_ij),
+// S_ij being all observed ratings in row i or column j. Unobserved cells
+// stay [0, 0]; use the mask to ignore them.
+IntervalMatrix CfIntervalMatrix(const RatingsData& data, double alpha);
+
+// Random split of the observed entries into train / test masks.
+struct CfSplit {
+  Matrix train_mask;
+  Matrix test_mask;
+};
+CfSplit SplitRatings(const RatingsData& data, double test_fraction, Rng& rng);
+
+// Root-mean-square error of predictions over the entries selected by mask.
+double MaskedRmse(const Matrix& truth, const Matrix& predictions,
+                  const Matrix& mask);
+
+// -- Ciao / Epinions style user-category range matrices --------------------
+
+struct CategoryRangeConfig {
+  size_t num_users = 700;       // Ciao-scale (the real set has 7K users)
+  size_t num_categories = 28;   // Ciao: 28, Epinions: 27
+  size_t latent_rank = 6;
+  double matrix_density = 0.27;   // fraction of non-empty cells (paper ~0.26)
+  double interval_density = 0.45; // fraction of non-empty cells with a range
+  double mean_span = 2.3;         // average range width (paper ~2.2-2.4 of 4)
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+  uint64_t seed = 29;
+};
+
+// A user x category matrix of rating ranges: empty cells are [0, 0],
+// scalar cells [b, b], ranged cells [b - w/2, b + w/2] clamped to the
+// rating scale.
+IntervalMatrix GenerateCategoryRangeMatrix(const CategoryRangeConfig& config);
+
+}  // namespace ivmf
+
+#endif  // IVMF_DATA_RATINGS_H_

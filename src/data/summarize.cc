@@ -1,0 +1,70 @@
+#include "data/summarize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivmf {
+
+IntervalMatrix SummarizeRows(const Matrix& m, size_t group_size) {
+  IVMF_CHECK_MSG(group_size > 0, "group size must be positive");
+  const size_t groups = (m.rows() + group_size - 1) / group_size;
+  std::vector<int> group_of_row(m.rows());
+  for (size_t i = 0; i < m.rows(); ++i)
+    group_of_row[i] = static_cast<int>(i / group_size);
+  return SummarizeRowsByGroup(m, group_of_row, groups);
+}
+
+IntervalMatrix SummarizeRowsByGroup(const Matrix& m,
+                                    const std::vector<int>& group_of_row,
+                                    size_t num_groups) {
+  IVMF_CHECK(group_of_row.size() == m.rows());
+  IVMF_CHECK(num_groups > 0);
+  IntervalMatrix result(num_groups, m.cols());
+  std::vector<char> seen(num_groups, 0);
+
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const int g = group_of_row[i];
+    IVMF_CHECK(g >= 0 && static_cast<size_t>(g) < num_groups);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      const double v = m(i, j);
+      if (!seen[g]) {
+        result.mutable_lower()(g, j) = v;
+        result.mutable_upper()(g, j) = v;
+      } else {
+        result.mutable_lower()(g, j) =
+            std::min(result.lower()(g, j), v);
+        result.mutable_upper()(g, j) =
+            std::max(result.upper()(g, j), v);
+      }
+    }
+    seen[g] = 1;
+  }
+  return result;
+}
+
+IntervalMatrix SummarizeRowsMeanStd(const Matrix& m, size_t group_size,
+                                    double alpha) {
+  IVMF_CHECK_MSG(group_size > 0, "group size must be positive");
+  const size_t groups = (m.rows() + group_size - 1) / group_size;
+  IntervalMatrix result(groups, m.cols());
+
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t begin = g * group_size;
+    const size_t end = std::min(m.rows(), begin + group_size);
+    const double count = static_cast<double>(end - begin);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      double sum = 0.0, sumsq = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        sum += m(i, j);
+        sumsq += m(i, j) * m(i, j);
+      }
+      const double mean = sum / count;
+      const double var = std::max(0.0, sumsq / count - mean * mean);
+      const double delta = alpha * std::sqrt(var);
+      result.Set(g, j, Interval(mean - delta, mean + delta));
+    }
+  }
+  return result;
+}
+
+}  // namespace ivmf

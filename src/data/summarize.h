@@ -1,0 +1,35 @@
+// Data summarization into interval-valued matrices — the paper's first
+// motivating scenario (Section 1.1, "Summarized data"): several scalar
+// observations are grouped and collapsed into a single interval observation
+// spanning the group's min..max value range.
+
+#ifndef IVMF_DATA_SUMMARIZE_H_
+#define IVMF_DATA_SUMMARIZE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// Collapses consecutive groups of `group_size` rows of `m` into one interval
+// row each: cell (g, j) = [min, max] over the group's column-j values. The
+// final group may be smaller when rows % group_size != 0.
+IntervalMatrix SummarizeRows(const Matrix& m, size_t group_size);
+
+// Same, but with an explicit group id per row (e.g. cluster assignments).
+// Group ids must be in [0, num_groups); empty groups become zero rows.
+IntervalMatrix SummarizeRowsByGroup(const Matrix& m,
+                                    const std::vector<int>& group_of_row,
+                                    size_t num_groups);
+
+// Mean/stddev summarization alternative: cell (g, j) = mean ± alpha * std
+// over the group (a common alternative to min/max ranges).
+IntervalMatrix SummarizeRowsMeanStd(const Matrix& m, size_t group_size,
+                                    double alpha);
+
+}  // namespace ivmf
+
+#endif  // IVMF_DATA_SUMMARIZE_H_

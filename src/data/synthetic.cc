@@ -1,0 +1,28 @@
+#include "data/synthetic.h"
+
+namespace ivmf {
+
+IntervalMatrix GenerateUniformIntervalMatrix(const SyntheticConfig& config,
+                                             Rng& rng) {
+  IVMF_CHECK(config.rows > 0 && config.cols > 0);
+  IVMF_CHECK(config.zero_fraction >= 0.0 && config.zero_fraction <= 1.0);
+  IVMF_CHECK(config.interval_density >= 0.0 && config.interval_density <= 1.0);
+  IVMF_CHECK(config.interval_intensity >= 0.0);
+  IVMF_CHECK(config.value_min <= config.value_max);
+
+  IntervalMatrix m(config.rows, config.cols);
+  for (size_t i = 0; i < config.rows; ++i) {
+    for (size_t j = 0; j < config.cols; ++j) {
+      if (rng.Bernoulli(config.zero_fraction)) continue;  // stays [0, 0]
+      const double value = rng.Uniform(config.value_min, config.value_max);
+      double span = 0.0;
+      if (rng.Bernoulli(config.interval_density)) {
+        span = rng.Uniform(0.0, config.interval_intensity * value);
+      }
+      m.Set(i, j, Interval(value, value + span));
+    }
+  }
+  return m;
+}
+
+}  // namespace ivmf

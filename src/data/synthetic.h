@@ -1,0 +1,43 @@
+// Synthetic uniform interval-valued matrices (Table 1 of the paper).
+//
+// Cells are drawn uniformly at random; a `zero_fraction` share of cells is
+// zeroed ("matrix density"); an `interval_density` share of the non-zero
+// cells is replaced by an interval whose span is uniform in
+// [0, interval_intensity * cell value] — the cell's scalar value becomes the
+// interval minimum, exactly as described in Section 6.1.1.
+
+#ifndef IVMF_DATA_SYNTHETIC_H_
+#define IVMF_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "interval/interval_matrix.h"
+
+namespace ivmf {
+
+struct SyntheticConfig {
+  // Matrix dimension (Table 1 default in bold: 40 x 250).
+  size_t rows = 40;
+  size_t cols = 250;
+  // "Matrix density": fraction of cells forced to zero (0%, 50%, 90%).
+  double zero_fraction = 0.0;
+  // Fraction of non-zero cells carrying an interval (default 100%).
+  double interval_density = 1.0;
+  // Interval span is uniform in [0, intensity * value] (default 100%).
+  double interval_intensity = 1.0;
+  // Base scalar values are uniform in [value_min, value_max].
+  double value_min = 0.1;
+  double value_max = 1.0;
+};
+
+// Generates one random interval matrix with the given configuration.
+IntervalMatrix GenerateUniformIntervalMatrix(const SyntheticConfig& config,
+                                             Rng& rng);
+
+// The paper's default configuration (bold values of Table 1).
+inline SyntheticConfig DefaultSyntheticConfig() { return SyntheticConfig{}; }
+
+}  // namespace ivmf
+
+#endif  // IVMF_DATA_SYNTHETIC_H_

@@ -1,0 +1,131 @@
+#include "eval/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "base/rng.h"
+#include "eval/knn.h"
+
+namespace ivmf {
+namespace {
+
+// k-means++ seeding: each next center is drawn with probability
+// proportional to the squared distance from the nearest chosen center.
+Matrix SeedCentroids(const Matrix& points, size_t k, Rng& rng) {
+  const size_t n = points.rows();
+  Matrix centroids(k, points.cols());
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+
+  size_t first = static_cast<size_t>(rng.UniformIndex(n));
+  centroids.SetRow(0, points.Row(first));
+
+  for (size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = RowDistanceSquared(points, i, centroids, c - 1);
+      if (d < dist2[i]) dist2[i] = d;
+      total += dist2[i];
+    }
+    size_t chosen = n - 1;
+    if (total > 0.0) {
+      double draw = rng.Uniform() * total;
+      for (size_t i = 0; i < n; ++i) {
+        draw -= dist2[i];
+        if (draw <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<size_t>(rng.UniformIndex(n));
+    }
+    centroids.SetRow(c, points.Row(chosen));
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const Matrix& points, const KMeansOptions& options,
+                     Rng& rng) {
+  const size_t n = points.rows();
+  const size_t dims = points.cols();
+  const size_t k = options.k;
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.assignments.assign(n, -1);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = RowDistanceSquared(points, i, result.centroids, c);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    Matrix sums(k, dims);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(result.assignments[i]);
+      ++counts[c];
+      const double* row = points.RowPtr(i);
+      double* acc = sums.RowPtr(c);
+      for (size_t d = 0; d < dims; ++d) acc[d] += row[d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Reseed an empty cluster at a random point.
+        result.centroids.SetRow(
+            c, points.Row(static_cast<size_t>(rng.UniformIndex(n))));
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (size_t d = 0; d < dims; ++d)
+        result.centroids(c, d) = sums(c, d) * inv;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += RowDistanceSquared(
+        points, i, result.centroids,
+        static_cast<size_t>(result.assignments[i]));
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& points, const KMeansOptions& options) {
+  IVMF_CHECK_MSG(options.k > 0 && options.k <= points.rows(),
+                 "k must be in [1, #points]");
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  const size_t restarts = options.restarts > 0 ? options.restarts : 1;
+  for (size_t attempt = 0; attempt < restarts; ++attempt) {
+    KMeansResult candidate = RunOnce(points, options, rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+KMeansResult KMeansInterval(const IntervalMatrix& points,
+                            const KMeansOptions& options) {
+  return KMeans(ConcatenateEndpoints(points), options);
+}
+
+}  // namespace ivmf

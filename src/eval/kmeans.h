@@ -1,0 +1,40 @@
+// Lloyd's k-means with k-means++ seeding, for the clustering-based
+// classification experiments (Section 6.4.3, Table 3). The interval variant
+// clusters in the doubled (lower|upper) endpoint space, which realizes the
+// paper's interval Euclidean distance.
+
+#ifndef IVMF_EVAL_KMEANS_H_
+#define IVMF_EVAL_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+struct KMeansOptions {
+  size_t k = 2;
+  size_t max_iterations = 60;
+  size_t restarts = 3;  // best-of-N restarts by inertia
+  uint64_t seed = 31;
+};
+
+struct KMeansResult {
+  std::vector<int> assignments;  // cluster id per point (row)
+  Matrix centroids;              // k x dims
+  double inertia = 0.0;          // sum of squared distances to centroids
+  size_t iterations = 0;
+};
+
+// Clusters the rows of `points`.
+KMeansResult KMeans(const Matrix& points, const KMeansOptions& options);
+
+// Interval-valued clustering via the doubled endpoint representation.
+KMeansResult KMeansInterval(const IntervalMatrix& points,
+                            const KMeansOptions& options);
+
+}  // namespace ivmf
+
+#endif  // IVMF_EVAL_KMEANS_H_

@@ -1,0 +1,59 @@
+#include "eval/knn.h"
+
+#include <limits>
+
+namespace ivmf {
+
+Matrix ConcatenateEndpoints(const IntervalMatrix& m) {
+  Matrix out(m.rows(), 2 * m.cols());
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      out(i, j) = m.lower()(i, j);
+      out(i, m.cols() + j) = m.upper()(i, j);
+    }
+  }
+  return out;
+}
+
+double RowDistanceSquared(const Matrix& a, size_t row_a, const Matrix& b,
+                          size_t row_b) {
+  IVMF_CHECK(a.cols() == b.cols());
+  const double* pa = a.RowPtr(row_a);
+  const double* pb = b.RowPtr(row_b);
+  double sum = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    const double d = pa[j] - pb[j];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::vector<int> Classify1Nn(const Matrix& train,
+                             const std::vector<int>& labels,
+                             const Matrix& test) {
+  IVMF_CHECK(train.rows() == labels.size());
+  IVMF_CHECK(train.cols() == test.cols());
+  std::vector<int> predicted(test.rows());
+  for (size_t t = 0; t < test.rows(); ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_row = 0;
+    for (size_t i = 0; i < train.rows(); ++i) {
+      const double d = RowDistanceSquared(test, t, train, i);
+      if (d < best) {
+        best = d;
+        best_row = i;
+      }
+    }
+    predicted[t] = labels[best_row];
+  }
+  return predicted;
+}
+
+std::vector<int> Classify1NnInterval(const IntervalMatrix& train,
+                                     const std::vector<int>& labels,
+                                     const IntervalMatrix& test) {
+  return Classify1Nn(ConcatenateEndpoints(train), labels,
+                     ConcatenateEndpoints(test));
+}
+
+}  // namespace ivmf

@@ -1,0 +1,39 @@
+// 1-nearest-neighbour classification with scalar and interval-valued
+// Euclidean distances (Section 6.1.2, "NN-Classification").
+//
+// The interval Euclidean distance of the paper,
+//   dist(a†, b†) = sqrt(Σ_d (a_*d - b_*d)² + (a^*d - b^*d)²),
+// is exactly the scalar Euclidean distance in the doubled representation
+// that concatenates the lower and upper endpoint coordinates; the helper
+// ConcatenateEndpoints exposes that equivalence (k-means reuses it too).
+
+#ifndef IVMF_EVAL_KNN_H_
+#define IVMF_EVAL_KNN_H_
+
+#include <vector>
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// Rows of `m` as points in R^{2m}: [lower row | upper row].
+Matrix ConcatenateEndpoints(const IntervalMatrix& m);
+
+// Squared Euclidean distance between two rows of (possibly different)
+// matrices with equal column counts.
+double RowDistanceSquared(const Matrix& a, size_t row_a, const Matrix& b,
+                          size_t row_b);
+
+// Classifies every row of `test` by its nearest `train` row's label.
+std::vector<int> Classify1Nn(const Matrix& train, const std::vector<int>& labels,
+                             const Matrix& test);
+
+// Interval-valued variant using the paper's interval Euclidean distance.
+std::vector<int> Classify1NnInterval(const IntervalMatrix& train,
+                                     const std::vector<int>& labels,
+                                     const IntervalMatrix& test);
+
+}  // namespace ivmf
+
+#endif  // IVMF_EVAL_KNN_H_

@@ -1,0 +1,190 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <map>
+
+#include "base/check.h"
+
+namespace ivmf {
+namespace {
+
+// Contingency counts between two labelings.
+struct Contingency {
+  std::map<int, size_t> a_counts;
+  std::map<int, size_t> b_counts;
+  std::map<std::pair<int, int>, size_t> joint;
+  size_t total = 0;
+};
+
+Contingency BuildContingency(const std::vector<int>& a,
+                             const std::vector<int>& b) {
+  IVMF_CHECK(a.size() == b.size());
+  Contingency c;
+  c.total = a.size();
+  for (size_t i = 0; i < a.size(); ++i) {
+    ++c.a_counts[a[i]];
+    ++c.b_counts[b[i]];
+    ++c.joint[{a[i], b[i]}];
+  }
+  return c;
+}
+
+double Entropy(const std::map<int, size_t>& counts, size_t total) {
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  IVMF_CHECK(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i)
+    if (truth[i] == predicted[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double MacroF1(const std::vector<int>& truth,
+               const std::vector<int>& predicted) {
+  IVMF_CHECK(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+
+  std::map<int, size_t> tp, fp, fn;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) {
+      ++tp[truth[i]];
+    } else {
+      ++fn[truth[i]];
+      ++fp[predicted[i]];
+    }
+  }
+
+  // Classes = the label set of the ground truth.
+  std::map<int, size_t> classes;
+  for (int label : truth) ++classes[label];
+
+  double f1_sum = 0.0;
+  for (const auto& [label, unused] : classes) {
+    const double tp_c = static_cast<double>(tp[label]);
+    const double fp_c = static_cast<double>(fp[label]);
+    const double fn_c = static_cast<double>(fn[label]);
+    const double denom = 2.0 * tp_c + fp_c + fn_c;
+    f1_sum += denom > 0.0 ? 2.0 * tp_c / denom : 0.0;
+  }
+  return f1_sum / static_cast<double>(classes.size());
+}
+
+double MicroF1(const std::vector<int>& truth,
+               const std::vector<int>& predicted) {
+  // With exactly one predicted label per sample, micro-F1 == accuracy.
+  return Accuracy(truth, predicted);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b) {
+  const Contingency c = BuildContingency(a, b);
+  if (c.total == 0) return 0.0;
+  const double n = static_cast<double>(c.total);
+
+  double mi = 0.0;
+  for (const auto& [pair, count] : c.joint) {
+    const double pxy = static_cast<double>(count) / n;
+    const double px =
+        static_cast<double>(c.a_counts.at(pair.first)) / n;
+    const double py =
+        static_cast<double>(c.b_counts.at(pair.second)) / n;
+    if (pxy > 0.0) mi += pxy * std::log(pxy / (px * py));
+  }
+
+  const double ha = Entropy(c.a_counts, c.total);
+  const double hb = Entropy(c.b_counts, c.total);
+  if (ha <= 0.0 || hb <= 0.0) {
+    // A constant labeling carries no information; define NMI as 1 only when
+    // both are constant (identical partitions), else 0.
+    return (ha <= 0.0 && hb <= 0.0) ? 1.0 : 0.0;
+  }
+  const double nmi = mi / std::sqrt(ha * hb);
+  // Clamp rounding noise.
+  return nmi < 0.0 ? 0.0 : (nmi > 1.0 ? 1.0 : nmi);
+}
+
+double AdjustedRandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  const Contingency c = BuildContingency(a, b);
+  if (c.total < 2) return 1.0;
+  auto choose2 = [](size_t k) {
+    return 0.5 * static_cast<double>(k) * static_cast<double>(k - 1);
+  };
+
+  double sum_joint = 0.0;
+  for (const auto& [pair, count] : c.joint) sum_joint += choose2(count);
+  double sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [label, count] : c.a_counts) sum_a += choose2(count);
+  for (const auto& [label, count] : c.b_counts) sum_b += choose2(count);
+
+  const double total_pairs = choose2(c.total);
+  const double expected = sum_a * sum_b / total_pairs;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both partitions trivial
+  return (sum_joint - expected) / denom;
+}
+
+std::vector<ClassReport> PerClassReport(const std::vector<int>& truth,
+                                        const std::vector<int>& predicted) {
+  IVMF_CHECK(truth.size() == predicted.size());
+  std::map<int, size_t> tp, fp, fn, support;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++support[truth[i]];
+    if (truth[i] == predicted[i]) {
+      ++tp[truth[i]];
+    } else {
+      ++fn[truth[i]];
+      ++fp[predicted[i]];
+    }
+  }
+  std::vector<ClassReport> reports;
+  for (const auto& [label, count] : support) {
+    ClassReport report;
+    report.label = label;
+    report.support = count;
+    const double tp_c = static_cast<double>(tp[label]);
+    const double fp_c = static_cast<double>(fp[label]);
+    const double fn_c = static_cast<double>(fn[label]);
+    report.precision = (tp_c + fp_c) > 0.0 ? tp_c / (tp_c + fp_c) : 0.0;
+    report.recall = (tp_c + fn_c) > 0.0 ? tp_c / (tp_c + fn_c) : 0.0;
+    const double pr = report.precision + report.recall;
+    report.f1 = pr > 0.0 ? 2.0 * report.precision * report.recall / pr : 0.0;
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+ConfusionMatrix BuildConfusionMatrix(const std::vector<int>& truth,
+                                     const std::vector<int>& predicted) {
+  IVMF_CHECK(truth.size() == predicted.size());
+  std::map<int, size_t> index;
+  for (int label : truth) index.emplace(label, 0);
+  for (int label : predicted) index.emplace(label, 0);
+
+  ConfusionMatrix cm;
+  for (auto& [label, idx] : index) {
+    idx = cm.labels.size();
+    cm.labels.push_back(label);
+  }
+  cm.counts.assign(cm.labels.size(),
+                   std::vector<size_t>(cm.labels.size(), 0));
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++cm.counts[index[truth[i]]][index[predicted[i]]];
+  }
+  return cm;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,59 @@
+// Classification / clustering quality metrics used in the evaluation
+// (Section 6): F1 score for 1-NN face identification and normalized mutual
+// information (NMI) for clustering-based classification.
+
+#ifndef IVMF_EVAL_METRICS_H_
+#define IVMF_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ivmf {
+
+// Fraction of positions where the labels agree.
+double Accuracy(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+// Macro-averaged F1: per-class F1 scores averaged with equal class weight.
+// Classes are the distinct values appearing in `truth`.
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+// Micro-averaged F1 (equals accuracy for single-label classification).
+double MicroF1(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+// Normalized mutual information I(A;B) / sqrt(H(A) H(B)) between two
+// labelings; in [0, 1], with 1 for identical partitions. Entropy uses
+// natural logarithms.
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b);
+
+// Adjusted Rand index between two labelings: 1 for identical partitions,
+// ~0 expected for independent random partitions (can be negative).
+double AdjustedRandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+// Per-class precision / recall / F1 and support.
+struct ClassReport {
+  int label = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t support = 0;  // number of truth samples with this label
+};
+
+// One ClassReport per distinct truth label, ordered by label.
+std::vector<ClassReport> PerClassReport(const std::vector<int>& truth,
+                                        const std::vector<int>& predicted);
+
+// Dense confusion counts: entry (i, j) = #samples with truth label
+// `labels[i]` predicted as `labels[j]`, where `labels` is the sorted union
+// of labels appearing in either vector.
+struct ConfusionMatrix {
+  std::vector<int> labels;
+  std::vector<std::vector<size_t>> counts;
+};
+
+ConfusionMatrix BuildConfusionMatrix(const std::vector<int>& truth,
+                                     const std::vector<int>& predicted);
+
+}  // namespace ivmf
+
+#endif  // IVMF_EVAL_METRICS_H_

@@ -1,0 +1,88 @@
+#include "factor/interval_pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eig.h"
+
+namespace ivmf {
+
+double IntervalPcaResult::ExplainedRatio(size_t k) const {
+  double total = 0.0, head = 0.0;
+  for (size_t i = 0; i < explained_variance.size(); ++i) {
+    total += std::max(0.0, explained_variance[i]);
+    if (i < k) head += std::max(0.0, explained_variance[i]);
+  }
+  return total > 0.0 ? head / total : 0.0;
+}
+
+IntervalPcaResult ComputeIntervalPca(const IntervalMatrix& m, size_t rank,
+                                     const IntervalPcaOptions& options) {
+  IVMF_CHECK_MSG(m.rows() >= 2, "PCA needs at least two observations");
+  const size_t n = m.rows();
+  const size_t d = m.cols();
+  const size_t r = (rank == 0 || rank > d) ? d : rank;
+
+  const Matrix mid = m.Mid();
+
+  IntervalPcaResult result;
+  result.mean.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) result.mean[j] += mid(i, j);
+  for (double& v : result.mean) v /= static_cast<double>(n);
+
+  // Midpoint covariance (sample, 1/(n-1)).
+  Matrix centered = mid;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < d; ++j) centered(i, j) -= result.mean[j];
+  Matrix cov = centered.Transpose() * centered;
+  cov *= 1.0 / static_cast<double>(n - 1);
+
+  if (options.method == IntervalPcaMethod::kMidpointRadius) {
+    // A uniform random value on [lo, hi] has variance span²/12; averaging
+    // the per-observation contributions adds to the covariance diagonal.
+    for (size_t j = 0; j < d; ++j) {
+      double extra = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double span = m.upper()(i, j) - m.lower()(i, j);
+        extra += span * span / 12.0;
+      }
+      cov(j, j) += extra / static_cast<double>(n);
+    }
+  }
+
+  const EigResult eig = ComputeSymmetricEig(cov, r);
+  result.components = eig.eigenvectors;
+  result.explained_variance = eig.eigenvalues;
+
+  // Interval scores: project the centered interval rows onto the scalar
+  // axes. Centering shifts both endpoints by the same mean vector.
+  Matrix lo = m.lower();
+  Matrix hi = m.upper();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      lo(i, j) -= result.mean[j];
+      hi(i, j) -= result.mean[j];
+    }
+  }
+  result.scores =
+      IntervalMatMul(IntervalMatrix(std::move(lo), std::move(hi)),
+                     result.components);
+  return result;
+}
+
+IntervalMatrix IntervalPcaReconstruct(const IntervalPcaResult& pca) {
+  IntervalMatrix recon =
+      IntervalMatMul(pca.scores, pca.components.Transpose());
+  Matrix lo = recon.lower();
+  Matrix hi = recon.upper();
+  for (size_t i = 0; i < lo.rows(); ++i) {
+    for (size_t j = 0; j < lo.cols(); ++j) {
+      lo(i, j) += pca.mean[j];
+      hi(i, j) += pca.mean[j];
+    }
+  }
+  return IntervalMatrix(std::move(lo), std::move(hi));
+}
+
+}  // namespace ivmf

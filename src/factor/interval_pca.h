@@ -1,0 +1,67 @@
+// Interval-valued principal component analysis baselines (Section 2.3 of
+// the paper cites this family of symbolic-data methods [27]–[30]).
+//
+// Two classical schemes are provided:
+//
+//  * Centers PCA (C-PCA): PCA of the interval midpoints; interval
+//    observations are then projected onto the scalar principal axes with
+//    interval arithmetic, producing interval-valued scores.
+//
+//  * Midpoint–Radius PCA (MR-PCA, in the spirit of Billard &
+//    Le-Rademacher's symbolic covariance): each interval is treated as a
+//    uniform distribution over [lo, hi], so its variance contributes
+//    span²/12 to the diagonal of the covariance matrix in addition to the
+//    midpoint covariance. The principal axes therefore respond to the
+//    *sizes* of the intervals, not only their centers.
+//
+// Both serve as comparison baselines for the ISVD latent spaces and power
+// the data-summarization example.
+
+#ifndef IVMF_FACTOR_INTERVAL_PCA_H_
+#define IVMF_FACTOR_INTERVAL_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+enum class IntervalPcaMethod {
+  kCenters,         // covariance of midpoints only
+  kMidpointRadius,  // midpoint covariance + span²/12 diagonal term
+};
+
+struct IntervalPcaResult {
+  // Column means of the midpoint matrix (centering vector).
+  std::vector<double> mean;
+  // m x r principal axes (orthonormal columns, descending eigenvalue).
+  Matrix components;
+  // r eigenvalues of the (symbolic) covariance, descending.
+  std::vector<double> explained_variance;
+  // n x r interval-valued scores: projections of the centered interval
+  // rows onto the axes via interval arithmetic.
+  IntervalMatrix scores;
+
+  // Fraction of total variance captured by the first k components.
+  double ExplainedRatio(size_t k) const;
+};
+
+struct IntervalPcaOptions {
+  IntervalPcaMethod method = IntervalPcaMethod::kMidpointRadius;
+};
+
+// Computes rank-r interval PCA of the rows of `m` (observations x
+// features). rank == 0 means all components.
+IntervalPcaResult ComputeIntervalPca(const IntervalMatrix& m, size_t rank,
+                                     const IntervalPcaOptions& options = {});
+
+// Reconstructs the interval observations from the scores:
+//   X̃† = scores† * componentsᵀ + mean
+// using interval arithmetic (scalar components, interval scores).
+IntervalMatrix IntervalPcaReconstruct(const IntervalPcaResult& pca);
+
+}  // namespace ivmf
+
+#endif  // IVMF_FACTOR_INTERVAL_PCA_H_

@@ -1,0 +1,165 @@
+#include "factor/nmf.h"
+
+#include <cmath>
+
+#include "align/ilsa.h"
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+// Random non-negative initialization scaled so U Vᵀ has roughly the data's
+// mean magnitude.
+Matrix RandomFactor(size_t rows, size_t cols, double scale, Rng& rng) {
+  Matrix f(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) f(i, j) = scale * (0.1 + rng.Uniform());
+  return f;
+}
+
+double SquaredError(const Matrix& m, const Matrix& u, const Matrix& v) {
+  const Matrix diff = m - u * v.Transpose();
+  const double norm = diff.FrobeniusNorm();
+  return norm * norm;
+}
+
+double InitScale(const Matrix& m, size_t rank) {
+  const double mean = m.Sum() / static_cast<double>(m.size());
+  const double base = mean > 0.0 ? mean : 1.0;
+  return std::sqrt(base / static_cast<double>(rank));
+}
+
+}  // namespace
+
+NmfResult ComputeNmf(const Matrix& m, size_t rank, const NmfOptions& options) {
+  IVMF_CHECK_MSG(rank > 0, "NMF rank must be positive");
+  Rng rng(options.seed);
+  const double scale = InitScale(m, rank);
+
+  NmfResult result;
+  result.u = RandomFactor(m.rows(), rank, scale, rng);
+  result.v = RandomFactor(m.cols(), rank, scale, rng);
+
+  double prev_loss = SquaredError(m, result.u, result.v);
+  result.loss_history.push_back(prev_loss);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // U <- U ∘ (M V) / (U VᵀV)
+    {
+      const Matrix numer = m * result.v;
+      const Matrix denom =
+          result.u * (result.v.Transpose() * result.v);
+      result.u = result.u.CwiseMultiply(
+          numer.CwiseQuotient(denom, options.epsilon));
+    }
+    // V <- V ∘ (Mᵀ U) / (V UᵀU)
+    {
+      const Matrix numer = m.Transpose() * result.u;
+      const Matrix denom =
+          result.v * (result.u.Transpose() * result.u);
+      result.v = result.v.CwiseMultiply(
+          numer.CwiseQuotient(denom, options.epsilon));
+    }
+
+    const double loss = SquaredError(m, result.u, result.v);
+    result.loss_history.push_back(loss);
+    if (prev_loss > 0.0 &&
+        (prev_loss - loss) / prev_loss < options.tolerance) {
+      break;
+    }
+    prev_loss = loss;
+  }
+  return result;
+}
+
+namespace {
+
+// Shared implementation for I-NMF and AI-NMF. `align_every` == 0 disables
+// alignment (plain I-NMF).
+IntervalNmfResult RunIntervalNmf(const IntervalMatrix& m, size_t rank,
+                                 const NmfOptions& options,
+                                 size_t align_every);
+
+}  // namespace
+
+IntervalNmfResult ComputeIntervalNmf(const IntervalMatrix& m, size_t rank,
+                                     const NmfOptions& options) {
+  return RunIntervalNmf(m, rank, options, /*align_every=*/0);
+}
+
+IntervalNmfResult ComputeAlignedIntervalNmf(const IntervalMatrix& m,
+                                            size_t rank,
+                                            const NmfOptions& options,
+                                            size_t align_every) {
+  IVMF_CHECK_MSG(align_every > 0, "align_every must be positive for AI-NMF");
+  return RunIntervalNmf(m, rank, options, align_every);
+}
+
+namespace {
+
+IntervalNmfResult RunIntervalNmf(const IntervalMatrix& m, size_t rank,
+                                 const NmfOptions& options,
+                                 size_t align_every) {
+  IVMF_CHECK_MSG(rank > 0, "I-NMF rank must be positive");
+  Rng rng(options.seed);
+  const double scale = InitScale(m.upper(), rank);
+
+  IntervalNmfResult result;
+  result.u = RandomFactor(m.rows(), rank, scale, rng);
+  result.v_lo = RandomFactor(m.cols(), rank, scale, rng);
+  result.v_hi = RandomFactor(m.cols(), rank, scale, rng);
+
+  auto loss = [&]() {
+    return SquaredError(m.lower(), result.u, result.v_lo) +
+           SquaredError(m.upper(), result.u, result.v_hi);
+  };
+  double prev_loss = loss();
+  result.loss_history.push_back(prev_loss);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Multiplicative update for the shared scalar factor U. The gradient of
+    // L_I-NMF wrt U splits into min- and max-side parts, giving
+    //   U <- U ∘ (M_* V_* + M^* V^*) / (U (V_*ᵀV_* + V^*ᵀV^*)).
+    {
+      const Matrix numer = m.lower() * result.v_lo + m.upper() * result.v_hi;
+      const Matrix denom =
+          result.u * (result.v_lo.Transpose() * result.v_lo +
+                      result.v_hi.Transpose() * result.v_hi);
+      result.u = result.u.CwiseMultiply(
+          numer.CwiseQuotient(denom, options.epsilon));
+    }
+    // V_* <- V_* ∘ (M_*ᵀ U) / (V_* UᵀU)   (paper's V_*ᵀ update, transposed)
+    {
+      const Matrix utu = result.u.Transpose() * result.u;
+      const Matrix numer_lo = m.lower().Transpose() * result.u;
+      result.v_lo = result.v_lo.CwiseMultiply(
+          numer_lo.CwiseQuotient(result.v_lo * utu, options.epsilon));
+      const Matrix numer_hi = m.upper().Transpose() * result.u;
+      result.v_hi = result.v_hi.CwiseMultiply(
+          numer_hi.CwiseQuotient(result.v_hi * utu, options.epsilon));
+    }
+
+    const double current = loss();
+    result.loss_history.push_back(current);
+    const bool converged =
+        prev_loss > 0.0 &&
+        (prev_loss - current) / prev_loss < options.tolerance;
+    prev_loss = current;
+
+    // AI-NMF: re-pair the min-side latent columns against the max side.
+    // Non-negative factors have non-negative cosines, so no sign flips
+    // occur and non-negativity is preserved. Convergence is measured on the
+    // pre-alignment loss so re-pairing jumps do not stop training early.
+    if (align_every > 0 && (iter + 1) % align_every == 0) {
+      const IlsaResult ilsa = ComputeIlsa(result.v_lo, result.v_hi);
+      result.v_lo = ApplyIlsaToColumns(result.v_lo, ilsa);
+      prev_loss = loss();
+    }
+    if (converged) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+}  // namespace ivmf

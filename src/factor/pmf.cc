@@ -1,0 +1,157 @@
+#include "factor/pmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+Matrix RandomFactor(size_t rows, size_t cols, double scale, Rng& rng) {
+  Matrix f(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) f(i, j) = scale * rng.Normal();
+  return f;
+}
+
+// Masked residual E = mask ∘ (U Vᵀ - M).
+Matrix MaskedResidual(const Matrix& m, const Matrix& mask, const Matrix& u,
+                      const Matrix& v) {
+  Matrix e = u * v.Transpose();
+  e -= m;
+  return e.CwiseMultiply(mask);
+}
+
+double SquaredFrob(const Matrix& m) {
+  const double f = m.FrobeniusNorm();
+  return f * f;
+}
+
+}  // namespace
+
+PmfResult ComputePmf(const Matrix& m, const Matrix& mask, size_t rank,
+                     const PmfOptions& options) {
+  IVMF_CHECK(m.rows() == mask.rows() && m.cols() == mask.cols());
+  IVMF_CHECK_MSG(rank > 0, "PMF rank must be positive");
+  Rng rng(options.seed);
+
+  PmfResult result;
+  result.u = RandomFactor(m.rows(), rank, options.init_scale, rng);
+  result.v = RandomFactor(m.cols(), rank, options.init_scale, rng);
+
+  auto loss = [&]() {
+    const Matrix e = MaskedResidual(m, mask, result.u, result.v);
+    return SquaredFrob(e) + options.lambda_u * SquaredFrob(result.u) +
+           options.lambda_v * SquaredFrob(result.v);
+  };
+
+  double lr = options.learning_rate;
+  double prev_loss = loss();
+  result.loss_history.push_back(prev_loss);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const Matrix e = MaskedResidual(m, mask, result.u, result.v);
+    // ∂L/∂U = E V + λ_U U ;  ∂L/∂V = Eᵀ U + λ_V V  (Section 2.2.3).
+    const Matrix grad_u = e * result.v + options.lambda_u * result.u;
+    const Matrix grad_v = e.Transpose() * result.u + options.lambda_v * result.v;
+    result.u -= lr * grad_u;
+    result.v -= lr * grad_v;
+
+    const double current = loss();
+    result.loss_history.push_back(current);
+    // Bold-driver step-size control keeps full-batch descent stable.
+    if (current > prev_loss) {
+      lr *= 0.5;
+    } else {
+      lr = std::min(lr * 1.05, options.learning_rate * 10.0);
+    }
+    prev_loss = current;
+  }
+  return result;
+}
+
+namespace {
+
+IntervalPmfResult RunIntervalPmf(const IntervalMatrix& m, const Matrix& mask,
+                                 size_t rank, const PmfOptions& options,
+                                 bool align) {
+  IVMF_CHECK(m.rows() == mask.rows() && m.cols() == mask.cols());
+  IVMF_CHECK_MSG(rank > 0, "I-PMF rank must be positive");
+  Rng rng(options.seed);
+
+  IntervalPmfResult result;
+  result.u = RandomFactor(m.rows(), rank, options.init_scale, rng);
+  result.v_lo = RandomFactor(m.cols(), rank, options.init_scale, rng);
+  result.v_hi = RandomFactor(m.cols(), rank, options.init_scale, rng);
+
+  auto loss = [&]() {
+    const Matrix e_lo = MaskedResidual(m.lower(), mask, result.u, result.v_lo);
+    const Matrix e_hi = MaskedResidual(m.upper(), mask, result.u, result.v_hi);
+    return SquaredFrob(e_lo) + SquaredFrob(e_hi) +
+           options.lambda_u * SquaredFrob(result.u) +
+           options.lambda_v *
+               (SquaredFrob(result.v_lo) + SquaredFrob(result.v_hi));
+  };
+
+  double lr = options.learning_rate;
+  double prev_loss = loss();
+  result.loss_history.push_back(prev_loss);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const Matrix e_lo = MaskedResidual(m.lower(), mask, result.u, result.v_lo);
+    const Matrix e_hi = MaskedResidual(m.upper(), mask, result.u, result.v_hi);
+    // Section 5: ∂L/∂U couples both endpoint residuals through the shared U.
+    const Matrix grad_u = e_lo * result.v_lo + e_hi * result.v_hi +
+                          options.lambda_u * result.u;
+    const Matrix grad_v_lo =
+        e_lo.Transpose() * result.u + options.lambda_v * result.v_lo;
+    const Matrix grad_v_hi =
+        e_hi.Transpose() * result.u + options.lambda_v * result.v_hi;
+    result.u -= lr * grad_u;
+    result.v_lo -= lr * grad_v_lo;
+    result.v_hi -= lr * grad_v_hi;
+
+    // Step-size control is measured before any alignment so alignment jumps
+    // do not masquerade as divergence.
+    const double current = loss();
+    if (current > prev_loss) {
+      lr *= 0.5;
+    } else {
+      lr = std::min(lr * 1.05, options.learning_rate * 10.0);
+    }
+    prev_loss = current;
+
+    if (align && options.align_every_epoch) {
+      // AI-PMF: re-pair and re-orient the min-side latent vectors against
+      // the max side (Algorithm 15).
+      const IlsaResult ilsa = ComputeIlsa(result.v_lo, result.v_hi, options.ilsa);
+      result.v_lo = ApplyIlsaToColumns(result.v_lo, ilsa);
+      prev_loss = loss();
+    }
+    result.loss_history.push_back(prev_loss);
+  }
+
+  if (align && !options.align_every_epoch) {
+    const IlsaResult ilsa = ComputeIlsa(result.v_lo, result.v_hi, options.ilsa);
+    result.v_lo = ApplyIlsaToColumns(result.v_lo, ilsa);
+    result.loss_history.push_back(loss());
+  }
+  return result;
+}
+
+}  // namespace
+
+IntervalPmfResult ComputeIntervalPmf(const IntervalMatrix& m,
+                                     const Matrix& mask, size_t rank,
+                                     const PmfOptions& options) {
+  return RunIntervalPmf(m, mask, rank, options, /*align=*/false);
+}
+
+IntervalPmfResult ComputeAlignedIntervalPmf(const IntervalMatrix& m,
+                                            const Matrix& mask, size_t rank,
+                                            const PmfOptions& options) {
+  return RunIntervalPmf(m, mask, rank, options, /*align=*/true);
+}
+
+}  // namespace ivmf

@@ -1,0 +1,77 @@
+// Probabilistic matrix factorization (PMF, Section 2.2.3), the
+// interval-valued I-PMF of [9] (Section 5), and the paper's proposed
+// semantically-aligned AI-PMF which runs ILSA on the min/max latent factors
+// during training (Algorithm 15).
+
+#ifndef IVMF_FACTOR_PMF_H_
+#define IVMF_FACTOR_PMF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "align/ilsa.h"
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+struct PmfOptions {
+  size_t epochs = 120;
+  double learning_rate = 0.002;
+  double lambda_u = 0.02;   // = sigma² / sigma_U²
+  double lambda_v = 0.02;   // = sigma² / sigma_V²
+  uint64_t seed = 11;
+  double init_scale = 0.1;
+  // AI-PMF: run ILSA after every epoch (true, the "each gradient descent
+  // iteration" reading of Section 5) or only once after training.
+  bool align_every_epoch = true;
+  IlsaOptions ilsa;
+};
+
+struct PmfResult {
+  Matrix u;  // n x r
+  Matrix v;  // m x r
+  // Masked squared-error loss (with regularizers) per epoch.
+  std::vector<double> loss_history;
+
+  Matrix Reconstruct() const { return u * v.Transpose(); }
+};
+
+// Scalar PMF by full-batch gradient descent. `mask` has 1 for observed
+// entries and 0 for missing ones (the indicator I_ij of the paper); pass an
+// all-ones matrix for fully observed data.
+PmfResult ComputePmf(const Matrix& m, const Matrix& mask, size_t rank,
+                     const PmfOptions& options = {});
+
+struct IntervalPmfResult {
+  Matrix u;     // n x r scalar factor
+  Matrix v_lo;  // m x r minimum latent factor
+  Matrix v_hi;  // m x r maximum latent factor
+  std::vector<double> loss_history;
+
+  // Interval reconstruction [U V_*ᵀ, U V^*ᵀ] with average replacement.
+  IntervalMatrix Reconstruct() const {
+    return IntervalMatrix(u * v_lo.Transpose(), u * v_hi.Transpose())
+        .AverageReplaced();
+  }
+
+  // Scalar predictions: the midpoints of the interval reconstruction.
+  Matrix PredictMid() const { return Reconstruct().Mid(); }
+};
+
+// I-PMF [9]: gradient descent on
+//   ||I ∘ (M_* - U V_*ᵀ)||² + ||I ∘ (M^* - U V^*ᵀ)||²
+//     + λ_U ||U||² + λ_V (||V_*||² + ||V^*||²).
+IntervalPmfResult ComputeIntervalPmf(const IntervalMatrix& m,
+                                     const Matrix& mask, size_t rank,
+                                     const PmfOptions& options = {});
+
+// AI-PMF (the paper's proposal): I-PMF plus interval latent semantic
+// alignment of (V_*, V^*) during training.
+IntervalPmfResult ComputeAlignedIntervalPmf(const IntervalMatrix& m,
+                                            const Matrix& mask, size_t rank,
+                                            const PmfOptions& options = {});
+
+}  // namespace ivmf
+
+#endif  // IVMF_FACTOR_PMF_H_

@@ -1,0 +1,111 @@
+// Scalar interval type and Sunaga interval algebra (Section 2.1, Defs 1–3).
+
+#ifndef IVMF_INTERVAL_INTERVAL_H_
+#define IVMF_INTERVAL_INTERVAL_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace ivmf {
+
+// A closed interval [lo, hi]. Definition 1 of the paper: an interval
+// a† = [a_*, a^*] with a_* <= a^*; when a_* == a^* the interval is scalar.
+//
+// Some intermediate ISVD matrices deliberately hold *misordered* pairs
+// (lo > hi) before the average-replacement step; use FromUnordered() or the
+// raw constructor for those, and Normalized()/IsProper() to repair/inspect.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr Interval() = default;
+  constexpr Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {}
+
+  // A degenerate (scalar) interval [x, x].
+  static constexpr Interval Scalar(double x) { return Interval(x, x); }
+
+  // Builds the interval spanned by two unordered endpoints.
+  static constexpr Interval FromUnordered(double a, double b) {
+    return a <= b ? Interval(a, b) : Interval(b, a);
+  }
+
+  // Definition 2: span(a†) = a^* - a_*.
+  constexpr double Span() const { return hi - lo; }
+
+  // Interval midpoint (a_* + a^*) / 2.
+  constexpr double Mid() const { return 0.5 * (lo + hi); }
+
+  // Half-width of the interval.
+  constexpr double Radius() const { return 0.5 * (hi - lo); }
+
+  // True when the endpoints are ordered (a valid interval).
+  constexpr bool IsProper() const { return lo <= hi; }
+
+  // True when the interval degenerates to a scalar (within tol).
+  bool IsScalar(double tol = 0.0) const { return std::abs(hi - lo) <= tol; }
+
+  // True when lo <= x <= hi.
+  constexpr bool Contains(double x) const { return lo <= x && x <= hi; }
+
+  // True when `other` lies fully inside this interval.
+  constexpr bool Contains(const Interval& other) const {
+    return lo <= other.lo && other.hi <= hi;
+  }
+
+  // Orders the endpoints if needed.
+  constexpr Interval Normalized() const { return FromUnordered(lo, hi); }
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+// Definition 3 — interval addition: [a,b] + [c,d] = [a+c, b+d].
+constexpr Interval operator+(const Interval& a, const Interval& b) {
+  return Interval(a.lo + b.lo, a.hi + b.hi);
+}
+
+// Definition 3 — interval subtraction: [a,b] - [c,d] = [a-d, b-c].
+constexpr Interval operator-(const Interval& a, const Interval& b) {
+  return Interval(a.lo - b.hi, a.hi - b.lo);
+}
+
+// Unary negation: -[a,b] = [-b,-a].
+constexpr Interval operator-(const Interval& a) {
+  return Interval(-a.hi, -a.lo);
+}
+
+// Definition 3 — interval multiplication: the min/max over the four
+// endpoint products.
+inline Interval operator*(const Interval& a, const Interval& b) {
+  const double p1 = a.lo * b.lo;
+  const double p2 = a.lo * b.hi;
+  const double p3 = a.hi * b.lo;
+  const double p4 = a.hi * b.hi;
+  return Interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                  std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+// Scalar x interval multiplication (a special case of Definition 3 with
+// span(s * b) == |s| * span(b)).
+inline Interval operator*(double s, const Interval& b) {
+  return Interval::Scalar(s) * b;
+}
+inline Interval operator*(const Interval& a, double s) {
+  return a * Interval::Scalar(s);
+}
+
+inline Interval& operator+=(Interval& a, const Interval& b) {
+  a = a + b;
+  return a;
+}
+inline Interval& operator-=(Interval& a, const Interval& b) {
+  a = a - b;
+  return a;
+}
+
+}  // namespace ivmf
+
+#endif  // IVMF_INTERVAL_INTERVAL_H_

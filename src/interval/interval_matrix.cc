@@ -1,0 +1,116 @@
+#include "interval/interval_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ivmf {
+
+Matrix IntervalMatrix::Mid() const {
+  Matrix result(rows(), cols());
+  for (size_t i = 0; i < rows(); ++i)
+    for (size_t j = 0; j < cols(); ++j)
+      result(i, j) = 0.5 * (lower_(i, j) + upper_(i, j));
+  return result;
+}
+
+Matrix IntervalMatrix::Span() const {
+  Matrix result(rows(), cols());
+  for (size_t i = 0; i < rows(); ++i)
+    for (size_t j = 0; j < cols(); ++j)
+      result(i, j) = upper_(i, j) - lower_(i, j);
+  return result;
+}
+
+bool IntervalMatrix::IsProper() const {
+  for (size_t i = 0; i < rows(); ++i)
+    for (size_t j = 0; j < cols(); ++j)
+      if (lower_(i, j) > upper_(i, j)) return false;
+  return true;
+}
+
+double IntervalMatrix::MaxMisorder() const {
+  double worst = 0.0;
+  for (size_t i = 0; i < rows(); ++i)
+    for (size_t j = 0; j < cols(); ++j)
+      worst = std::max(worst, lower_(i, j) - upper_(i, j));
+  return worst;
+}
+
+IntervalMatrix IntervalMatrix::AverageReplaced() const {
+  IntervalMatrix result = *this;
+  for (size_t i = 0; i < rows(); ++i) {
+    for (size_t j = 0; j < cols(); ++j) {
+      if (result.lower_(i, j) > result.upper_(i, j)) {
+        const double avg = 0.5 * (result.lower_(i, j) + result.upper_(i, j));
+        result.lower_(i, j) = avg;
+        result.upper_(i, j) = avg;
+      }
+    }
+  }
+  return result;
+}
+
+IntervalMatrix IntervalMatrix::operator+(const IntervalMatrix& other) const {
+  return IntervalMatrix(lower_ + other.lower_, upper_ + other.upper_);
+}
+
+IntervalMatrix IntervalMatrix::operator-(const IntervalMatrix& other) const {
+  // [a,b] - [c,d] = [a-d, b-c], elementwise.
+  return IntervalMatrix(lower_ - other.upper_, upper_ - other.lower_);
+}
+
+bool IntervalMatrix::ContainsMatrix(const Matrix& m, double tol) const {
+  if (m.rows() != rows() || m.cols() != cols()) return false;
+  for (size_t i = 0; i < rows(); ++i)
+    for (size_t j = 0; j < cols(); ++j)
+      if (m(i, j) < lower_(i, j) - tol || m(i, j) > upper_(i, j) + tol)
+        return false;
+  return true;
+}
+
+IntervalMatrix IntervalMatMul(const IntervalMatrix& a,
+                              const IntervalMatrix& b) {
+  IVMF_CHECK_MSG(a.cols() == b.rows(), "interval product dimension mismatch");
+  // Algorithm 1: T1 = A_* B_*, T2 = A_* B^*, T3 = A^* B_*, T4 = A^* B^*.
+  const Matrix t1 = a.lower() * b.lower();
+  const Matrix t2 = a.lower() * b.upper();
+  const Matrix t3 = a.upper() * b.lower();
+  const Matrix t4 = a.upper() * b.upper();
+  Matrix lo(t1.rows(), t1.cols());
+  Matrix hi(t1.rows(), t1.cols());
+  for (size_t i = 0; i < t1.rows(); ++i) {
+    for (size_t j = 0; j < t1.cols(); ++j) {
+      const double v1 = t1(i, j), v2 = t2(i, j), v3 = t3(i, j), v4 = t4(i, j);
+      lo(i, j) = std::min(std::min(v1, v2), std::min(v3, v4));
+      hi(i, j) = std::max(std::max(v1, v2), std::max(v3, v4));
+    }
+  }
+  return IntervalMatrix(std::move(lo), std::move(hi));
+}
+
+IntervalMatrix IntervalMatMulExact(const IntervalMatrix& a,
+                                   const IntervalMatrix& b) {
+  IVMF_CHECK_MSG(a.cols() == b.rows(), "interval product dimension mismatch");
+  const size_t n = a.rows();
+  const size_t k = a.cols();
+  const size_t m = b.cols();
+  IntervalMatrix result(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      Interval acc;
+      for (size_t t = 0; t < k; ++t) acc += a.At(i, t) * b.At(t, j);
+      result.Set(i, j, acc);
+    }
+  }
+  return result;
+}
+
+IntervalMatrix IntervalMatMul(const Matrix& a, const IntervalMatrix& b) {
+  return IntervalMatMul(IntervalMatrix::FromScalar(a), b);
+}
+
+IntervalMatrix IntervalMatMul(const IntervalMatrix& a, const Matrix& b) {
+  return IntervalMatMul(a, IntervalMatrix::FromScalar(b));
+}
+
+}  // namespace ivmf

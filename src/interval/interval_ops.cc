@@ -1,0 +1,98 @@
+#include "interval/interval_ops.h"
+
+#include <cmath>
+
+namespace ivmf {
+
+void AverageReplaceVector(std::vector<Interval>& v) {
+  for (Interval& x : v) {
+    if (x.lo > x.hi) {
+      const double avg = x.Mid();
+      x.lo = avg;
+      x.hi = avg;
+    }
+  }
+}
+
+std::vector<double> InverseIntervalDiagonal(const std::vector<Interval>& diag) {
+  std::vector<double> inv(diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) {
+    const double lo = diag[i].lo;
+    const double hi = diag[i].hi;
+    IVMF_DCHECK(lo >= 0.0 && hi >= 0.0);
+    if (lo == 0.0 && hi == 0.0) {
+      inv[i] = 0.0;
+    } else if (lo == 0.0) {
+      inv[i] = 2.0 / hi;
+    } else if (hi == 0.0) {
+      inv[i] = 2.0 / lo;
+    } else {
+      inv[i] = 2.0 / (lo + hi);
+    }
+  }
+  return inv;
+}
+
+Matrix InverseIntervalDiagonal(const IntervalMatrix& sigma) {
+  IVMF_CHECK_MSG(sigma.rows() == sigma.cols(),
+                 "core matrix inverse needs a square diagonal matrix");
+  std::vector<Interval> diag(sigma.rows());
+  for (size_t i = 0; i < sigma.rows(); ++i) diag[i] = sigma.At(i, i);
+  return Matrix::Diagonal(InverseIntervalDiagonal(diag));
+}
+
+std::vector<double> IntervalDiagonalEpsilons(
+    const std::vector<Interval>& diag) {
+  std::vector<double> eps(diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) {
+    const double lo = diag[i].lo;
+    const double hi = diag[i].hi;
+    eps[i] = (lo + hi) > 0.0 ? (hi - lo) / (hi + lo) : 0.0;
+  }
+  return eps;
+}
+
+double MeanSpan(const IntervalMatrix& m) {
+  if (m.empty()) return 0.0;
+  return m.Span().Sum() / static_cast<double>(m.rows() * m.cols());
+}
+
+double ContainmentFraction(const IntervalMatrix& m, const Matrix& x,
+                           double tol) {
+  IVMF_CHECK(m.rows() == x.rows() && m.cols() == x.cols());
+  if (m.empty()) return 1.0;
+  size_t contained = 0;
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j)
+      if (x(i, j) >= m.lower()(i, j) - tol && x(i, j) <= m.upper()(i, j) + tol)
+        ++contained;
+  return static_cast<double>(contained) /
+         static_cast<double>(m.rows() * m.cols());
+}
+
+double IntervalDensity(const IntervalMatrix& m, double tol) {
+  if (m.empty()) return 0.0;
+  size_t with_span = 0;
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j)
+      if (m.upper()(i, j) - m.lower()(i, j) > tol) ++with_span;
+  return static_cast<double>(with_span) /
+         static_cast<double>(m.rows() * m.cols());
+}
+
+std::vector<double> NormalizeColumnsL2(Matrix& m) {
+  std::vector<double> norms(m.cols());
+  for (size_t j = 0; j < m.cols(); ++j) {
+    double sum = 0.0;
+    for (size_t i = 0; i < m.rows(); ++i) sum += m(i, j) * m(i, j);
+    const double norm = std::sqrt(sum);
+    norms[j] = norm;
+    if (norm > 0.0) {
+      const double inv = 1.0 / norm;
+      for (size_t i = 0; i < m.rows(); ++i) m(i, j) *= inv;
+    }
+  }
+  return norms;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,178 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ivmf {
+namespace {
+
+// Splits a line into trimmed comma-separated cells.
+std::vector<std::string> SplitCells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  cells.push_back(current);
+  for (std::string& cell : cells) {
+    const size_t first = cell.find_first_not_of(" \t\r");
+    const size_t last = cell.find_last_not_of(" \t\r");
+    cell = (first == std::string::npos)
+               ? ""
+               : cell.substr(first, last - first + 1);
+  }
+  return cells;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+// Parses "lo:hi" or a bare number (scalar interval).
+bool ParseIntervalCell(const std::string& cell, Interval* out) {
+  const size_t colon = cell.find(':');
+  if (colon == std::string::npos) {
+    double value;
+    if (!ParseDouble(cell, &value)) return false;
+    *out = Interval::Scalar(value);
+    return true;
+  }
+  double lo, hi;
+  if (!ParseDouble(cell.substr(0, colon), &lo) ||
+      !ParseDouble(cell.substr(colon + 1), &hi)) {
+    return false;
+  }
+  if (lo > hi) return false;
+  *out = Interval(lo, hi);
+  return true;
+}
+
+// Collects non-empty lines.
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  std::istringstream in(text);
+  while (std::getline(in, current)) {
+    const size_t content = current.find_first_not_of(" \t\r");
+    if (content != std::string::npos) lines.push_back(current);
+  }
+  return lines;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+std::string MatrixToCsv(const Matrix& m, int precision) {
+  std::string out;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out += ",";
+      out += FormatDouble(m(i, j), precision);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string IntervalMatrixToCsv(const IntervalMatrix& m, int precision) {
+  std::string out;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (j > 0) out += ",";
+      const Interval cell = m.At(i, j);
+      out += FormatDouble(cell.lo, precision);
+      out += ":";
+      out += FormatDouble(cell.hi, precision);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<Matrix> MatrixFromCsv(const std::string& text) {
+  const std::vector<std::string> lines = Lines(text);
+  if (lines.empty()) return Matrix();
+  const size_t cols = SplitCells(lines[0]).size();
+  Matrix m(lines.size(), cols);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::vector<std::string> cells = SplitCells(lines[i]);
+    if (cells.size() != cols) return std::nullopt;
+    for (size_t j = 0; j < cols; ++j) {
+      double value;
+      if (!ParseDouble(cells[j], &value)) return std::nullopt;
+      m(i, j) = value;
+    }
+  }
+  return m;
+}
+
+std::optional<IntervalMatrix> IntervalMatrixFromCsv(const std::string& text) {
+  const std::vector<std::string> lines = Lines(text);
+  if (lines.empty()) return IntervalMatrix();
+  const size_t cols = SplitCells(lines[0]).size();
+  IntervalMatrix m(lines.size(), cols);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::vector<std::string> cells = SplitCells(lines[i]);
+    if (cells.size() != cols) return std::nullopt;
+    for (size_t j = 0; j < cols; ++j) {
+      Interval cell;
+      if (!ParseIntervalCell(cells[j], &cell)) return std::nullopt;
+      m.Set(i, j, cell);
+    }
+  }
+  return m;
+}
+
+bool SaveMatrixCsv(const std::string& path, const Matrix& m, int precision) {
+  return WriteFile(path, MatrixToCsv(m, precision));
+}
+
+bool SaveIntervalMatrixCsv(const std::string& path, const IntervalMatrix& m,
+                           int precision) {
+  return WriteFile(path, IntervalMatrixToCsv(m, precision));
+}
+
+std::optional<Matrix> LoadMatrixCsv(const std::string& path) {
+  const std::optional<std::string> text = ReadFile(path);
+  if (!text) return std::nullopt;
+  return MatrixFromCsv(*text);
+}
+
+std::optional<IntervalMatrix> LoadIntervalMatrixCsv(const std::string& path) {
+  const std::optional<std::string> text = ReadFile(path);
+  if (!text) return std::nullopt;
+  return IntervalMatrixFromCsv(*text);
+}
+
+}  // namespace ivmf

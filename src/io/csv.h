@@ -1,0 +1,46 @@
+// CSV serialization for scalar and interval-valued matrices.
+//
+// Scalar matrices are plain comma-separated numbers, one row per line.
+// Interval matrices use `lo:hi` cells (a bare number is a scalar interval):
+//
+//   1.0:2.0, 3.5, 0:0.25
+//   2.25:2.75, 4.0:4.0, 1
+//
+// Parsing is whitespace-tolerant; empty lines are skipped. All rows must
+// have the same number of cells.
+
+#ifndef IVMF_IO_CSV_H_
+#define IVMF_IO_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// -- In-memory (string) forms ------------------------------------------------
+
+// Renders a matrix as CSV text.
+std::string MatrixToCsv(const Matrix& m, int precision = 12);
+std::string IntervalMatrixToCsv(const IntervalMatrix& m, int precision = 12);
+
+// Parses CSV text. Returns std::nullopt on malformed input (ragged rows,
+// unparsable cells, misordered intervals).
+std::optional<Matrix> MatrixFromCsv(const std::string& text);
+std::optional<IntervalMatrix> IntervalMatrixFromCsv(const std::string& text);
+
+// -- File forms ----------------------------------------------------------------
+
+// Write / read a file; file variants return false / nullopt on I/O errors.
+bool SaveMatrixCsv(const std::string& path, const Matrix& m,
+                   int precision = 12);
+bool SaveIntervalMatrixCsv(const std::string& path, const IntervalMatrix& m,
+                           int precision = 12);
+std::optional<Matrix> LoadMatrixCsv(const std::string& path);
+std::optional<IntervalMatrix> LoadIntervalMatrixCsv(const std::string& path);
+
+}  // namespace ivmf
+
+#endif  // IVMF_IO_CSV_H_

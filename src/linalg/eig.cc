@@ -1,0 +1,84 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ivmf {
+
+EigResult ComputeSymmetricEig(const Matrix& a, size_t rank,
+                              const EigOptions& options) {
+  IVMF_CHECK_MSG(a.rows() == a.cols(), "eigendecomposition needs a square matrix");
+  const size_t n = a.rows();
+  Matrix work = a;
+  Matrix v = Matrix::Identity(n);
+
+  // Scale-aware stopping threshold.
+  const double frob = work.FrobeniusNorm();
+  const double stop = options.tolerance * (frob > 0.0 ? frob : 1.0);
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; when small enough we are diagonal.
+    double off = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p)
+      for (size_t q = p + 1; q < n; ++q) off += work(p, q) * work(p, q);
+    if (std::sqrt(2.0 * off) <= stop) break;
+
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = work(p, q);
+        if (std::abs(apq) <= stop / (static_cast<double>(n) * n)) continue;
+        const double app = work(p, p);
+        const double aqq = work(q, q);
+
+        // Classical Jacobi rotation annihilating work(p, q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        // Update rows/columns p and q of the symmetric working matrix.
+        for (size_t i = 0; i < n; ++i) {
+          if (i == p || i == q) continue;
+          const double aip = work(i, p);
+          const double aiq = work(i, q);
+          work(i, p) = work(p, i) = c * aip - s * aiq;
+          work(i, q) = work(q, i) = s * aip + c * aiq;
+        }
+        work(p, p) = app - t * apq;
+        work(q, q) = aqq + t * apq;
+        work(p, q) = work(q, p) = 0.0;
+
+        // Accumulate eigenvectors.
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> lambda(n);
+  for (size_t i = 0; i < n; ++i) lambda[i] = work(i, i);
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t x, size_t y) { return lambda[x] > lambda[y]; });
+
+  const size_t r = rank == 0 ? n : std::min(rank, n);
+  EigResult result;
+  result.eigenvalues.resize(r);
+  result.eigenvectors = Matrix(n, r);
+  for (size_t j = 0; j < r; ++j) {
+    const size_t src = order[j];
+    result.eigenvalues[j] = lambda[src];
+    for (size_t i = 0; i < n; ++i) result.eigenvectors(i, j) = v(i, src);
+  }
+  return result;
+}
+
+}  // namespace ivmf

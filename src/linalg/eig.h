@@ -1,0 +1,40 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// ISVD2–ISVD4 obtain right singular vectors as eigenvectors of the Gram
+// matrices A_* and A^* (Section 4.3.1 of the paper). Both are symmetric, so
+// the classical two-sided Jacobi method applies; it converges quadratically
+// and produces fully orthogonal eigenvectors, which the interval alignment
+// step downstream depends on.
+
+#ifndef IVMF_LINALG_EIG_H_
+#define IVMF_LINALG_EIG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// Eigendecomposition of a symmetric matrix A truncated to the r
+// algebraically-largest eigenvalues:  A ≃ V * diag(lambda) * V^T.
+struct EigResult {
+  std::vector<double> eigenvalues;  // r values, descending.
+  Matrix eigenvectors;              // n x r, orthonormal columns.
+};
+
+struct EigOptions {
+  // Stop when every off-diagonal entry is below tolerance * ||A||_F.
+  double tolerance = 1e-12;
+  int max_sweeps = 60;
+};
+
+// Computes the top-r eigenpairs of symmetric `a` (rank == 0 means all).
+// Precondition: `a` is square; symmetry is assumed (the strictly lower
+// triangle is read together with the upper one by the rotations).
+EigResult ComputeSymmetricEig(const Matrix& a, size_t rank = 0,
+                              const EigOptions& options = {});
+
+}  // namespace ivmf
+
+#endif  // IVMF_LINALG_EIG_H_

@@ -1,0 +1,187 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+// y = A x for symmetric dense A.
+void SymMatVec(const Matrix& a, const std::vector<double>& x,
+               std::vector<double>& y) {
+  const size_t n = a.rows();
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = a.RowPtr(i);
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+}
+
+double SignOf(double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); }
+
+}  // namespace
+
+bool TridiagonalQL(std::vector<double>& diag, std::vector<double>& off,
+                   Matrix* z, int max_iterations) {
+  const size_t n = diag.size();
+  if (n == 0) return true;
+  IVMF_CHECK(off.size() + 1 == n || (n == 1 && off.empty()));
+  std::vector<double> e(n, 0.0);
+  for (size_t i = 0; i + 1 < n; ++i) e[i] = off[i];
+
+  for (size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    size_t m;
+    do {
+      // Find a negligible off-diagonal element.
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(diag[m]) + std::abs(diag[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 ||
+            std::abs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m == l) break;
+      if (++iter > max_iterations) return false;
+
+      // Implicit QL step with Wilkinson shift.
+      double g = (diag[l + 1] - diag[l]) / (2.0 * e[l]);
+      double r = std::hypot(g, 1.0);
+      g = diag[m] - diag[l] + e[l] / (g + SignOf(r, g));
+      double s = 1.0, c = 1.0, p = 0.0;
+      for (size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = std::hypot(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          diag[i + 1] -= p;
+          e[m] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = diag[i + 1] - p;
+        r = (diag[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        diag[i + 1] = g + p;
+        g = c * r - b;
+        if (z != nullptr) {
+          for (size_t k = 0; k < z->rows(); ++k) {
+            f = (*z)(k, i + 1);
+            (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+            (*z)(k, i) = c * (*z)(k, i) - s * f;
+          }
+        }
+      }
+      if (r == 0.0 && m > l + 1) continue;
+      diag[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    } while (m != l);
+  }
+
+  // Sort ascending (insertion sort moving eigenvector columns along).
+  for (size_t i = 0; i + 1 < n; ++i) {
+    size_t k = i;
+    for (size_t j = i + 1; j < n; ++j)
+      if (diag[j] < diag[k]) k = j;
+    if (k != i) {
+      std::swap(diag[i], diag[k]);
+      if (z != nullptr) {
+        for (size_t row = 0; row < z->rows(); ++row)
+          std::swap((*z)(row, i), (*z)(row, k));
+      }
+    }
+  }
+  return true;
+}
+
+EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
+                            const LanczosOptions& options) {
+  IVMF_CHECK_MSG(a.rows() == a.cols(), "Lanczos needs a square matrix");
+  const size_t n = a.rows();
+  if (rank == 0 || rank >= n) {
+    return ComputeSymmetricEig(a, rank);
+  }
+
+  // Krylov dimension.
+  const size_t m = std::min(
+      n, static_cast<size_t>(options.subspace_factor * rank) +
+             options.subspace_extra);
+
+  // Lanczos basis Q (n x m) with full reorthogonalization.
+  Matrix q(n, m);
+  std::vector<double> alpha(m, 0.0), beta(m, 0.0);
+
+  Rng rng(options.seed);
+  std::vector<double> v(n), w(n);
+  for (double& x : v) x = rng.Normal();
+  double norm = Norm2(v);
+  for (size_t i = 0; i < n; ++i) q(i, 0) = v[i] / norm;
+
+  size_t built = 0;
+  for (size_t j = 0; j < m; ++j) {
+    built = j + 1;
+    for (size_t i = 0; i < n; ++i) v[i] = q(i, j);
+    SymMatVec(a, v, w);
+    if (j > 0) {
+      for (size_t i = 0; i < n; ++i) w[i] -= beta[j - 1] * q(i, j - 1);
+    }
+    double aj = 0.0;
+    for (size_t i = 0; i < n; ++i) aj += w[i] * v[i];
+    alpha[j] = aj;
+    for (size_t i = 0; i < n; ++i) w[i] -= aj * v[i];
+
+    // Full reorthogonalization against the basis built so far (twice, for
+    // numerical robustness — "twice is enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t k = 0; k <= j; ++k) {
+        double proj = 0.0;
+        for (size_t i = 0; i < n; ++i) proj += w[i] * q(i, k);
+        for (size_t i = 0; i < n; ++i) w[i] -= proj * q(i, k);
+      }
+    }
+
+    const double wnorm = Norm2(w);
+    if (j + 1 < m) {
+      beta[j] = wnorm;
+      if (wnorm <= options.tolerance) {
+        // Invariant subspace found early; the Krylov space is exhausted.
+        break;
+      }
+      for (size_t i = 0; i < n; ++i) q(i, j + 1) = w[i] / wnorm;
+    }
+  }
+
+  // Solve the m' x m' tridiagonal eigenproblem.
+  std::vector<double> diag(alpha.begin(), alpha.begin() + built);
+  std::vector<double> off;
+  for (size_t i = 0; i + 1 < built; ++i) off.push_back(beta[i]);
+  Matrix z = Matrix::Identity(built);
+  IVMF_CHECK_MSG(TridiagonalQL(diag, off, &z), "tridiagonal QL failed");
+
+  // Take the top-`rank` (largest) Ritz pairs; TridiagonalQL sorts ascending.
+  const size_t keep = std::min(rank, built);
+  EigResult result;
+  result.eigenvalues.resize(keep);
+  result.eigenvectors = Matrix(n, keep);
+  for (size_t out = 0; out < keep; ++out) {
+    const size_t src = built - 1 - out;  // descending order
+    result.eigenvalues[out] = diag[src];
+    // Ritz vector = Q * z[:, src].
+    for (size_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (size_t k = 0; k < built; ++k) sum += q(i, k) * z(k, src);
+      result.eigenvectors(i, out) = sum;
+    }
+  }
+  return result;
+}
+
+}  // namespace ivmf

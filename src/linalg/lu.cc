@@ -1,0 +1,86 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace ivmf {
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  IVMF_CHECK_MSG(a.rows() == a.cols(), "LU needs a square matrix");
+  std::iota(perm_.begin(), perm_.end(), 0);
+
+  for (size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: bring the largest |entry| of column k to the pivot.
+    size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (size_t i = k + 1; i < n_; ++i) {
+      const double cand = std::abs(lu_(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) {
+      singular_ = true;
+      continue;
+    }
+    if (pivot != k) {
+      for (size_t j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (size_t i = k + 1; i < n_; ++i) {
+      const double factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      for (size_t j = k + 1; j < n_; ++j) lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+std::vector<double> LuDecomposition::Solve(const std::vector<double>& b) const {
+  IVMF_CHECK(!singular_);
+  IVMF_CHECK(b.size() == n_);
+  std::vector<double> x(n_);
+  // Forward substitution with the permuted right-hand side: L y = P b.
+  for (size_t i = 0; i < n_; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution: U x = y.
+  for (size_t ii = n_; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = x[i];
+    for (size_t j = i + 1; j < n_; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Solve(const Matrix& b) const {
+  IVMF_CHECK(b.rows() == n_);
+  Matrix x(n_, b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    x.SetCol(j, Solve(b.Col(j)));
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Inverse() const { return Solve(Matrix::Identity(n_)); }
+
+double LuDecomposition::Determinant() const {
+  if (singular_) return 0.0;
+  double det = perm_sign_;
+  for (size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<Matrix> Inverse(const Matrix& a) {
+  LuDecomposition lu(a);
+  if (lu.IsSingular()) return std::nullopt;
+  return lu.Inverse();
+}
+
+}  // namespace ivmf

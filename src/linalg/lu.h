@@ -1,0 +1,53 @@
+// LU factorization with partial pivoting: linear solves, inverses and
+// determinants for square matrices.
+//
+// ISVD3/ISVD4 invert the averaged factor matrix V_avg when it is square and
+// well conditioned (Section 4.4.2.2); this module provides that inverse.
+
+#ifndef IVMF_LINALG_LU_H_
+#define IVMF_LINALG_LU_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// The P*A = L*U factorization of a square matrix A.
+class LuDecomposition {
+ public:
+  // Factorizes `a` (must be square). Singularity is detected lazily: check
+  // IsSingular() before calling Solve()/Inverse().
+  explicit LuDecomposition(const Matrix& a);
+
+  // True when a pivot collapsed to (numerical) zero.
+  bool IsSingular() const { return singular_; }
+
+  // Solves A x = b for a single right-hand side. Requires !IsSingular().
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  // Solves A X = B column-by-column. Requires !IsSingular().
+  Matrix Solve(const Matrix& b) const;
+
+  // A^{-1}. Requires !IsSingular().
+  Matrix Inverse() const;
+
+  // det(A); zero when singular.
+  double Determinant() const;
+
+ private:
+  size_t n_;
+  Matrix lu_;                 // packed L (unit lower) and U (upper)
+  std::vector<size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+  bool singular_ = false;
+};
+
+// Convenience wrapper: returns A^{-1}, or std::nullopt when A is singular.
+std::optional<Matrix> Inverse(const Matrix& a);
+
+}  // namespace ivmf
+
+#endif  // IVMF_LINALG_LU_H_

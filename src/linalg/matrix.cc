@@ -1,0 +1,206 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "base/parallel.h"
+
+namespace ivmf {
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  const size_t n = rows.size();
+  const size_t m = n == 0 ? 0 : rows.begin()->size();
+  Matrix result(n, m);
+  size_t i = 0;
+  for (const auto& row : rows) {
+    IVMF_CHECK_MSG(row.size() == m, "all rows must have the same length");
+    size_t j = 0;
+    for (double v : row) result(i, j++) = v;
+    ++i;
+  }
+  return result;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix result(n, n);
+  for (size_t i = 0; i < n; ++i) result(i, i) = 1.0;
+  return result;
+}
+
+Matrix Matrix::Diagonal(const std::vector<double>& diag) {
+  Matrix result(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) result(i, i) = diag[i];
+  return result;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  IVMF_CHECK(i < rows_);
+  return std::vector<double>(RowPtr(i), RowPtr(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  IVMF_CHECK(j < cols_);
+  std::vector<double> col(rows_);
+  for (size_t i = 0; i < rows_; ++i) col[i] = (*this)(i, j);
+  return col;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& row) {
+  IVMF_CHECK(i < rows_ && row.size() == cols_);
+  std::memcpy(RowPtr(i), row.data(), cols_ * sizeof(double));
+}
+
+void Matrix::SetCol(size_t j, const std::vector<double>& col) {
+  IVMF_CHECK(j < cols_ && col.size() == rows_);
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, j) = col[i];
+}
+
+Matrix Matrix::ColBlock(size_t first, size_t count) const {
+  IVMF_CHECK(first + count <= cols_);
+  Matrix result(rows_, count);
+  for (size_t i = 0; i < rows_; ++i) {
+    std::memcpy(result.RowPtr(i), RowPtr(i) + first, count * sizeof(double));
+  }
+  return result;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  IVMF_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  IVMF_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  IVMF_CHECK_MSG(cols_ == other.rows_, "matrix product dimension mismatch");
+  Matrix result(rows_, other.cols_);
+  // i-k-j loop order walks both operands row-major (cache friendly); output
+  // rows are independent, so they parallelize directly. The threshold keeps
+  // small products serial (thread launch would dominate).
+  auto compute_row = [&](size_t i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = result.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a_ik * b_row[j];
+    }
+  };
+  const size_t flops = rows_ * cols_ * other.cols_;
+  if (flops >= 4u << 20) {
+    ParallelFor(0, rows_, compute_row, /*max_threads=*/0,
+                /*min_items_per_thread=*/8);
+  } else {
+    for (size_t i = 0; i < rows_; ++i) compute_row(i);
+  }
+  return result;
+}
+
+Matrix Matrix::CwiseMultiply(const Matrix& other) const {
+  IVMF_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix result(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k)
+    result.data_[k] = data_[k] * other.data_[k];
+  return result;
+}
+
+Matrix Matrix::CwiseQuotient(const Matrix& other, double epsilon) const {
+  IVMF_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix result(rows_, cols_);
+  for (size_t k = 0; k < data_.size(); ++k) {
+    const double denom = other.data_[k];
+    result.data_[k] =
+        std::abs(denom) < epsilon ? 0.0 : data_[k] / denom;
+  }
+  return result;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix result(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) result(j, i) = (*this)(i, j);
+  return result;
+}
+
+std::vector<double> Matrix::DiagonalEntries() const {
+  const size_t n = rows_ < cols_ ? rows_ : cols_;
+  std::vector<double> diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = (*this)(i, i);
+  return diag;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double Matrix::Sum() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t k = 0; k < data_.size(); ++k) {
+    if (std::abs(data_[k] - other.data_[k]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < rows_; ++i) {
+    out += "[ ";
+    for (size_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%.*g ", precision, (*this)(i, j));
+      out += buf;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  IVMF_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace ivmf

@@ -1,0 +1,139 @@
+// Dense row-major matrix of doubles.
+//
+// This is the scalar linear-algebra substrate underneath the interval-valued
+// factorization library. It is deliberately self-contained: no external
+// linear algebra dependency is used anywhere in this repository.
+
+#ifndef IVMF_LINALG_MATRIX_H_
+#define IVMF_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace ivmf {
+
+// A dense rows x cols matrix of doubles with row-major storage.
+//
+// Matrix is a value type: copyable, movable, and comparable. Indices are
+// 0-based throughout the library (the paper uses 1-based math notation).
+class Matrix {
+ public:
+  // An empty 0x0 matrix.
+  Matrix() = default;
+
+  // A rows x cols matrix with every entry equal to `value` (default 0).
+  Matrix(size_t rows, size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  // Builds a matrix from a nested initializer list, e.g.
+  //   Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  // All rows must have the same length.
+  static Matrix FromRows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  // The n x n identity matrix.
+  static Matrix Identity(size_t n);
+
+  // A square matrix with `diag` on the diagonal and zeros elsewhere.
+  static Matrix Diagonal(const std::vector<double>& diag);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // Element access (0-based, bounds-checked in debug builds).
+  double& operator()(size_t i, size_t j) {
+    IVMF_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    IVMF_DCHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  // Raw storage access (row-major). Useful for tight loops.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  // Pointer to the start of row i.
+  double* RowPtr(size_t i) { return data_.data() + i * cols_; }
+  const double* RowPtr(size_t i) const { return data_.data() + i * cols_; }
+
+  // Copies of a single row / column as vectors.
+  std::vector<double> Row(size_t i) const;
+  std::vector<double> Col(size_t j) const;
+  void SetRow(size_t i, const std::vector<double>& row);
+  void SetCol(size_t j, const std::vector<double>& col);
+
+  // Returns the sub-block of `count` columns starting at `first`.
+  Matrix ColBlock(size_t first, size_t count) const;
+
+  // Elementwise arithmetic. Shapes must match.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  // Matrix product `this * other` (inner dimensions must agree).
+  Matrix operator*(const Matrix& other) const;
+
+  // Elementwise (Hadamard) product / quotient. Shapes must match. The
+  // quotient is guarded: a zero denominator yields zero, the convention the
+  // multiplicative NMF updates rely on.
+  Matrix CwiseMultiply(const Matrix& other) const;
+  Matrix CwiseQuotient(const Matrix& other, double epsilon = 1e-12) const;
+
+  Matrix Transpose() const;
+
+  // The diagonal entries of a (not necessarily square) matrix.
+  std::vector<double> DiagonalEntries() const;
+
+  // Frobenius norm sqrt(sum of squared entries).
+  double FrobeniusNorm() const;
+
+  // Largest absolute entry.
+  double MaxAbs() const;
+
+  // Sum of all entries.
+  double Sum() const;
+
+  // Exact elementwise equality (useful in tests for copies).
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  // True when shapes match and all entries agree within `tol`.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  // Human-readable rendering (rows on separate lines), for debugging.
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// -- Free vector helpers (column vectors as std::vector<double>) ----------
+
+// Dot product. Sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+// Euclidean (L2) norm.
+double Norm2(const std::vector<double>& v);
+
+// Cosine similarity a.b / (|a||b|); returns 0 when either norm is 0.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace ivmf
+
+#endif  // IVMF_LINALG_MATRIX_H_

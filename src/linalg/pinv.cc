@@ -1,0 +1,55 @@
+#include "linalg/pinv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/lu.h"
+#include "linalg/svd.h"
+
+namespace ivmf {
+
+Matrix PseudoInverse(const Matrix& a, const PinvOptions& options) {
+  const SvdResult svd = ComputeSvd(a);
+  const double sigma_max = svd.sigma.empty() ? 0.0 : svd.sigma.front();
+
+  double cutoff = options.singular_value_cutoff;
+  if (cutoff <= 0.0) {
+    // Standard relative tolerance: eps * max(n, m) * sigma_max.
+    cutoff = std::numeric_limits<double>::epsilon() *
+             static_cast<double>(std::max(a.rows(), a.cols())) * sigma_max;
+  }
+
+  // A^+ = V * diag(1/sigma_i for sigma_i > cutoff) * U^T.
+  const size_t r = svd.sigma.size();
+  Matrix v_scaled = svd.v;  // cols x r
+  for (size_t j = 0; j < r; ++j) {
+    const double inv = svd.sigma[j] > cutoff ? 1.0 / svd.sigma[j] : 0.0;
+    for (size_t i = 0; i < v_scaled.rows(); ++i) v_scaled(i, j) *= inv;
+  }
+  return v_scaled * svd.u.Transpose();
+}
+
+double ConditionNumber(const Matrix& a) {
+  const SvdResult svd = ComputeSvd(a);
+  if (svd.sigma.empty()) return std::numeric_limits<double>::infinity();
+  const double smax = svd.sigma.front();
+  const double smin = svd.sigma.back();
+  if (smin <= 0.0 || smin < smax * 1e-300)
+    return std::numeric_limits<double>::infinity();
+  return smax / smin;
+}
+
+Matrix RobustInverse(const Matrix& a, double cond_threshold) {
+  if (a.rows() == a.cols()) {
+    const double cond = ConditionNumber(a);
+    if (cond <= cond_threshold) {
+      if (auto inv = Inverse(a)) return *inv;
+    }
+  }
+  PinvOptions options;
+  options.singular_value_cutoff = 0.1;  // per Section 4.4.2.2
+  return PseudoInverse(a, options);
+}
+
+}  // namespace ivmf

@@ -1,0 +1,36 @@
+// SVD-based Moore–Penrose pseudo-inverse and condition number.
+//
+// ISVD3/ISVD4 fall back to the pseudo-inverse when the averaged factor
+// matrix V_avg is non-square or ill conditioned (Section 4.4.2.2). Following
+// the paper, singular values below an absolute cutoff (default 0.1) are
+// dropped when forming the pseudo-inverse in that context.
+
+#ifndef IVMF_LINALG_PINV_H_
+#define IVMF_LINALG_PINV_H_
+
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+struct PinvOptions {
+  // Singular values <= cutoff are treated as zero. The paper's ISVD uses an
+  // absolute cutoff of 0.1 for factor-matrix inversion; a non-positive value
+  // selects the usual relative machine tolerance instead.
+  double singular_value_cutoff = -1.0;
+};
+
+// Moore–Penrose pseudo-inverse A^+ (cols x rows) of `a` (rows x cols).
+Matrix PseudoInverse(const Matrix& a, const PinvOptions& options = {});
+
+// Spectral (2-norm) condition number sigma_max / sigma_min. Returns +inf
+// when the smallest singular value is (numerically) zero.
+double ConditionNumber(const Matrix& a);
+
+// Inverts `a` with the paper's policy (Section 4.4.2.2): plain LU inverse
+// when `a` is square and cond(a) <= cond_threshold, otherwise the
+// pseudo-inverse with the 0.1 singular-value cutoff.
+Matrix RobustInverse(const Matrix& a, double cond_threshold = 1e8);
+
+}  // namespace ivmf
+
+#endif  // IVMF_LINALG_PINV_H_

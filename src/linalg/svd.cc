@@ -1,0 +1,129 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ivmf {
+namespace {
+
+// One-sided Jacobi on a working copy W (n x m), n >= m recommended.
+// Orthogonalizes the columns of W while accumulating the rotations in V
+// (m x m). On convergence W = U * diag(sigma) * I with the columns of W
+// mutually orthogonal, so sigma_j = |W_j| and U_j = W_j / sigma_j, while
+// M = W * V^T... more precisely M * V = W, hence M = W V^T.
+void OneSidedJacobi(Matrix& w, Matrix& v, const SvdOptions& options) {
+  const size_t n = w.rows();
+  const size_t m = w.cols();
+  v = Matrix::Identity(m);
+  if (m < 2) return;
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double max_coupling = 0.0;
+    for (size_t p = 0; p + 1 < m; ++p) {
+      for (size_t q = p + 1; q < m; ++q) {
+        // Column inner products a = <Wp,Wp>, b = <Wq,Wq>, c = <Wp,Wq>.
+        double a = 0.0, b = 0.0, c = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          a += wp * wp;
+          b += wq * wq;
+          c += wp * wq;
+        }
+        if (a == 0.0 || b == 0.0) continue;
+        const double coupling = std::abs(c) / std::sqrt(a * b);
+        max_coupling = std::max(max_coupling, coupling);
+        if (coupling <= options.tolerance) continue;
+
+        // Jacobi rotation that annihilates the (p, q) coupling.
+        const double zeta = (b - a) / (2.0 * c);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (size_t i = 0; i < n; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = cs * wp - sn * wq;
+          w(i, q) = sn * wp + cs * wq;
+        }
+        for (size_t i = 0; i < m; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = cs * vp - sn * vq;
+          v(i, q) = sn * vp + cs * vq;
+        }
+      }
+    }
+    if (max_coupling <= options.tolerance) break;
+  }
+}
+
+}  // namespace
+
+Matrix SvdResult::Reconstruct() const {
+  Matrix us = u;  // scale columns of U by sigma, then multiply by V^T
+  for (size_t i = 0; i < us.rows(); ++i)
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= sigma[j];
+  return us * v.Transpose();
+}
+
+SvdResult ComputeSvd(const Matrix& m, size_t rank, const SvdOptions& options) {
+  const size_t n = m.rows();
+  const size_t cols = m.cols();
+  IVMF_CHECK_MSG(n > 0 && cols > 0, "SVD of an empty matrix");
+
+  // Work on the orientation with fewer columns: one-sided Jacobi cost grows
+  // with the square of the column count.
+  const bool transposed = cols > n;
+  Matrix w = transposed ? m.Transpose() : m;
+  const size_t wn = w.rows();   // >= wm
+  const size_t wm = w.cols();
+
+  Matrix v;
+  OneSidedJacobi(w, v, options);
+
+  // Singular values are the column norms of the rotated W.
+  std::vector<double> sigma(wm);
+  for (size_t j = 0; j < wm; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < wn; ++i) s += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(s);
+  }
+
+  // Order columns by descending singular value.
+  std::vector<size_t> order(wm);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return sigma[a] > sigma[b]; });
+
+  size_t r = rank == 0 ? wm : std::min(rank, wm);
+
+  Matrix u_out(wn, r);
+  Matrix v_out(wm, r);
+  std::vector<double> sigma_out(r);
+  const double tiny = 1e-300;
+  for (size_t j = 0; j < r; ++j) {
+    const size_t src = order[j];
+    sigma_out[j] = sigma[src];
+    const double inv = sigma[src] > tiny ? 1.0 / sigma[src] : 0.0;
+    for (size_t i = 0; i < wn; ++i) u_out(i, j) = w(i, src) * inv;
+    for (size_t i = 0; i < wm; ++i) v_out(i, j) = v(i, src);
+  }
+
+  SvdResult result;
+  if (transposed) {
+    // m = W^T with W = U Σ V^T  =>  m = V Σ U^T.
+    result.u = std::move(v_out);
+    result.v = std::move(u_out);
+  } else {
+    result.u = std::move(u_out);
+    result.v = std::move(v_out);
+  }
+  result.sigma = std::move(sigma_out);
+  return result;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,116 @@
+#include "lp/interval_eig_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eig.h"
+#include "lp/simplex.h"
+
+namespace ivmf {
+
+IntervalEigLpResult ComputeIntervalEigLp(const IntervalMatrix& a, size_t rank,
+                                         const IntervalEigLpOptions& options) {
+  IVMF_CHECK_MSG(a.rows() == a.cols(),
+                 "interval eigendecomposition needs a square matrix");
+  const size_t n = a.rows();
+
+  // Midpoint / radius split: A† = A_c +/- R with R >= 0 elementwise.
+  const Matrix a_c = a.Mid();
+  Matrix radius = a.Span();
+  radius *= 0.5;
+
+  // Midpoint spectrum.
+  const EigResult mid_eig = ComputeSymmetricEig(a_c, rank);
+  const size_t r = mid_eig.eigenvalues.size();
+
+  // Weyl perturbation bound: |λ_i(A) - λ_i(A_c)| <= ||E||_2 <= ||R||_F for
+  // every symmetric E with |E| <= R elementwise.
+  const double rho = radius.FrobeniusNorm();
+
+  IntervalEigLpResult result;
+  result.eigenvalues.resize(r);
+  result.eigenvectors = IntervalMatrix(n, r);
+
+  const double box = options.box_halfwidth;
+
+  for (size_t j = 0; j < r; ++j) {
+    const double lambda = mid_eig.eigenvalues[j];
+    result.eigenvalues[j] = Interval(lambda - rho, lambda + rho);
+
+    const std::vector<double> v_hat = mid_eig.eigenvectors.Col(j);
+
+    // Residual bounds r_i = (R |v̂|)_i + ρ |v̂_i| + slack.
+    std::vector<double> res(n);
+    for (size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (size_t k = 0; k < n; ++k) s += radius(i, k) * std::abs(v_hat[k]);
+      res[i] = s + rho * std::abs(v_hat[i]) + options.residual_slack;
+    }
+
+    // Anchor the component with the largest magnitude to remove the scale /
+    // sign ambiguity of eigenvectors.
+    size_t anchor = 0;
+    for (size_t i = 1; i < n; ++i)
+      if (std::abs(v_hat[i]) > std::abs(v_hat[anchor])) anchor = i;
+
+    // Variables y_k = x_k + box >= 0 (so x ∈ [-box, box] via y <= 2*box).
+    // Constraint rows:
+    //   for each i:  -r_i <= Σ_k C(i,k) x_k <= r_i  with C = A_c - λ̂ I
+    //   anchor:      x_anchor = v̂_anchor
+    //   box:         y_k <= 2*box.
+    const size_t rows = 2 * n + 1 + n;
+    LpProblem lp;
+    lp.a = Matrix(rows, n);
+    lp.b.assign(rows, 0.0);
+    lp.types.assign(rows, LpConstraintType::kLessEqual);
+    lp.c.assign(n, 0.0);
+
+    for (size_t i = 0; i < n; ++i) {
+      double row_shift = 0.0;  // Σ_k C(i,k) * box (from the y substitution)
+      for (size_t k = 0; k < n; ++k) {
+        const double cik = a_c(i, k) - (i == k ? lambda : 0.0);
+        lp.a(2 * i, k) = cik;
+        lp.a(2 * i + 1, k) = cik;
+        row_shift += cik * box;
+      }
+      lp.b[2 * i] = res[i] + row_shift;
+      lp.types[2 * i] = LpConstraintType::kLessEqual;
+      lp.b[2 * i + 1] = -res[i] + row_shift;
+      lp.types[2 * i + 1] = LpConstraintType::kGreaterEqual;
+    }
+    const size_t anchor_row = 2 * n;
+    lp.a(anchor_row, anchor) = 1.0;
+    lp.b[anchor_row] = v_hat[anchor] + box;
+    lp.types[anchor_row] = LpConstraintType::kEqual;
+    for (size_t k = 0; k < n; ++k) {
+      lp.a(anchor_row + 1 + k, k) = 1.0;
+      lp.b[anchor_row + 1 + k] = 2.0 * box;
+      lp.types[anchor_row + 1 + k] = LpConstraintType::kLessEqual;
+    }
+
+    // Two LP solves per component: maximize +x_k and -x_k.
+    for (size_t k = 0; k < n; ++k) {
+      double lo = -box, hi = box;  // fallback: the full box
+      if (k == anchor) {
+        lo = hi = v_hat[anchor];
+      } else {
+        lp.c.assign(n, 0.0);
+        lp.c[k] = 1.0;
+        const LpSolution up = SolveLp(lp);
+        lp.c[k] = -1.0;
+        const LpSolution down = SolveLp(lp);
+        if (up.status == LpStatus::kOptimal &&
+            down.status == LpStatus::kOptimal) {
+          hi = up.x[k] - box;
+          lo = down.x[k] - box;
+        } else {
+          ++result.lp_failures;
+        }
+      }
+      result.eigenvectors.Set(k, j, Interval::FromUnordered(lo, hi));
+    }
+  }
+  return result;
+}
+
+}  // namespace ivmf

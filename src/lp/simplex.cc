@@ -1,0 +1,227 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ivmf {
+namespace {
+
+// Dense simplex tableau.
+//
+// Layout: rows 0..m-1 are constraints, row m is the objective (reduced
+// costs, stored negated so that a positive entry means "improving").
+// Columns 0..total_vars-1 are variables, column total_vars is the RHS.
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : t_(rows, cols) {}
+  double& At(size_t i, size_t j) { return t_(i, j); }
+  double At(size_t i, size_t j) const { return t_(i, j); }
+  size_t rows() const { return t_.rows(); }
+  size_t cols() const { return t_.cols(); }
+
+  void Pivot(size_t pivot_row, size_t pivot_col) {
+    const double pivot = t_(pivot_row, pivot_col);
+    const double inv = 1.0 / pivot;
+    for (size_t j = 0; j < t_.cols(); ++j) t_(pivot_row, j) *= inv;
+    for (size_t i = 0; i < t_.rows(); ++i) {
+      if (i == pivot_row) continue;
+      const double factor = t_(i, pivot_col);
+      if (factor == 0.0) continue;
+      for (size_t j = 0; j < t_.cols(); ++j)
+        t_(i, j) -= factor * t_(pivot_row, j);
+    }
+  }
+
+ private:
+  Matrix t_;
+};
+
+// Runs simplex iterations on `tab` for a maximization problem whose
+// objective row is the last row (entries are negated reduced costs: we pivot
+// on columns with a *negative* objective-row entry). `basis[i]` tracks the
+// basic variable of constraint row i.
+LpStatus Iterate(Tableau& tab, std::vector<size_t>& basis,
+                 const SimplexOptions& options, size_t num_pivot_cols) {
+  const size_t m = tab.rows() - 1;
+  const size_t rhs = tab.cols() - 1;
+  size_t iterations = 0;
+  const size_t bland_after = options.max_iterations / 2;
+
+  while (true) {
+    if (++iterations > options.max_iterations) return LpStatus::kIterationLimit;
+    const bool use_bland = iterations > bland_after;
+
+    // Entering variable: most negative objective entry (Dantzig), or the
+    // first negative one (Bland) once we suspect cycling.
+    size_t enter = rhs;
+    double best = -options.tolerance;
+    for (size_t j = 0; j < num_pivot_cols; ++j) {
+      const double rc = tab.At(m, j);
+      if (rc < best) {
+        enter = j;
+        best = rc;
+        if (use_bland) break;
+      }
+    }
+    if (enter == rhs) return LpStatus::kOptimal;
+
+    // Leaving variable: min-ratio test (ties: smallest basis index — Bland).
+    size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      const double a = tab.At(i, enter);
+      if (a <= options.tolerance) continue;
+      const double ratio = tab.At(i, rhs) / a;
+      if (ratio < best_ratio - options.tolerance ||
+          (ratio < best_ratio + options.tolerance && leave != m &&
+           basis[i] < basis[leave])) {
+        best_ratio = ratio;
+        leave = i;
+      }
+    }
+    if (leave == m) return LpStatus::kUnbounded;
+
+    tab.Pivot(leave, enter);
+    basis[leave] = enter;
+  }
+}
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options) {
+  const size_t m = problem.a.rows();
+  const size_t n = problem.a.cols();
+  IVMF_CHECK(problem.b.size() == m && problem.types.size() == m &&
+             problem.c.size() == n);
+
+  // Normalize rows so every RHS is non-negative.
+  Matrix a = problem.a;
+  std::vector<double> b = problem.b;
+  std::vector<LpConstraintType> types = problem.types;
+  for (size_t i = 0; i < m; ++i) {
+    if (b[i] < 0.0) {
+      b[i] = -b[i];
+      for (size_t j = 0; j < n; ++j) a(i, j) = -a(i, j);
+      if (types[i] == LpConstraintType::kLessEqual) {
+        types[i] = LpConstraintType::kGreaterEqual;
+      } else if (types[i] == LpConstraintType::kGreaterEqual) {
+        types[i] = LpConstraintType::kLessEqual;
+      }
+    }
+  }
+
+  // Count auxiliary variables.
+  size_t num_slack = 0, num_artificial = 0;
+  for (const auto type : types) {
+    if (type == LpConstraintType::kLessEqual) {
+      ++num_slack;
+    } else if (type == LpConstraintType::kGreaterEqual) {
+      ++num_slack;       // surplus
+      ++num_artificial;
+    } else {
+      ++num_artificial;
+    }
+  }
+
+  const size_t total = n + num_slack + num_artificial;
+  const size_t rhs_col = total;
+  Tableau tab(m + 1, total + 1);
+  std::vector<size_t> basis(m);
+
+  size_t slack_at = n;
+  size_t artificial_at = n + num_slack;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) tab.At(i, j) = a(i, j);
+    tab.At(i, rhs_col) = b[i];
+    switch (types[i]) {
+      case LpConstraintType::kLessEqual:
+        tab.At(i, slack_at) = 1.0;
+        basis[i] = slack_at++;
+        break;
+      case LpConstraintType::kGreaterEqual:
+        tab.At(i, slack_at) = -1.0;
+        ++slack_at;
+        tab.At(i, artificial_at) = 1.0;
+        basis[i] = artificial_at++;
+        break;
+      case LpConstraintType::kEqual:
+        tab.At(i, artificial_at) = 1.0;
+        basis[i] = artificial_at++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  // ---- Phase 1: maximize -(sum of artificials). --------------------------
+  if (num_artificial > 0) {
+    // Objective row: +1 for each artificial (we store negated reduced
+    // costs, maximizing -sum(artificials) means coefficients c_j = -1).
+    for (size_t j = n + num_slack; j < total; ++j) tab.At(m, j) = 1.0;
+    // Price out the artificial basis (their rows currently carry them).
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] >= n + num_slack) {
+        for (size_t j = 0; j <= total; ++j)
+          tab.At(m, j) -= tab.At(i, j);
+      }
+    }
+    const LpStatus phase1 = Iterate(tab, basis, options, total);
+    if (phase1 == LpStatus::kIterationLimit) {
+      solution.status = phase1;
+      return solution;
+    }
+    // Infeasible when artificials keep positive value.
+    if (-tab.At(m, rhs_col) > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive remaining (zero-valued) artificials out of the basis.
+    for (size_t i = 0; i < m; ++i) {
+      if (basis[i] < n + num_slack) continue;
+      size_t pivot_col = total;
+      for (size_t j = 0; j < n + num_slack; ++j) {
+        if (std::abs(tab.At(i, j)) > options.tolerance) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col != total) {
+        tab.Pivot(i, pivot_col);
+        basis[i] = pivot_col;
+      }
+      // A fully-zero row is redundant; its artificial stays basic at zero,
+      // which is harmless for phase 2 as artificial columns are frozen out.
+    }
+  }
+
+  // ---- Phase 2: the real objective. ---------------------------------------
+  for (size_t j = 0; j <= total; ++j) tab.At(m, j) = 0.0;
+  for (size_t j = 0; j < n; ++j) tab.At(m, j) = -problem.c[j];
+  // Price out the current basis.
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) {
+      const double coef = tab.At(m, basis[i]);
+      if (coef != 0.0) {
+        for (size_t j = 0; j <= total; ++j)
+          tab.At(m, j) -= coef * tab.At(i, j);
+      }
+    }
+  }
+  // Phase 2 never pivots on artificial columns.
+  const LpStatus phase2 = Iterate(tab, basis, options, n + num_slack);
+  if (phase2 != LpStatus::kOptimal) {
+    solution.status = phase2;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = tab.At(i, rhs_col);
+  }
+  solution.objective = tab.At(m, rhs_col);
+  return solution;
+}
+
+}  // namespace ivmf

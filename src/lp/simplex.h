@@ -1,0 +1,52 @@
+// A dense two-phase primal simplex solver.
+//
+// This is the LP substrate behind the linear-programming-based interval
+// eigendecomposition competitor ([33] Deif, [35] Seif–Hashem) that the
+// paper's evaluation compares against (the "LPa/LPb/LPc" rows of Figures 6,
+// 7 and 9). The instances are small and dense, so a tableau simplex with a
+// Bland anti-cycling fallback is exact and sufficient.
+
+#ifndef IVMF_LP_SIMPLEX_H_
+#define IVMF_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+enum class LpConstraintType { kLessEqual, kGreaterEqual, kEqual };
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;       // value of c·x at the optimum
+  std::vector<double> x;        // primal solution (original variables only)
+};
+
+// An LP in the form
+//   maximize    c · x
+//   subject to  a[i] · x  (<=, >=, =)  b[i]   for every row i
+//               x >= 0.
+// Free variables must be handled by the caller (e.g. by shifting).
+struct LpProblem {
+  Matrix a;                              // m x n constraint matrix
+  std::vector<double> b;                 // m right-hand sides
+  std::vector<LpConstraintType> types;   // m constraint senses
+  std::vector<double> c;                 // n objective coefficients
+};
+
+struct SimplexOptions {
+  double tolerance = 1e-9;
+  // Hard cap on pivots per phase; generously above the expected basis count.
+  size_t max_iterations = 20000;
+};
+
+// Solves the LP with the two-phase primal simplex method.
+LpSolution SolveLp(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace ivmf
+
+#endif  // IVMF_LP_SIMPLEX_H_

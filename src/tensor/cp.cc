@@ -1,0 +1,164 @@
+#include "tensor/cp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "align/assignment.h"
+#include "align/ilsa.h"
+#include "base/rng.h"
+#include "interval/interval_ops.h"
+#include "linalg/pinv.h"
+
+namespace ivmf {
+namespace {
+
+Matrix RandomFactor(size_t rows, size_t cols, Rng& rng) {
+  Matrix f(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) f(i, j) = rng.Normal();
+  return f;
+}
+
+// One ALS update for a single mode:
+//   F ← X(mode) * KhatriRao(G, H) * pinv(GᵀG ∘ HᵀH).
+Matrix AlsUpdate(const Matrix& unfolded, const Matrix& g, const Matrix& h) {
+  const Matrix gram =
+      (g.Transpose() * g).CwiseMultiply(h.Transpose() * h);
+  return unfolded * KhatriRao(g, h) * PseudoInverse(gram);
+}
+
+double Fit(const Tensor3& x, const CpResult& result, double x_norm) {
+  Tensor3 residual = result.Reconstruct();
+  residual -= x;
+  if (x_norm == 0.0) return residual.FrobeniusNorm() == 0.0 ? 1.0 : 0.0;
+  return 1.0 - residual.FrobeniusNorm() / x_norm;
+}
+
+}  // namespace
+
+Tensor3 IntervalTensor3::Mid() const {
+  Tensor3 out(lower.dim(0), lower.dim(1), lower.dim(2));
+  for (size_t i = 0; i < lower.dim(0); ++i)
+    for (size_t j = 0; j < lower.dim(1); ++j)
+      for (size_t k = 0; k < lower.dim(2); ++k)
+        out(i, j, k) = 0.5 * (lower(i, j, k) + upper(i, j, k));
+  return out;
+}
+
+CpResult ComputeCpAls(const Tensor3& x, size_t rank, const CpOptions& options) {
+  IVMF_CHECK_MSG(rank > 0, "CP rank must be positive");
+  Rng rng(options.seed);
+
+  CpResult result;
+  result.a = RandomFactor(x.dim(0), rank, rng);
+  result.b = RandomFactor(x.dim(1), rank, rng);
+  result.c = RandomFactor(x.dim(2), rank, rng);
+  result.lambda.assign(rank, 1.0);
+
+  const Matrix x0 = x.Unfold(0);
+  const Matrix x1 = x.Unfold(1);
+  const Matrix x2 = x.Unfold(2);
+  const double x_norm = x.FrobeniusNorm();
+
+  // Scale lambda into A for the iteration; re-extract at the end.
+  auto absorb_lambda = [&](Matrix& f) {
+    for (size_t i = 0; i < f.rows(); ++i)
+      for (size_t t = 0; t < rank; ++t) f(i, t) *= result.lambda[t];
+    result.lambda.assign(rank, 1.0);
+  };
+  absorb_lambda(result.a);
+
+  double prev_fit = -1.0;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Unfolding convention: X(0) = A (C ⊙ B)ᵀ, X(1) = B (C ⊙ A)ᵀ,
+    // X(2) = C (B ⊙ A)ᵀ.
+    result.a = AlsUpdate(x0, result.c, result.b);
+    result.b = AlsUpdate(x1, result.c, result.a);
+    result.c = AlsUpdate(x2, result.b, result.a);
+
+    // Normalize B and C columns; keep the scale in A (cheap and keeps the
+    // Fit computation meaningful every iteration).
+    NormalizeColumnsL2(result.b);
+    NormalizeColumnsL2(result.c);
+
+    const double fit = Fit(x, result, x_norm);
+    result.fit_history.push_back(fit);
+    if (prev_fit >= 0.0 && std::abs(fit - prev_fit) < options.tolerance) break;
+    prev_fit = fit;
+  }
+
+  // Final normalization: unit columns everywhere, weights in lambda,
+  // components sorted by descending |lambda| with non-negative lambda
+  // (sign pushed into A).
+  std::vector<double> norms_a = NormalizeColumnsL2(result.a);
+  for (size_t t = 0; t < rank; ++t) result.lambda[t] = norms_a[t];
+
+  std::vector<size_t> order(rank);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t p, size_t q) {
+    return result.lambda[p] > result.lambda[q];
+  });
+  CpResult sorted = result;
+  for (size_t t = 0; t < rank; ++t) {
+    const size_t src = order[t];
+    sorted.lambda[t] = result.lambda[src];
+    for (size_t i = 0; i < result.a.rows(); ++i)
+      sorted.a(i, t) = result.a(i, src);
+    for (size_t i = 0; i < result.b.rows(); ++i)
+      sorted.b(i, t) = result.b(i, src);
+    for (size_t i = 0; i < result.c.rows(); ++i)
+      sorted.c(i, t) = result.c(i, src);
+  }
+  sorted.fit_history = result.fit_history;
+  return sorted;
+}
+
+IntervalCpResult ComputeAlignedIntervalCp(const IntervalTensor3& x,
+                                          size_t rank,
+                                          const CpOptions& options,
+                                          bool align) {
+  IntervalCpResult result;
+  result.lower = ComputeCpAls(x.lower, rank, options);
+  result.upper = ComputeCpAls(x.upper, rank, options);
+  result.component_similarity.assign(rank, 0.0);
+
+  // Per-component similarity across all three modes: the product of the
+  // |cos| agreements. A rank-one component only matches when all of its
+  // factors do.
+  const Matrix sim_a =
+      PairwiseAbsCosine(result.lower.a, result.upper.a);
+  const Matrix sim_b =
+      PairwiseAbsCosine(result.lower.b, result.upper.b);
+  const Matrix sim_c =
+      PairwiseAbsCosine(result.lower.c, result.upper.c);
+  Matrix sim(rank, rank);
+  for (size_t p = 0; p < rank; ++p)
+    for (size_t q = 0; q < rank; ++q)
+      sim(p, q) = sim_a(p, q) * sim_b(p, q) * sim_c(p, q);
+
+  std::vector<size_t> mapping(rank);
+  if (align) {
+    mapping = SolveAssignmentMax(sim);
+  } else {
+    std::iota(mapping.begin(), mapping.end(), 0);
+  }
+
+  // Permute the min side to pair with the max side.
+  CpResult aligned = result.lower;
+  for (size_t t = 0; t < rank; ++t) {
+    const size_t src = mapping[t];
+    result.component_similarity[t] = sim(src, t);
+    aligned.lambda[t] = result.lower.lambda[src];
+    for (size_t i = 0; i < aligned.a.rows(); ++i)
+      aligned.a(i, t) = result.lower.a(i, src);
+    for (size_t i = 0; i < aligned.b.rows(); ++i)
+      aligned.b(i, t) = result.lower.b(i, src);
+    for (size_t i = 0; i < aligned.c.rows(); ++i)
+      aligned.c(i, t) = result.lower.c(i, src);
+  }
+  result.lower = std::move(aligned);
+  return result;
+}
+
+}  // namespace ivmf

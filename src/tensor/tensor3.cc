@@ -1,0 +1,133 @@
+#include "tensor/tensor3.h"
+
+#include <cmath>
+
+namespace ivmf {
+
+Matrix Tensor3::Unfold(int mode) const {
+  IVMF_CHECK(mode >= 0 && mode < 3);
+  const size_t i_dim = dim_[0], j_dim = dim_[1], k_dim = dim_[2];
+  switch (mode) {
+    case 0: {
+      Matrix out(i_dim, j_dim * k_dim);
+      for (size_t i = 0; i < i_dim; ++i)
+        for (size_t j = 0; j < j_dim; ++j)
+          for (size_t k = 0; k < k_dim; ++k)
+            out(i, j + k * j_dim) = (*this)(i, j, k);
+      return out;
+    }
+    case 1: {
+      Matrix out(j_dim, i_dim * k_dim);
+      for (size_t i = 0; i < i_dim; ++i)
+        for (size_t j = 0; j < j_dim; ++j)
+          for (size_t k = 0; k < k_dim; ++k)
+            out(j, i + k * i_dim) = (*this)(i, j, k);
+      return out;
+    }
+    default: {
+      Matrix out(k_dim, i_dim * j_dim);
+      for (size_t i = 0; i < i_dim; ++i)
+        for (size_t j = 0; j < j_dim; ++j)
+          for (size_t k = 0; k < k_dim; ++k)
+            out(k, i + j * i_dim) = (*this)(i, j, k);
+      return out;
+    }
+  }
+}
+
+Tensor3 Tensor3::Fold(const Matrix& unfolded, int mode, size_t i_dim,
+                      size_t j_dim, size_t k_dim) {
+  Tensor3 out(i_dim, j_dim, k_dim);
+  switch (mode) {
+    case 0:
+      IVMF_CHECK(unfolded.rows() == i_dim &&
+                 unfolded.cols() == j_dim * k_dim);
+      for (size_t i = 0; i < i_dim; ++i)
+        for (size_t j = 0; j < j_dim; ++j)
+          for (size_t k = 0; k < k_dim; ++k)
+            out(i, j, k) = unfolded(i, j + k * j_dim);
+      break;
+    case 1:
+      IVMF_CHECK(unfolded.rows() == j_dim &&
+                 unfolded.cols() == i_dim * k_dim);
+      for (size_t i = 0; i < i_dim; ++i)
+        for (size_t j = 0; j < j_dim; ++j)
+          for (size_t k = 0; k < k_dim; ++k)
+            out(i, j, k) = unfolded(j, i + k * i_dim);
+      break;
+    default:
+      IVMF_CHECK(unfolded.rows() == k_dim &&
+                 unfolded.cols() == i_dim * j_dim);
+      for (size_t i = 0; i < i_dim; ++i)
+        for (size_t j = 0; j < j_dim; ++j)
+          for (size_t k = 0; k < k_dim; ++k)
+            out(i, j, k) = unfolded(k, i + j * i_dim);
+      break;
+  }
+  return out;
+}
+
+Tensor3 Tensor3::FromCp(const Matrix& a, const Matrix& b, const Matrix& c,
+                        const std::vector<double>& lambda) {
+  const size_t r = a.cols();
+  IVMF_CHECK(b.cols() == r && c.cols() == r && lambda.size() == r);
+  Tensor3 out(a.rows(), b.rows(), c.rows());
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < b.rows(); ++j)
+      for (size_t k = 0; k < c.rows(); ++k) {
+        double sum = 0.0;
+        for (size_t t = 0; t < r; ++t)
+          sum += lambda[t] * a(i, t) * b(j, t) * c(k, t);
+        out(i, j, k) = sum;
+      }
+  return out;
+}
+
+Tensor3& Tensor3::operator-=(const Tensor3& other) {
+  IVMF_CHECK(dim_[0] == other.dim_[0] && dim_[1] == other.dim_[1] &&
+             dim_[2] == other.dim_[2]);
+  for (size_t t = 0; t < data_.size(); ++t) data_[t] -= other.data_[t];
+  return *this;
+}
+
+Tensor3& Tensor3::operator+=(const Tensor3& other) {
+  IVMF_CHECK(dim_[0] == other.dim_[0] && dim_[1] == other.dim_[1] &&
+             dim_[2] == other.dim_[2]);
+  for (size_t t = 0; t < data_.size(); ++t) data_[t] += other.data_[t];
+  return *this;
+}
+
+double Tensor3::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+double Tensor3::MaxAbs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+bool Tensor3::ApproxEquals(const Tensor3& other, double tol) const {
+  if (dim_[0] != other.dim_[0] || dim_[1] != other.dim_[1] ||
+      dim_[2] != other.dim_[2]) {
+    return false;
+  }
+  for (size_t t = 0; t < data_.size(); ++t)
+    if (std::abs(data_[t] - other.data_[t]) > tol) return false;
+  return true;
+}
+
+Matrix KhatriRao(const Matrix& a, const Matrix& b) {
+  IVMF_CHECK_MSG(a.cols() == b.cols(), "Khatri-Rao needs equal column counts");
+  const size_t r = a.cols();
+  Matrix out(a.rows() * b.rows(), r);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < b.rows(); ++j)
+      for (size_t t = 0; t < r; ++t)
+        out(i * b.rows() + j, t) = a(i, t) * b(j, t);
+  return out;
+}
+
+}  // namespace ivmf

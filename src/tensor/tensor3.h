@@ -1,0 +1,79 @@
+// Dense 3-way tensors and the multilinear-algebra primitives under CP
+// decomposition (mode-n unfolding, Khatri–Rao product).
+//
+// This extends the library towards the authors' stated follow-up direction
+// (decomposition of imprecise *tensors*): interval-valued CP lives in
+// tensor/cp.h and reuses ILSA exactly like ISVD does for matrices.
+
+#ifndef IVMF_TENSOR_TENSOR3_H_
+#define IVMF_TENSOR_TENSOR3_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "base/check.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// A dense I x J x K tensor of doubles (first index fastest conceptually;
+// storage is row-major over (i, j, k)).
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(size_t i, size_t j, size_t k)
+      : dim_{i, j, k}, data_(i * j * k, 0.0) {}
+
+  size_t dim(int mode) const {
+    IVMF_DCHECK(mode >= 0 && mode < 3);
+    return dim_[mode];
+  }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j, size_t k) {
+    IVMF_DCHECK(i < dim_[0] && j < dim_[1] && k < dim_[2]);
+    return data_[(i * dim_[1] + j) * dim_[2] + k];
+  }
+  double operator()(size_t i, size_t j, size_t k) const {
+    IVMF_DCHECK(i < dim_[0] && j < dim_[1] && k < dim_[2]);
+    return data_[(i * dim_[1] + j) * dim_[2] + k];
+  }
+
+  // Mode-n unfolding (Kolda & Bader convention): mode 0 gives an
+  // I x (J*K) matrix with x_{ijk} in column j + k*J; mode 1 gives
+  // J x (I*K) with column i + k*I; mode 2 gives K x (I*J) with column
+  // i + j*I.
+  Matrix Unfold(int mode) const;
+
+  // Inverse of Unfold for the same convention.
+  static Tensor3 Fold(const Matrix& unfolded, int mode, size_t i, size_t j,
+                      size_t k);
+
+  // Rank-R CP construction: X = Σ_r lambda_r a_r ∘ b_r ∘ c_r with
+  // a_r/b_r/c_r the r-th columns of A (I x R), B (J x R), C (K x R).
+  static Tensor3 FromCp(const Matrix& a, const Matrix& b, const Matrix& c,
+                        const std::vector<double>& lambda);
+
+  Tensor3& operator-=(const Tensor3& other);
+  Tensor3& operator+=(const Tensor3& other);
+
+  double FrobeniusNorm() const;
+  double MaxAbs() const;
+
+  bool ApproxEquals(const Tensor3& other, double tol) const;
+
+ private:
+  size_t dim_[3] = {0, 0, 0};
+  std::vector<double> data_;
+};
+
+// Khatri–Rao (column-wise Kronecker) product: A (I x R) ⊙ B (J x R) is the
+// (I*J) x R matrix whose r-th column is kron(A[:,r], B[:,r]) with B's index
+// varying fastest — matching the unfolding convention above so that
+// X(0) = A diag(λ) (C ⊙ B)ᵀ.
+Matrix KhatriRao(const Matrix& a, const Matrix& b);
+
+}  // namespace ivmf
+
+#endif  // IVMF_TENSOR_TENSOR3_H_

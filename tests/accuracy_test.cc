@@ -1,0 +1,110 @@
+#include "core/accuracy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomIntervalMatrix;
+
+TEST(HarmonicMeanTest, EqualValues) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.8, 0.8), 0.8);
+}
+
+TEST(HarmonicMeanTest, KnownValue) {
+  EXPECT_NEAR(HarmonicMean(1.0, 0.5), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HarmonicMeanTest, ZeroDominates) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 0.0), 0.0);
+}
+
+TEST(HarmonicMeanTest, BoundedByMin) {
+  // HM(a,b) <= min(a,b) ... actually HM <= geometric <= arithmetic, and
+  // HM <= 2*min; it is <= min only when values are equal. Check the true
+  // bound: min <= ... no — HM is <= both? HM(1, 0.5)=0.667 > 0.5. The valid
+  // property: min(a,b) <= HM is false; HM lies between min and max.
+  const double hm = HarmonicMean(0.3, 0.9);
+  EXPECT_GE(hm, 0.3);
+  EXPECT_LE(hm, 0.9);
+}
+
+TEST(RelativeFrobeniusTest, IdenticalMatricesGiveZero) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(RelativeFrobenius(m, m), 0.0);
+}
+
+TEST(RelativeFrobeniusTest, KnownRatio) {
+  const Matrix a = Matrix::FromRows({{3, 4}});  // norm 5
+  const Matrix b = Matrix::FromRows({{0, 0}});
+  EXPECT_DOUBLE_EQ(RelativeFrobenius(a, b), 1.0);
+}
+
+TEST(RelativeFrobeniusTest, ZeroReferenceHandling) {
+  const Matrix zero(2, 2);
+  EXPECT_DOUBLE_EQ(RelativeFrobenius(zero, zero), 0.0);
+  EXPECT_TRUE(std::isinf(
+      RelativeFrobenius(zero, Matrix::FromRows({{1, 0}, {0, 0}}))));
+}
+
+TEST(DecompositionAccuracyTest, PerfectReconstruction) {
+  Rng rng(1);
+  const IntervalMatrix m = RandomIntervalMatrix(5, 7, rng);
+  const AccuracyReport report = DecompositionAccuracy(m, m);
+  EXPECT_DOUBLE_EQ(report.harmonic_mean, 1.0);
+  EXPECT_DOUBLE_EQ(report.theta_min, 1.0);
+  EXPECT_DOUBLE_EQ(report.theta_max, 1.0);
+}
+
+TEST(DecompositionAccuracyTest, CompleteMissGivesZero) {
+  Rng rng(2);
+  const IntervalMatrix m = RandomIntervalMatrix(5, 7, rng, 1.0, 2.0);
+  // Reconstruction at 3x the magnitude: delta > 1 -> theta clamped to 0.
+  const IntervalMatrix bad(m.lower() * 4.0, m.upper() * 4.0);
+  const AccuracyReport report = DecompositionAccuracy(m, bad);
+  EXPECT_DOUBLE_EQ(report.harmonic_mean, 0.0);
+}
+
+TEST(DecompositionAccuracyTest, ThetaIsClampedAtZero) {
+  const IntervalMatrix m(Matrix::FromRows({{1.0}}), Matrix::FromRows({{1.0}}));
+  const IntervalMatrix far(Matrix::FromRows({{10.0}}),
+                           Matrix::FromRows({{10.0}}));
+  const AccuracyReport report = DecompositionAccuracy(m, far);
+  EXPECT_DOUBLE_EQ(report.theta_min, 0.0);
+  EXPECT_GE(report.delta_min, 1.0);
+}
+
+TEST(DecompositionAccuracyTest, AsymmetricEndpointErrors) {
+  // Perfect lower endpoint, half-off upper endpoint.
+  const Matrix lo = Matrix::FromRows({{2.0, 0.0}});
+  const Matrix hi = Matrix::FromRows({{4.0, 0.0}});
+  const IntervalMatrix original(lo, hi);
+  const IntervalMatrix recon(lo, Matrix::FromRows({{2.0, 0.0}}));
+  const AccuracyReport report = DecompositionAccuracy(original, recon);
+  EXPECT_DOUBLE_EQ(report.theta_min, 1.0);
+  EXPECT_DOUBLE_EQ(report.theta_max, 0.5);  // ||4-2||/||4|| = 0.5
+  EXPECT_NEAR(report.harmonic_mean, HarmonicMean(1.0, 0.5), 1e-12);
+}
+
+TEST(DecompositionAccuracyTest, BetterReconstructionScoresHigher) {
+  Rng rng(3);
+  const IntervalMatrix m = RandomIntervalMatrix(6, 6, rng, 0.5, 1.5);
+  Matrix noise_small(6, 6), noise_large(6, 6);
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 6; ++j) {
+      noise_small(i, j) = 0.01 * rng.Normal();
+      noise_large(i, j) = 0.3 * rng.Normal();
+    }
+  const IntervalMatrix close(m.lower() + noise_small, m.upper() + noise_small);
+  const IntervalMatrix far(m.lower() + noise_large, m.upper() + noise_large);
+  EXPECT_GT(DecompositionAccuracy(m, close).harmonic_mean,
+            DecompositionAccuracy(m, far).harmonic_mean);
+}
+
+}  // namespace
+}  // namespace ivmf

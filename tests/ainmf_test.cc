@@ -1,0 +1,88 @@
+// Tests for AI-NMF, the alignment-extended interval NMF.
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "factor/nmf.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+IntervalMatrix NonNegativeIntervalMatrix(size_t rows, size_t cols, Rng& rng) {
+  Matrix lo(rows, cols), hi(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) {
+      lo(i, j) = rng.Uniform(0.0, 1.0);
+      hi(i, j) = lo(i, j) + rng.Uniform(0.0, 0.4);
+    }
+  return IntervalMatrix(lo, hi);
+}
+
+TEST(AiNmfTest, FactorsStayNonNegative) {
+  Rng rng(1);
+  const IntervalMatrix m = NonNegativeIntervalMatrix(12, 9, rng);
+  const IntervalNmfResult result = ComputeAlignedIntervalNmf(m, 4);
+  for (size_t i = 0; i < result.u.rows(); ++i)
+    for (size_t j = 0; j < result.u.cols(); ++j)
+      EXPECT_GE(result.u(i, j), 0.0);
+  for (size_t i = 0; i < result.v_lo.rows(); ++i)
+    for (size_t j = 0; j < result.v_lo.cols(); ++j) {
+      EXPECT_GE(result.v_lo(i, j), 0.0);
+      EXPECT_GE(result.v_hi(i, j), 0.0);
+    }
+}
+
+TEST(AiNmfTest, LossImprovesOverall) {
+  Rng rng(2);
+  const IntervalMatrix m = NonNegativeIntervalMatrix(14, 10, rng);
+  const IntervalNmfResult result = ComputeAlignedIntervalNmf(m, 4);
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+}
+
+TEST(AiNmfTest, MatchesInmfWhenAlignmentNeverFires) {
+  // With align_every beyond the iteration budget the alignment step never
+  // runs, so AI-NMF reduces exactly to I-NMF.
+  Rng rng(3);
+  const IntervalMatrix m = NonNegativeIntervalMatrix(10, 8, rng);
+  NmfOptions options;
+  options.max_iterations = 50;
+  const IntervalNmfResult plain = ComputeIntervalNmf(m, 3, options);
+  const IntervalNmfResult aligned = ComputeAlignedIntervalNmf(
+      m, 3, options, /*align_every=*/options.max_iterations + 1);
+  EXPECT_TRUE(plain.u.ApproxEquals(aligned.u, 1e-12));
+  EXPECT_TRUE(plain.v_lo.ApproxEquals(aligned.v_lo, 1e-12));
+  EXPECT_TRUE(plain.v_hi.ApproxEquals(aligned.v_hi, 1e-12));
+}
+
+TEST(AiNmfTest, AlignEveryZeroIsRejectedByIntervalNmfPath) {
+  // ComputeIntervalNmf (align_every = 0) must behave exactly like before.
+  Rng rng(4);
+  const IntervalMatrix m = NonNegativeIntervalMatrix(8, 6, rng);
+  const IntervalNmfResult result = ComputeIntervalNmf(m, 3);
+  for (size_t i = 1; i < result.loss_history.size(); ++i)
+    EXPECT_LE(result.loss_history[i], result.loss_history[i - 1] + 1e-9);
+}
+
+TEST(AiNmfTest, SparseAlignmentCadence) {
+  Rng rng(5);
+  const IntervalMatrix m = NonNegativeIntervalMatrix(10, 8, rng);
+  NmfOptions options;
+  options.max_iterations = 40;
+  const IntervalNmfResult result =
+      ComputeAlignedIntervalNmf(m, 3, options, /*align_every=*/10);
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+}
+
+TEST(AiNmfTest, ReconstructionIsProperAndNonNegative) {
+  Rng rng(6);
+  const IntervalMatrix m = NonNegativeIntervalMatrix(10, 8, rng);
+  const IntervalNmfResult result = ComputeAlignedIntervalNmf(m, 4);
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_TRUE(recon.IsProper());
+  for (size_t i = 0; i < recon.rows(); ++i)
+    for (size_t j = 0; j < recon.cols(); ++j)
+      EXPECT_GE(recon.At(i, j).lo, 0.0);
+}
+
+}  // namespace
+}  // namespace ivmf

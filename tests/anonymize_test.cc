@@ -1,0 +1,98 @@
+#include "data/anonymize.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+TEST(GeneralizeValueTest, ValueFallsInsideItsBin) {
+  for (double x : {0.0, 0.1, 0.5, 0.99, 1.0}) {
+    const Interval bin = GeneralizeValue(x, 0.0, 1.0, 20);
+    EXPECT_LE(bin.lo, x + 1e-12);
+    EXPECT_GE(bin.hi, x - 1e-12);
+  }
+}
+
+TEST(GeneralizeValueTest, BinWidthMatchesLevel) {
+  const Interval bin = GeneralizeValue(0.37, 0.0, 1.0, 5);
+  EXPECT_NEAR(bin.Span(), 0.2, 1e-12);
+}
+
+TEST(GeneralizeValueTest, EdgeValuesClampToValidBins) {
+  const Interval top = GeneralizeValue(1.0, 0.0, 1.0, 10);
+  EXPECT_NEAR(top.hi, 1.0, 1e-12);
+  const Interval bottom = GeneralizeValue(0.0, 0.0, 1.0, 10);
+  EXPECT_NEAR(bottom.lo, 0.0, 1e-12);
+}
+
+TEST(GeneralizeValueTest, DegenerateDomainStaysScalar) {
+  const Interval bin = GeneralizeValue(3.0, 3.0, 3.0, 10);
+  EXPECT_TRUE(bin.IsScalar());
+}
+
+TEST(GeneralizeValueTest, MoreBinsMeanNarrowerIntervals) {
+  const double spans[] = {GeneralizeValue(0.5, 0.0, 1.0, 100).Span(),
+                          GeneralizeValue(0.5, 0.0, 1.0, 50).Span(),
+                          GeneralizeValue(0.5, 0.0, 1.0, 20).Span(),
+                          GeneralizeValue(0.5, 0.0, 1.0, 5).Span()};
+  for (int i = 1; i < 4; ++i) EXPECT_GT(spans[i], spans[i - 1]);
+}
+
+TEST(AnonymizeMatrixTest, ContainsOriginal) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(20, 15, rng, 0.0, 1.0);
+  const IntervalMatrix anon = AnonymizeMatrix(m, MediumPrivacyMix(), rng);
+  EXPECT_TRUE(anon.ContainsMatrix(m, 1e-12));
+  EXPECT_TRUE(anon.IsProper());
+}
+
+TEST(AnonymizeMatrixTest, MixControlsAverageSpan) {
+  Rng rng(2);
+  const Matrix m = RandomMatrix(60, 60, rng, 0.0, 1.0);
+  Rng rng_high(3), rng_low(3);
+  const IntervalMatrix high = AnonymizeMatrix(m, HighPrivacyMix(), rng_high);
+  const IntervalMatrix low = AnonymizeMatrix(m, LowPrivacyMix(), rng_low);
+  // Higher privacy -> coarser bins on average -> larger total span.
+  EXPECT_GT(high.Span().Sum(), low.Span().Sum());
+}
+
+TEST(AnonymizeMatrixTest, MixesAreNormalized) {
+  for (const AnonymizationMix mix :
+       {HighPrivacyMix(), MediumPrivacyMix(), LowPrivacyMix()}) {
+    EXPECT_NEAR(mix.l1 + mix.l2 + mix.l3 + mix.l4, 1.0, 1e-12);
+  }
+}
+
+TEST(AnonymizeMatrixTest, SpansComeFromKnownBinWidths) {
+  Rng rng(4);
+  const Matrix m = RandomMatrix(30, 30, rng, 0.0, 1.0);
+  const IntervalMatrix anon = AnonymizeMatrix(m, MediumPrivacyMix(), rng);
+
+  // Domain of the generalization = [min, max] of the input.
+  double lo = m(0, 0), hi = m(0, 0);
+  for (size_t i = 0; i < 30; ++i)
+    for (size_t j = 0; j < 30; ++j) {
+      lo = std::min(lo, m(i, j));
+      hi = std::max(hi, m(i, j));
+    }
+
+  // Every span must equal domain / bins for one of the four levels.
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < 30; ++j) {
+      const double span = anon.At(i, j).Span();
+      EXPECT_GT(span, 0.0);  // generalization always publishes a range
+      bool matches = false;
+      for (size_t bins : kGeneralizationBins) {
+        if (std::abs(span - (hi - lo) / static_cast<double>(bins)) < 1e-9)
+          matches = true;
+      }
+      EXPECT_TRUE(matches) << "span " << span << " at (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ivmf

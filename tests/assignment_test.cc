@@ -1,0 +1,165 @@
+#include "align/assignment.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+// Brute-force optimal assignment over all permutations (test oracle).
+double BruteForceBest(const Matrix& weight) {
+  const size_t n = weight.rows();
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1e300;
+  do {
+    double total = 0.0;
+    for (size_t j = 0; j < n; ++j) total += weight(perm[j], j);
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+bool IsPermutation(const std::vector<size_t>& match) {
+  std::set<size_t> seen(match.begin(), match.end());
+  return seen.size() == match.size() &&
+         (match.empty() || *seen.rbegin() == match.size() - 1);
+}
+
+Matrix RandomWeight(size_t n, Rng& rng) {
+  Matrix w(n, n);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) w(i, j) = rng.Uniform();
+  return w;
+}
+
+TEST(HungarianTest, IdentityWeightPicksDiagonal) {
+  const Matrix w = Matrix::Identity(4);
+  const std::vector<size_t> match = SolveAssignmentMax(w);
+  for (size_t j = 0; j < 4; ++j) EXPECT_EQ(match[j], j);
+}
+
+TEST(HungarianTest, AntiDiagonalWeight) {
+  Matrix w(3, 3);
+  w(2, 0) = 1;
+  w(1, 1) = 1;
+  w(0, 2) = 1;
+  const std::vector<size_t> match = SolveAssignmentMax(w);
+  EXPECT_EQ(match[0], 2u);
+  EXPECT_EQ(match[1], 1u);
+  EXPECT_EQ(match[2], 0u);
+}
+
+TEST(HungarianTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 2 + trial % 6;  // up to 7: brute force stays cheap
+    const Matrix w = RandomWeight(n, rng);
+    const std::vector<size_t> match = SolveAssignmentMax(w);
+    EXPECT_TRUE(IsPermutation(match));
+    EXPECT_NEAR(AssignmentWeight(w, match), BruteForceBest(w), 1e-9);
+  }
+}
+
+TEST(HungarianTest, MinimizationMatchesNegatedMaximization) {
+  Rng rng(2);
+  const Matrix w = RandomWeight(5, rng);
+  Matrix neg(5, 5);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 5; ++j) neg(i, j) = -w(i, j);
+  const double min_cost = AssignmentWeight(neg, SolveAssignmentMin(neg));
+  const double max_weight = AssignmentWeight(w, SolveAssignmentMax(w));
+  EXPECT_NEAR(min_cost, -max_weight, 1e-9);
+}
+
+TEST(HungarianTest, LargeInstanceIsPermutation) {
+  Rng rng(3);
+  const Matrix w = RandomWeight(64, rng);
+  EXPECT_TRUE(IsPermutation(SolveAssignmentMax(w)));
+}
+
+TEST(HungarianTest, SingleElement) {
+  const std::vector<size_t> match = SolveAssignmentMax(Matrix::FromRows({{0.3}}));
+  ASSERT_EQ(match.size(), 1u);
+  EXPECT_EQ(match[0], 0u);
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  EXPECT_TRUE(SolveAssignmentMax(Matrix()).empty());
+}
+
+TEST(GreedyTest, ReturnsPermutation) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix w = RandomWeight(3 + trial % 8, rng);
+    EXPECT_TRUE(IsPermutation(SolveAssignmentGreedy(w)));
+  }
+}
+
+TEST(GreedyTest, OptimalWhenUnambiguous) {
+  // Strongly diagonal-dominant weights: greedy finds the optimum.
+  Matrix w(4, 4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 4; ++j) w(i, j) = (i == j) ? 10.0 : 0.1 * (i + j);
+  const std::vector<size_t> match = SolveAssignmentGreedy(w);
+  for (size_t j = 0; j < 4; ++j) EXPECT_EQ(match[j], j);
+}
+
+TEST(GreedyTest, NeverBeatsHungarian) {
+  Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Matrix w = RandomWeight(4 + trial % 5, rng);
+    const double greedy = AssignmentWeight(w, SolveAssignmentGreedy(w));
+    const double optimal = AssignmentWeight(w, SolveAssignmentMax(w));
+    EXPECT_LE(greedy, optimal + 1e-9);
+  }
+}
+
+TEST(StableMarriageTest, ReturnsPermutation) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Matrix w = RandomWeight(3 + trial % 8, rng);
+    EXPECT_TRUE(IsPermutation(SolveStableMarriage(w)));
+  }
+}
+
+TEST(StableMarriageTest, ResultIsStable) {
+  // No blocking pair: (i, j) such that both prefer each other over their
+  // assignments.
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const size_t n = 4 + trial % 4;
+    const Matrix w = RandomWeight(n, rng);
+    const std::vector<size_t> match = SolveStableMarriage(w);
+    std::vector<size_t> row_of_col = match;           // col -> row
+    std::vector<size_t> col_of_row(n);
+    for (size_t j = 0; j < n; ++j) col_of_row[match[j]] = j;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        const bool row_prefers = w(i, j) > w(i, col_of_row[i]);
+        const bool col_prefers = w(i, j) > w(row_of_col[j], j);
+        EXPECT_FALSE(row_prefers && col_prefers)
+            << "blocking pair (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(StableMarriageTest, IdentityPreference) {
+  const std::vector<size_t> match = SolveStableMarriage(Matrix::Identity(5));
+  for (size_t j = 0; j < 5; ++j) EXPECT_EQ(match[j], j);
+}
+
+TEST(AssignmentWeightTest, SumsSelectedEntries) {
+  const Matrix w = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, {0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(AssignmentWeight(w, {1, 0}), 5.0);
+}
+
+}  // namespace
+}  // namespace ivmf

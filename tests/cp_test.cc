@@ -1,0 +1,156 @@
+#include "tensor/cp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+// A planted rank-R tensor with unit factor columns and given weights.
+Tensor3 PlantedTensor(size_t i, size_t j, size_t k, size_t rank,
+                      std::vector<double> lambda, Rng& rng) {
+  auto unit_factor = [&](size_t rows) {
+    Matrix f = RandomMatrix(rows, rank, rng);
+    for (size_t t = 0; t < rank; ++t) {
+      double norm = 0.0;
+      for (size_t r = 0; r < rows; ++r) norm += f(r, t) * f(r, t);
+      norm = std::sqrt(norm);
+      for (size_t r = 0; r < rows; ++r) f(r, t) /= norm;
+    }
+    return f;
+  };
+  return Tensor3::FromCp(unit_factor(i), unit_factor(j), unit_factor(k),
+                         lambda);
+}
+
+TEST(CpAlsTest, RecoversPlantedRankOneTensor) {
+  Rng rng(1);
+  const Tensor3 x = PlantedTensor(6, 5, 4, 1, {3.0}, rng);
+  const CpResult result = ComputeCpAls(x, 1);
+  EXPECT_GT(result.fit_history.back(), 0.9999);
+  EXPECT_NEAR(result.lambda[0], 3.0, 1e-3);
+  EXPECT_TRUE(result.Reconstruct().ApproxEquals(x, 1e-3));
+}
+
+TEST(CpAlsTest, RecoversPlantedRankThreeTensor) {
+  Rng rng(2);
+  const Tensor3 x = PlantedTensor(8, 7, 6, 3, {5.0, 3.0, 2.0}, rng);
+  CpOptions options;
+  options.max_iterations = 300;
+  const CpResult result = ComputeCpAls(x, 3, options);
+  EXPECT_GT(result.fit_history.back(), 0.999);
+  // Weights recovered in descending order.
+  EXPECT_NEAR(result.lambda[0], 5.0, 0.2);
+  EXPECT_NEAR(result.lambda[1], 3.0, 0.2);
+  EXPECT_NEAR(result.lambda[2], 2.0, 0.2);
+}
+
+TEST(CpAlsTest, FactorColumnsAreUnitLength) {
+  Rng rng(3);
+  const Tensor3 x = PlantedTensor(6, 6, 6, 2, {2.0, 1.0}, rng);
+  const CpResult result = ComputeCpAls(x, 2);
+  for (size_t t = 0; t < 2; ++t) {
+    EXPECT_NEAR(Norm2(result.a.Col(t)), 1.0, 1e-9);
+    EXPECT_NEAR(Norm2(result.b.Col(t)), 1.0, 1e-9);
+    EXPECT_NEAR(Norm2(result.c.Col(t)), 1.0, 1e-9);
+  }
+}
+
+TEST(CpAlsTest, LambdaSortedDescending) {
+  Rng rng(4);
+  const Tensor3 x = PlantedTensor(7, 6, 5, 3, {1.0, 4.0, 2.5}, rng);
+  const CpResult result = ComputeCpAls(x, 3, {200, 1e-9, 77});
+  for (size_t t = 1; t < 3; ++t)
+    EXPECT_GE(result.lambda[t - 1], result.lambda[t] - 1e-9);
+}
+
+TEST(CpAlsTest, FitImprovesOverIterations) {
+  Rng rng(5);
+  Tensor3 x = PlantedTensor(6, 6, 6, 2, {3.0, 1.5}, rng);
+  // Add noise so the fit trajectory is non-trivial.
+  for (size_t i = 0; i < 6; ++i)
+    for (size_t j = 0; j < 6; ++j)
+      for (size_t k = 0; k < 6; ++k) x(i, j, k) += 0.02 * rng.Normal();
+  const CpResult result = ComputeCpAls(x, 2);
+  EXPECT_GT(result.fit_history.back(), result.fit_history.front() - 1e-9);
+  EXPECT_GT(result.fit_history.back(), 0.9);
+}
+
+TEST(IntervalCpTest, DegenerateTensorAlignsToIdentityQuality) {
+  Rng rng(6);
+  const Tensor3 x = PlantedTensor(6, 5, 4, 2, {3.0, 1.5}, rng);
+  const IntervalCpResult result =
+      ComputeAlignedIntervalCp(IntervalTensor3::FromScalar(x), 2);
+  // Same tensor on both sides: components pair essentially perfectly.
+  for (double s : result.component_similarity) EXPECT_GT(s, 0.99);
+  for (size_t t = 0; t < 2; ++t)
+    EXPECT_NEAR(result.lower.lambda[t], result.upper.lambda[t], 1e-6);
+}
+
+TEST(IntervalCpTest, AlignmentImprovesComponentPairing) {
+  // Interval tensor whose endpoints share components but with weights that
+  // swap the recovered order between the min and max sides — exactly the
+  // misalignment ILSA fixes in the matrix case.
+  Rng rng(7);
+  auto unit = [&](size_t rows, size_t rank) {
+    Matrix f = RandomMatrix(rows, rank, rng);
+    for (size_t t = 0; t < rank; ++t) {
+      double norm = Norm2(f.Col(t));
+      for (size_t r = 0; r < rows; ++r) f(r, t) /= norm;
+    }
+    return f;
+  };
+  const Matrix a = unit(8, 2), b = unit(7, 2), c = unit(6, 2);
+  IntervalTensor3 x;
+  x.lower = Tensor3::FromCp(a, b, c, {2.0, 3.0});  // component 1 dominates
+  x.upper = Tensor3::FromCp(a, b, c, {6.0, 4.0});  // component 0 dominates
+
+  const IntervalCpResult aligned = ComputeAlignedIntervalCp(x, 2);
+  const IntervalCpResult unaligned =
+      ComputeAlignedIntervalCp(x, 2, {}, /*align=*/false);
+
+  double aligned_sum = 0.0, unaligned_sum = 0.0;
+  for (size_t t = 0; t < 2; ++t) {
+    aligned_sum += std::abs(
+        CosineSimilarity(aligned.lower.a.Col(t), aligned.upper.a.Col(t)));
+    unaligned_sum += std::abs(CosineSimilarity(unaligned.lower.a.Col(t),
+                                               unaligned.upper.a.Col(t)));
+  }
+  EXPECT_GT(aligned_sum, 1.95);          // both pairs match after alignment
+  EXPECT_GT(aligned_sum, unaligned_sum); // and alignment was necessary
+}
+
+TEST(IntervalCpTest, MidIsElementwiseAverage) {
+  Rng rng(8);
+  IntervalTensor3 x;
+  x.lower = PlantedTensor(3, 3, 3, 1, {1.0}, rng);
+  x.upper = x.lower;
+  x.upper(1, 1, 1) += 2.0;
+  const Tensor3 mid = x.Mid();
+  EXPECT_NEAR(mid(1, 1, 1), x.lower(1, 1, 1) + 1.0, 1e-12);
+  EXPECT_NEAR(mid(0, 0, 0), x.lower(0, 0, 0), 1e-12);
+}
+
+class CpRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpRankTest, PlantedRankIsRecovered) {
+  const int rank = GetParam();
+  Rng rng(100 + rank);
+  std::vector<double> lambda(rank);
+  for (int t = 0; t < rank; ++t) lambda[t] = rank + 1.0 - t;
+  const Tensor3 x = PlantedTensor(9, 8, 7, rank, lambda, rng);
+  CpOptions options;
+  options.max_iterations = 400;
+  const CpResult result = ComputeCpAls(x, rank, options);
+  EXPECT_GT(result.fit_history.back(), 0.995) << "rank " << rank;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, CpRankTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,115 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomIntervalMatrix;
+using ::ivmf::testing::RandomMatrix;
+
+TEST(CsvTest, MatrixRoundTripInMemory) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(5, 7, rng);
+  const auto parsed = MatrixFromCsv(MatrixToCsv(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ApproxEquals(m, 1e-9));
+}
+
+TEST(CsvTest, IntervalMatrixRoundTripInMemory) {
+  Rng rng(2);
+  const IntervalMatrix m = RandomIntervalMatrix(4, 6, rng);
+  const auto parsed = IntervalMatrixFromCsv(IntervalMatrixToCsv(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ApproxEquals(m, 1e-9));
+}
+
+TEST(CsvTest, ParsesHandWrittenScalarCsv) {
+  const auto m = MatrixFromCsv("1, 2.5, -3\n4e-1, 5, 6\n");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->rows(), 2u);
+  EXPECT_EQ(m->cols(), 3u);
+  EXPECT_DOUBLE_EQ((*m)(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ((*m)(1, 0), 0.4);
+}
+
+TEST(CsvTest, ParsesMixedIntervalCells) {
+  const auto m = IntervalMatrixFromCsv("1:2, 3\n-1.5:-0.5, 0:0\n");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->At(0, 0), Interval(1, 2));
+  EXPECT_EQ(m->At(0, 1), Interval(3, 3));  // bare number = scalar interval
+  EXPECT_EQ(m->At(1, 0), Interval(-1.5, -0.5));
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(MatrixFromCsv("1,2,3\n4,5\n").has_value());
+  EXPECT_FALSE(IntervalMatrixFromCsv("1:2\n1:2,3:4\n").has_value());
+}
+
+TEST(CsvTest, RejectsGarbageCells) {
+  EXPECT_FALSE(MatrixFromCsv("1,abc\n").has_value());
+  EXPECT_FALSE(IntervalMatrixFromCsv("1:x\n").has_value());
+  EXPECT_FALSE(IntervalMatrixFromCsv("1,\n").has_value());
+}
+
+TEST(CsvTest, RejectsMisorderedIntervals) {
+  EXPECT_FALSE(IntervalMatrixFromCsv("5:1\n").has_value());
+}
+
+TEST(CsvTest, EmptyTextGivesEmptyMatrix) {
+  const auto m = MatrixFromCsv("");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const auto m = MatrixFromCsv("1,2\n\n  \n3,4\n");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->rows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Rng rng(3);
+  const IntervalMatrix m = RandomIntervalMatrix(6, 4, rng);
+  const std::string path = ::testing::TempDir() + "/ivmf_csv_test.csv";
+  ASSERT_TRUE(SaveIntervalMatrixCsv(path, m));
+  const auto loaded = LoadIntervalMatrixCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ApproxEquals(m, 1e-9));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ScalarFileRoundTrip) {
+  Rng rng(4);
+  const Matrix m = RandomMatrix(3, 8, rng);
+  const std::string path = ::testing::TempDir() + "/ivmf_csv_scalar.csv";
+  ASSERT_TRUE(SaveMatrixCsv(path, m));
+  const auto loaded = LoadMatrixCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->ApproxEquals(m, 1e-9));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadMatrixCsv("/nonexistent/path/x.csv").has_value());
+  EXPECT_FALSE(LoadIntervalMatrixCsv("/nonexistent/path/x.csv").has_value());
+}
+
+TEST(CsvTest, PrecisionControlsDigits) {
+  Matrix m(1, 1);
+  m(0, 0) = 1.0 / 3.0;
+  const std::string coarse = MatrixToCsv(m, 3);
+  const std::string fine = MatrixToCsv(m, 15);
+  EXPECT_LT(coarse.size(), fine.size());
+  // Both still round-trip to within their precision.
+  EXPECT_NEAR((*MatrixFromCsv(coarse))(0, 0), 1.0 / 3.0, 1e-3);
+  EXPECT_NEAR((*MatrixFromCsv(fine))(0, 0), 1.0 / 3.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace ivmf

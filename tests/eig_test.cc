@@ -1,0 +1,144 @@
+#include "linalg/eig.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::OrthonormalityError;
+using ::ivmf::testing::RandomMatrix;
+using ::ivmf::testing::RandomSymmetric;
+
+TEST(EigTest, DiagonalMatrixEigenvalues) {
+  const Matrix a = Matrix::Diagonal({5, 1, 3});
+  const EigResult eig = ComputeSymmetricEig(a);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(EigTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  const EigResult eig = ComputeSymmetricEig(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigTest, EigenpairsSatisfyDefiningEquation) {
+  Rng rng(1);
+  const Matrix a = RandomSymmetric(12, rng);
+  const EigResult eig = ComputeSymmetricEig(a);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j) {
+    const std::vector<double> v = eig.eigenvectors.Col(j);
+    // ||A v - λ v|| should vanish.
+    double err = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) {
+      double av = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) av += a(i, k) * v[k];
+      const double r = av - eig.eigenvalues[j] * v[i];
+      err += r * r;
+    }
+    EXPECT_LT(std::sqrt(err), 1e-8);
+  }
+}
+
+TEST(EigTest, EigenvectorsAreOrthonormal) {
+  Rng rng(2);
+  const Matrix a = RandomSymmetric(15, rng);
+  const EigResult eig = ComputeSymmetricEig(a);
+  EXPECT_LT(OrthonormalityError(eig.eigenvectors), 1e-9);
+}
+
+TEST(EigTest, EigenvaluesSortedDescending) {
+  Rng rng(3);
+  const Matrix a = RandomSymmetric(10, rng);
+  const EigResult eig = ComputeSymmetricEig(a);
+  for (size_t i = 1; i < eig.eigenvalues.size(); ++i)
+    EXPECT_GE(eig.eigenvalues[i - 1], eig.eigenvalues[i]);
+}
+
+TEST(EigTest, TraceEqualsEigenvalueSum) {
+  Rng rng(4);
+  const Matrix a = RandomSymmetric(9, rng);
+  const EigResult eig = ComputeSymmetricEig(a);
+  double trace = 0.0, sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) trace += a(i, i);
+  for (double l : eig.eigenvalues) sum += l;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(EigTest, TruncationKeepsLargest) {
+  Rng rng(5);
+  const Matrix a = RandomSymmetric(8, rng);
+  const EigResult full = ComputeSymmetricEig(a);
+  const EigResult top3 = ComputeSymmetricEig(a, 3);
+  ASSERT_EQ(top3.eigenvalues.size(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(top3.eigenvalues[i], full.eigenvalues[i], 1e-9);
+  EXPECT_EQ(top3.eigenvectors.cols(), 3u);
+}
+
+TEST(EigTest, GramMatrixEigenvaluesAreNonNegative) {
+  Rng rng(6);
+  const Matrix m = RandomMatrix(7, 10, rng);
+  const Matrix gram = m.Transpose() * m;
+  const EigResult eig = ComputeSymmetricEig(gram);
+  for (double l : eig.eigenvalues) EXPECT_GE(l, -1e-9);
+}
+
+TEST(EigTest, GramEigenvaluesMatchSingularValuesSquared) {
+  Rng rng(7);
+  const Matrix m = RandomMatrix(6, 4, rng);
+  const Matrix gram = m.Transpose() * m;
+  const EigResult eig = ComputeSymmetricEig(gram);
+  // Reconstruct gram from the eigendecomposition.
+  Matrix recon(4, 4);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j)
+    for (size_t a = 0; a < 4; ++a)
+      for (size_t b = 0; b < 4; ++b)
+        recon(a, b) += eig.eigenvalues[j] * eig.eigenvectors(a, j) *
+                       eig.eigenvectors(b, j);
+  EXPECT_TRUE(recon.ApproxEquals(gram, 1e-9));
+}
+
+TEST(EigTest, OneByOne) {
+  const EigResult eig = ComputeSymmetricEig(Matrix::FromRows({{-4.0}}));
+  ASSERT_EQ(eig.eigenvalues.size(), 1u);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], -4.0);
+  EXPECT_NEAR(std::abs(eig.eigenvectors(0, 0)), 1.0, 1e-12);
+}
+
+TEST(EigTest, ZeroMatrix) {
+  const EigResult eig = ComputeSymmetricEig(Matrix(5, 5));
+  for (double l : eig.eigenvalues) EXPECT_DOUBLE_EQ(l, 0.0);
+  EXPECT_LT(OrthonormalityError(eig.eigenvectors), 1e-12);
+}
+
+// Property sweep over sizes.
+class EigSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigSizeTest, DecompositionReconstructs) {
+  const int n = GetParam();
+  Rng rng(900 + n);
+  const Matrix a = RandomSymmetric(n, rng);
+  const EigResult eig = ComputeSymmetricEig(a);
+  Matrix recon(n, n);
+  for (size_t j = 0; j < eig.eigenvalues.size(); ++j)
+    for (int p = 0; p < n; ++p)
+      for (int q = 0; q < n; ++q)
+        recon(p, q) += eig.eigenvalues[j] * eig.eigenvectors(p, j) *
+                       eig.eigenvectors(q, j);
+  EXPECT_TRUE(recon.ApproxEquals(a, 1e-8)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,211 @@
+#include "align/ilsa.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+// Builds an orthonormal basis from a random matrix via SVD.
+Matrix RandomOrthonormal(size_t n, size_t r, Rng& rng) {
+  return ComputeSvd(RandomMatrix(n, r, rng)).u;
+}
+
+TEST(PairwiseAbsCosineTest, IdenticalColumnsGiveOnes) {
+  Rng rng(1);
+  const Matrix v = RandomOrthonormal(10, 4, rng);
+  const Matrix sim = PairwiseAbsCosine(v, v);
+  for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(sim(j, j), 1.0, 1e-10);
+}
+
+TEST(PairwiseAbsCosineTest, OrthogonalColumnsGiveZeros) {
+  Rng rng(2);
+  const Matrix v = RandomOrthonormal(10, 4, rng);
+  const Matrix sim = PairwiseAbsCosine(v, v);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(sim(i, j), 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PairwiseAbsCosineTest, AbsoluteValueIsTaken) {
+  Matrix a(2, 1), b(2, 1);
+  a(0, 0) = 1.0;
+  b(0, 0) = -1.0;
+  EXPECT_NEAR(PairwiseAbsCosine(a, b)(0, 0), 1.0, 1e-12);
+}
+
+TEST(PairwiseAbsCosineTest, ZeroColumnGivesZeroSimilarity) {
+  Matrix a(2, 1), b(2, 1);
+  b(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(PairwiseAbsCosine(a, b)(0, 0), 0.0);
+}
+
+TEST(IlsaTest, IdentityWhenAlreadyAligned) {
+  Rng rng(3);
+  const Matrix v = RandomOrthonormal(12, 5, rng);
+  const IlsaResult result = ComputeIlsa(v, v);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(result.mapping[j], j);
+    EXPECT_FALSE(result.flip[j]);
+    EXPECT_NEAR(result.pair_similarity[j], 1.0, 1e-9);
+  }
+  EXPECT_NEAR(result.total_similarity, 5.0, 1e-8);
+}
+
+TEST(IlsaTest, RecoversColumnPermutation) {
+  Rng rng(4);
+  const Matrix v = RandomOrthonormal(15, 4, rng);
+  // v_min is v with columns cycled by one.
+  Matrix shuffled(15, 4);
+  for (size_t j = 0; j < 4; ++j) shuffled.SetCol(j, v.Col((j + 1) % 4));
+  const IlsaResult result = ComputeIlsa(shuffled, v);
+  // Column j of v matches column (j+3)%4 of shuffled... mapping[j] is the
+  // min-side column pairing max column j; shuffled[:, (j-1)%4] == v[:, j].
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(result.mapping[j], (j + 3) % 4);
+    EXPECT_NEAR(result.pair_similarity[j], 1.0, 1e-9);
+  }
+}
+
+TEST(IlsaTest, DetectsSignFlips) {
+  Rng rng(5);
+  const Matrix v = RandomOrthonormal(10, 3, rng);
+  Matrix negated = v;
+  for (size_t i = 0; i < 10; ++i) negated(i, 1) = -v(i, 1);
+  const IlsaResult result = ComputeIlsa(negated, v);
+  EXPECT_FALSE(result.flip[0]);
+  EXPECT_TRUE(result.flip[1]);
+  EXPECT_FALSE(result.flip[2]);
+}
+
+TEST(IlsaTest, FlipDisabledWhenOptionCleared) {
+  Rng rng(6);
+  const Matrix v = RandomOrthonormal(10, 3, rng);
+  Matrix negated = v;
+  for (size_t i = 0; i < 10; ++i) negated(i, 0) = -v(i, 0);
+  IlsaOptions options;
+  options.fix_directions = false;
+  const IlsaResult result = ComputeIlsa(negated, v, options);
+  EXPECT_FALSE(result.flip[0]);
+}
+
+TEST(IlsaTest, ApplyIlsaRealignsColumns) {
+  Rng rng(7);
+  const Matrix v = RandomOrthonormal(12, 4, rng);
+  // Scramble: permute columns and flip one sign.
+  Matrix scrambled(12, 4);
+  const size_t perm[4] = {2, 0, 3, 1};
+  for (size_t j = 0; j < 4; ++j) {
+    const double sign = (j == 1) ? -1.0 : 1.0;
+    for (size_t i = 0; i < 12; ++i) scrambled(i, perm[j]) = sign * v(i, j);
+  }
+  const IlsaResult result = ComputeIlsa(scrambled, v);
+  const Matrix realigned = ApplyIlsaToColumns(scrambled, result);
+  EXPECT_TRUE(realigned.ApproxEquals(v, 1e-9));
+}
+
+TEST(IlsaTest, ApplyIlsaToDiagonalPermutes) {
+  IlsaResult result;
+  result.mapping = {2, 0, 1};
+  result.flip = {false, true, false};
+  const std::vector<double> sigma = ApplyIlsaToDiagonal({10, 20, 30}, result);
+  EXPECT_EQ(sigma, (std::vector<double>{30, 10, 20}));
+}
+
+TEST(IlsaTest, AllMatchersAgreeOnUnambiguousInstance) {
+  Rng rng(8);
+  const Matrix v = RandomOrthonormal(20, 6, rng);
+  for (const AlignMatcher matcher :
+       {AlignMatcher::kHungarian, AlignMatcher::kGreedy,
+        AlignMatcher::kStableMarriage}) {
+    IlsaOptions options;
+    options.matcher = matcher;
+    const IlsaResult result = ComputeIlsa(v, v, options);
+    for (size_t j = 0; j < 6; ++j) EXPECT_EQ(result.mapping[j], j);
+  }
+}
+
+TEST(IlsaTest, HungarianTotalSimilarityIsMaximal) {
+  // On noisy pairs the Hungarian objective dominates greedy and stable.
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix v_min = RandomMatrix(8, 5, rng);
+    const Matrix v_max = RandomMatrix(8, 5, rng);
+    IlsaOptions hungarian;  // default
+    IlsaOptions greedy;
+    greedy.matcher = AlignMatcher::kGreedy;
+    IlsaOptions stable;
+    stable.matcher = AlignMatcher::kStableMarriage;
+    const double h = ComputeIlsa(v_min, v_max, hungarian).total_similarity;
+    const double g = ComputeIlsa(v_min, v_max, greedy).total_similarity;
+    const double s = ComputeIlsa(v_min, v_max, stable).total_similarity;
+    EXPECT_GE(h, g - 1e-9);
+    EXPECT_GE(h, s - 1e-9);
+  }
+}
+
+TEST(IlsaTest, AlignmentImprovesColumnwiseCosine) {
+  // The Figure-3 property: after ILSA the per-column |cos| never falls and
+  // typically rises for scrambled inputs.
+  Rng rng(10);
+  const Matrix v = RandomOrthonormal(16, 6, rng);
+  Matrix scrambled(16, 6);
+  const size_t perm[6] = {3, 5, 0, 4, 1, 2};
+  for (size_t j = 0; j < 6; ++j) scrambled.SetCol(perm[j], v.Col(j));
+
+  const std::vector<double> before = ColumnwiseCosine(scrambled, v);
+  const IlsaResult ilsa = ComputeIlsa(scrambled, v);
+  const Matrix aligned = ApplyIlsaToColumns(scrambled, ilsa);
+  const std::vector<double> after = ColumnwiseCosine(aligned, v);
+
+  double sum_before = 0.0, sum_after = 0.0;
+  for (double c : before) sum_before += std::abs(c);
+  for (double c : after) sum_after += std::abs(c);
+  EXPECT_GT(sum_after, sum_before);
+  for (double c : after) EXPECT_NEAR(c, 1.0, 1e-9);
+}
+
+TEST(ColumnwiseCosineTest, MatchesManualComputation) {
+  const Matrix a = Matrix::FromRows({{1, 0}, {0, 1}});
+  const Matrix b = Matrix::FromRows({{1, 0}, {0, -1}});
+  const std::vector<double> cosines = ColumnwiseCosine(a, b);
+  EXPECT_NEAR(cosines[0], 1.0, 1e-12);
+  EXPECT_NEAR(cosines[1], -1.0, 1e-12);
+}
+
+class IlsaMatcherTest : public ::testing::TestWithParam<AlignMatcher> {};
+
+TEST_P(IlsaMatcherTest, MappingIsAlwaysAPermutation) {
+  Rng rng(11);
+  IlsaOptions options;
+  options.matcher = GetParam();
+  for (int trial = 0; trial < 10; ++trial) {
+    const Matrix v_min = RandomMatrix(10, 6, rng);
+    const Matrix v_max = RandomMatrix(10, 6, rng);
+    const IlsaResult result = ComputeIlsa(v_min, v_max, options);
+    std::vector<bool> seen(6, false);
+    for (size_t idx : result.mapping) {
+      ASSERT_LT(idx, 6u);
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matchers, IlsaMatcherTest,
+                         ::testing::Values(AlignMatcher::kHungarian,
+                                           AlignMatcher::kGreedy,
+                                           AlignMatcher::kStableMarriage));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,225 @@
+// End-to-end integration tests spanning multiple modules: the full
+// experiment pipelines that the benchmark harness later scales up.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "core/accuracy.h"
+#include "core/isvd.h"
+#include "data/anonymize.h"
+#include "data/faces.h"
+#include "data/ratings.h"
+#include "data/synthetic.h"
+#include "eval/kmeans.h"
+#include "eval/knn.h"
+#include "eval/metrics.h"
+#include "factor/nmf.h"
+#include "factor/pmf.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synthetic pipeline: generate -> decompose (all strategies) -> score.
+// ---------------------------------------------------------------------------
+
+TEST(SyntheticPipelineTest, AllStrategiesScoreOnDefaultConfig) {
+  Rng rng(1);
+  SyntheticConfig config;
+  config.rows = 20;
+  config.cols = 50;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const GramEig gram = ComputeGramEig(m, 10, options);
+  for (int strategy = 0; strategy <= 4; ++strategy) {
+    const IsvdResult result =
+        strategy <= 1 ? RunIsvd(strategy, m, 10, options)
+        : strategy == 2
+            ? Isvd2(m, 10, gram, options)
+            : (strategy == 3 ? Isvd3(m, 10, gram, options)
+                             : Isvd4(m, 10, gram, options));
+    const AccuracyReport report =
+        DecompositionAccuracy(m, result.Reconstruct());
+    EXPECT_GT(report.harmonic_mean, 0.2) << "strategy " << strategy;
+  }
+}
+
+TEST(SyntheticPipelineTest, Figure3AlignmentEffect) {
+  // The Fig. 3 experiment in miniature: ILSA improves min/max factor
+  // cosine alignment of independently decomposed endpoints.
+  Rng rng(2);
+  SyntheticConfig config;
+  config.rows = 20;
+  config.cols = 40;
+  double before_sum = 0.0, after_sum = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+    const SvdResult lo = ComputeSvd(m.lower(), 10);
+    const SvdResult hi = ComputeSvd(m.upper(), 10);
+    for (double c : ColumnwiseCosine(lo.v, hi.v)) before_sum += std::abs(c);
+    const IlsaResult ilsa = ComputeIlsa(lo.v, hi.v);
+    const Matrix aligned = ApplyIlsaToColumns(lo.v, ilsa);
+    for (double c : ColumnwiseCosine(aligned, hi.v)) after_sum += std::abs(c);
+  }
+  EXPECT_GE(after_sum, before_sum - 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Anonymized pipeline (Figure 7 in miniature).
+// ---------------------------------------------------------------------------
+
+TEST(AnonymizedPipelineTest, DecompositionRecoversAnonymizedStructure) {
+  Rng rng(3);
+  const Matrix original = ivmf::testing::RandomMatrix(25, 30, rng, 0.0, 1.0);
+  const IntervalMatrix anon = AnonymizeMatrix(original, MediumPrivacyMix(), rng);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult result = Isvd4(anon, 0, options);  // 100% rank
+  const AccuracyReport report = DecompositionAccuracy(anon, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.6);
+}
+
+TEST(AnonymizedPipelineTest, HigherPrivacyIsHarderAtLowRank) {
+  Rng rng(4);
+  const Matrix original = ivmf::testing::RandomMatrix(30, 40, rng, 0.0, 1.0);
+  Rng rng_h(5), rng_l(5);
+  const IntervalMatrix high = AnonymizeMatrix(original, HighPrivacyMix(), rng_h);
+  const IntervalMatrix low = AnonymizeMatrix(original, LowPrivacyMix(), rng_l);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  // At full rank both reconstruct; the interval mass differs (high > low).
+  EXPECT_GT(high.Span().Sum(), low.Span().Sum());
+  const double h_high =
+      DecompositionAccuracy(high, Isvd3(high, 0, options).Reconstruct())
+          .harmonic_mean;
+  const double h_low =
+      DecompositionAccuracy(low, Isvd3(low, 0, options).Reconstruct())
+          .harmonic_mean;
+  EXPECT_GT(h_high, 0.3);
+  EXPECT_GT(h_low, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Face pipeline (Figure 8 in miniature): decompose interval faces, classify
+// with 1-NN on U x Sigma features, cluster with k-means.
+// ---------------------------------------------------------------------------
+
+class FacePipelineTest : public ::testing::Test {
+ protected:
+  static FaceCorpus MakeCorpus() {
+    FaceCorpusConfig config;
+    config.num_individuals = 8;
+    config.images_per_individual = 6;
+    config.width = 10;
+    config.height = 10;
+    return GenerateFaceCorpus(config);
+  }
+};
+
+TEST_F(FacePipelineTest, IsvdFeaturesClassifyIndividuals) {
+  const FaceCorpus corpus = MakeCorpus();
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.gram_side = GramSide::kAuto;
+  const IsvdResult result = Isvd2(corpus.intervals, 10, options);
+
+  // Features: U * Σ (scalar for target b), split into train/test rows.
+  Matrix features = result.ScalarU();
+  for (size_t i = 0; i < features.rows(); ++i)
+    for (size_t j = 0; j < features.cols(); ++j)
+      features(i, j) *= result.sigma[j].Mid();
+
+  // Odd rows train, even rows test.
+  std::vector<int> train_rows, test_rows;
+  for (size_t i = 0; i < features.rows(); ++i)
+    (i % 2 == 0 ? train_rows : test_rows).push_back(static_cast<int>(i));
+  Matrix train(train_rows.size(), features.cols());
+  Matrix test(test_rows.size(), features.cols());
+  std::vector<int> train_labels, test_labels;
+  for (size_t i = 0; i < train_rows.size(); ++i) {
+    train.SetRow(i, features.Row(train_rows[i]));
+    train_labels.push_back(corpus.labels[train_rows[i]]);
+  }
+  for (size_t i = 0; i < test_rows.size(); ++i) {
+    test.SetRow(i, features.Row(test_rows[i]));
+    test_labels.push_back(corpus.labels[test_rows[i]]);
+  }
+
+  const std::vector<int> predicted = Classify1Nn(train, train_labels, test);
+  // Blob faces are clearly separable: expect strong F1.
+  EXPECT_GT(MacroF1(test_labels, predicted), 0.7);
+}
+
+TEST_F(FacePipelineTest, ClusteringFindsIndividuals) {
+  const FaceCorpus corpus = MakeCorpus();
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.gram_side = GramSide::kAuto;
+  const IsvdResult result = Isvd2(corpus.intervals, 10, options);
+  Matrix features = result.ScalarU();
+  for (size_t i = 0; i < features.rows(); ++i)
+    for (size_t j = 0; j < features.cols(); ++j)
+      features(i, j) *= result.sigma[j].Mid();
+  KMeansOptions kopts;
+  kopts.k = 8;
+  kopts.restarts = 5;
+  const KMeansResult clusters = KMeans(features, kopts);
+  EXPECT_GT(NormalizedMutualInformation(corpus.labels, clusters.assignments),
+            0.5);
+}
+
+TEST_F(FacePipelineTest, NmfBaselineRunsOnFaces) {
+  const FaceCorpus corpus = MakeCorpus();
+  NmfOptions options;
+  options.max_iterations = 60;
+  const NmfResult nmf = ComputeNmf(corpus.images, 10, options);
+  const double rel = (nmf.Reconstruct() - corpus.images).FrobeniusNorm() /
+                     corpus.images.FrobeniusNorm();
+  EXPECT_LT(rel, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Collaborative filtering pipeline (Figure 10 in miniature).
+// ---------------------------------------------------------------------------
+
+TEST(CfPipelineTest, AiPmfPredictsHeldOutRatings) {
+  RatingsConfig config;
+  config.num_users = 50;
+  config.num_items = 60;
+  config.fill = 0.4;
+  const RatingsData data = GenerateRatings(config);
+  const IntervalMatrix cf = CfIntervalMatrix(data, 0.3);
+  Rng rng(6);
+  const CfSplit split = SplitRatings(data, 0.2, rng);
+
+  PmfOptions options;
+  options.epochs = 150;
+  const IntervalPmfResult model =
+      ComputeAlignedIntervalPmf(cf, split.train_mask, 6, options);
+  const double rmse =
+      MaskedRmse(data.ratings, model.PredictMid(), split.test_mask);
+  // Ratings live on a 1..5 scale; random guessing lands near ~1.6 RMSE.
+  EXPECT_LT(rmse, 1.4);
+}
+
+TEST(CfPipelineTest, UserGenreReconstructionPipeline) {
+  RatingsConfig config;
+  config.num_users = 60;
+  config.num_items = 90;
+  config.num_genres = 8;
+  config.fill = 0.3;
+  const RatingsData data = GenerateRatings(config);
+  const IntervalMatrix ug = UserGenreIntervalMatrix(data);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult result = Isvd4(ug, 0, options);
+  const AccuracyReport report = DecompositionAccuracy(ug, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.5);
+}
+
+}  // namespace
+}  // namespace ivmf

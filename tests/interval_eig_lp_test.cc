@@ -1,0 +1,133 @@
+#include "lp/interval_eig_lp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "linalg/eig.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomSymmetric;
+
+IntervalMatrix SymmetricIntervalAround(const Matrix& center, double radius) {
+  Matrix lo = center, hi = center;
+  for (size_t i = 0; i < center.rows(); ++i) {
+    for (size_t j = 0; j < center.cols(); ++j) {
+      lo(i, j) -= radius;
+      hi(i, j) += radius;
+    }
+  }
+  return IntervalMatrix(lo, hi);
+}
+
+TEST(IntervalEigLpTest, DegenerateMatrixRecoversPointSpectrum) {
+  Rng rng(1);
+  const Matrix a = RandomSymmetric(5, rng);
+  const IntervalEigLpResult result =
+      ComputeIntervalEigLp(IntervalMatrix::FromScalar(a), 0);
+  const EigResult exact = ComputeSymmetricEig(a);
+  ASSERT_EQ(result.eigenvalues.size(), exact.eigenvalues.size());
+  for (size_t j = 0; j < exact.eigenvalues.size(); ++j) {
+    // Zero radius -> zero perturbation bound.
+    EXPECT_NEAR(result.eigenvalues[j].lo, exact.eigenvalues[j], 1e-8);
+    EXPECT_NEAR(result.eigenvalues[j].hi, exact.eigenvalues[j], 1e-8);
+  }
+}
+
+TEST(IntervalEigLpTest, EigenvalueIntervalsContainMidpointSpectrum) {
+  Rng rng(2);
+  const Matrix a = RandomSymmetric(6, rng);
+  const IntervalMatrix ia = SymmetricIntervalAround(a, 0.05);
+  const IntervalEigLpResult result = ComputeIntervalEigLp(ia, 0);
+  const EigResult mid = ComputeSymmetricEig(a);
+  for (size_t j = 0; j < mid.eigenvalues.size(); ++j) {
+    EXPECT_LE(result.eigenvalues[j].lo, mid.eigenvalues[j] + 1e-9);
+    EXPECT_GE(result.eigenvalues[j].hi, mid.eigenvalues[j] - 1e-9);
+  }
+}
+
+TEST(IntervalEigLpTest, EigenvectorBoxesContainMidpointVectors) {
+  Rng rng(3);
+  const Matrix a = RandomSymmetric(5, rng);
+  const IntervalMatrix ia = SymmetricIntervalAround(a, 0.02);
+  const IntervalEigLpResult result = ComputeIntervalEigLp(ia, 0);
+  const EigResult mid = ComputeSymmetricEig(a);
+  // Up to sign, the midpoint eigenvector must lie in the LP box. The anchor
+  // component fixes the sign, so compare directly after matching signs.
+  for (size_t j = 0; j < mid.eigenvalues.size(); ++j) {
+    // Find anchor = argmax |v|.
+    size_t anchor = 0;
+    for (size_t i = 1; i < 5; ++i)
+      if (std::abs(mid.eigenvectors(i, j)) >
+          std::abs(mid.eigenvectors(anchor, j)))
+        anchor = i;
+    const double sign =
+        result.eigenvectors.At(anchor, j).Mid() * mid.eigenvectors(anchor, j) <
+                0.0
+            ? -1.0
+            : 1.0;
+    for (size_t i = 0; i < 5; ++i) {
+      const Interval bound = result.eigenvectors.At(i, j);
+      const double v = sign * mid.eigenvectors(i, j);
+      EXPECT_GE(v, bound.lo - 1e-6);
+      EXPECT_LE(v, bound.hi + 1e-6);
+    }
+  }
+}
+
+TEST(IntervalEigLpTest, WiderIntervalsGiveWiderEigenvalueBounds) {
+  Rng rng(4);
+  const Matrix a = RandomSymmetric(5, rng);
+  const IntervalEigLpResult narrow =
+      ComputeIntervalEigLp(SymmetricIntervalAround(a, 0.01), 0);
+  const IntervalEigLpResult wide =
+      ComputeIntervalEigLp(SymmetricIntervalAround(a, 0.5), 0);
+  for (size_t j = 0; j < narrow.eigenvalues.size(); ++j) {
+    EXPECT_LT(narrow.eigenvalues[j].Span(), wide.eigenvalues[j].Span());
+  }
+}
+
+TEST(IntervalEigLpTest, LargeIntervalsBlowUpVectorBounds) {
+  // The paper's central observation about LP competitors: with sizable
+  // interval radii the eigenvector boxes become uninformative (span near
+  // the full box).
+  Rng rng(5);
+  const Matrix a = RandomSymmetric(4, rng);
+  const IntervalEigLpResult result =
+      ComputeIntervalEigLp(SymmetricIntervalAround(a, 1.0), 0);
+  double mean_span = 0.0;
+  size_t count = 0;
+  for (size_t j = 0; j < result.eigenvectors.cols(); ++j)
+    for (size_t i = 0; i < result.eigenvectors.rows(); ++i) {
+      mean_span += result.eigenvectors.At(i, j).Span();
+      ++count;
+    }
+  mean_span /= static_cast<double>(count);
+  EXPECT_GT(mean_span, 1.0);  // unit vectors have span <= 2 in any component
+}
+
+TEST(IntervalEigLpTest, RankTruncationLimitsPairCount) {
+  Rng rng(6);
+  const Matrix a = RandomSymmetric(6, rng);
+  const IntervalEigLpResult result =
+      ComputeIntervalEigLp(SymmetricIntervalAround(a, 0.05), 2);
+  EXPECT_EQ(result.eigenvalues.size(), 2u);
+  EXPECT_EQ(result.eigenvectors.cols(), 2u);
+  EXPECT_EQ(result.eigenvectors.rows(), 6u);
+}
+
+TEST(IntervalEigLpTest, BoundsAreProperIntervals) {
+  Rng rng(7);
+  const Matrix a = RandomSymmetric(5, rng);
+  const IntervalEigLpResult result =
+      ComputeIntervalEigLp(SymmetricIntervalAround(a, 0.1), 0);
+  EXPECT_TRUE(result.eigenvectors.IsProper());
+  for (const Interval& lambda : result.eigenvalues)
+    EXPECT_TRUE(lambda.IsProper());
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,182 @@
+#include "interval/interval_matrix.h"
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomIntervalMatrix;
+using ::ivmf::testing::RandomMatrix;
+
+TEST(IntervalMatrixTest, FromScalarIsDegenerate) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  const IntervalMatrix im = IntervalMatrix::FromScalar(m);
+  EXPECT_TRUE(im.lower() == m);
+  EXPECT_TRUE(im.upper() == m);
+  EXPECT_TRUE(im.IsProper());
+  EXPECT_DOUBLE_EQ(im.Span().MaxAbs(), 0.0);
+}
+
+TEST(IntervalMatrixTest, AtAndSetRoundTrip) {
+  IntervalMatrix m(2, 2);
+  m.Set(0, 1, Interval(-1, 2));
+  EXPECT_EQ(m.At(0, 1), Interval(-1, 2));
+  EXPECT_EQ(m.At(0, 0), Interval(0, 0));
+}
+
+TEST(IntervalMatrixTest, MidIsAverage) {
+  IntervalMatrix m(1, 1);
+  m.Set(0, 0, Interval(2, 6));
+  EXPECT_DOUBLE_EQ(m.Mid()(0, 0), 4.0);
+}
+
+TEST(IntervalMatrixTest, SpanMatrix) {
+  IntervalMatrix m(1, 2);
+  m.Set(0, 0, Interval(1, 4));
+  m.Set(0, 1, Interval(-2, -2));
+  EXPECT_DOUBLE_EQ(m.Span()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.Span()(0, 1), 0.0);
+}
+
+TEST(IntervalMatrixTest, IsProperDetectsMisorder) {
+  IntervalMatrix m(2, 2);
+  EXPECT_TRUE(m.IsProper());
+  m.mutable_lower()(1, 1) = 5.0;
+  m.mutable_upper()(1, 1) = 2.0;
+  EXPECT_FALSE(m.IsProper());
+  EXPECT_DOUBLE_EQ(m.MaxMisorder(), 3.0);
+}
+
+TEST(IntervalMatrixTest, AverageReplacedRepairsMisorder) {
+  IntervalMatrix m(1, 2);
+  m.mutable_lower()(0, 0) = 5.0;
+  m.mutable_upper()(0, 0) = 1.0;   // misordered -> avg 3
+  m.Set(0, 1, Interval(1.0, 2.0)); // proper, untouched
+  const IntervalMatrix fixed = m.AverageReplaced();
+  EXPECT_TRUE(fixed.IsProper());
+  EXPECT_EQ(fixed.At(0, 0), Interval(3.0, 3.0));
+  EXPECT_EQ(fixed.At(0, 1), Interval(1.0, 2.0));
+}
+
+TEST(IntervalMatrixTest, TransposeSwapsIndices) {
+  IntervalMatrix m(2, 3);
+  m.Set(0, 2, Interval(1, 2));
+  const IntervalMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.At(2, 0), Interval(1, 2));
+}
+
+TEST(IntervalMatrixTest, AdditionIsElementwiseSunaga) {
+  IntervalMatrix a(1, 1), b(1, 1);
+  a.Set(0, 0, Interval(1, 2));
+  b.Set(0, 0, Interval(10, 20));
+  EXPECT_EQ((a + b).At(0, 0), Interval(11, 22));
+  EXPECT_EQ((a - b).At(0, 0), Interval(-19, -8));
+}
+
+TEST(IntervalMatrixTest, ContainsMatrix) {
+  IntervalMatrix m(1, 2);
+  m.Set(0, 0, Interval(0, 1));
+  m.Set(0, 1, Interval(-1, 1));
+  EXPECT_TRUE(m.ContainsMatrix(Matrix::FromRows({{0.5, 0.0}})));
+  EXPECT_FALSE(m.ContainsMatrix(Matrix::FromRows({{1.5, 0.0}})));
+}
+
+TEST(IntervalMatMulTest, DegenerateMatchesScalarProduct) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(4, 5, rng);
+  const Matrix b = RandomMatrix(5, 3, rng);
+  const IntervalMatrix p = IntervalMatMul(IntervalMatrix::FromScalar(a),
+                                          IntervalMatrix::FromScalar(b));
+  EXPECT_TRUE(p.lower().ApproxEquals(a * b, 1e-12));
+  EXPECT_TRUE(p.upper().ApproxEquals(a * b, 1e-12));
+}
+
+TEST(IntervalMatMulTest, HandKnownExample) {
+  // [1,2] * [3,4] + [0,1] * [-1,1] : algorithm-1 endpoints are computed on
+  // the four summed products.
+  IntervalMatrix a(1, 2), b(2, 1);
+  a.Set(0, 0, Interval(1, 2));
+  a.Set(0, 1, Interval(0, 1));
+  b.Set(0, 0, Interval(3, 4));
+  b.Set(1, 0, Interval(-1, 1));
+  // T1 = 1*3 + 0*(-1) = 3 ; T2 = 1*4 + 0*1 = 4
+  // T3 = 2*3 + 1*(-1) = 5 ; T4 = 2*4 + 1*1 = 9  -> [3, 9]
+  const IntervalMatrix p = IntervalMatMul(a, b);
+  EXPECT_DOUBLE_EQ(p.At(0, 0).lo, 3.0);
+  EXPECT_DOUBLE_EQ(p.At(0, 0).hi, 9.0);
+}
+
+TEST(IntervalMatMulTest, ResultIsAlwaysProper) {
+  Rng rng(2);
+  const IntervalMatrix a = RandomIntervalMatrix(6, 4, rng, -1.0, 1.0, 0.8);
+  const IntervalMatrix b = RandomIntervalMatrix(4, 5, rng, -1.0, 1.0, 0.8);
+  EXPECT_TRUE(IntervalMatMul(a, b).IsProper());
+}
+
+TEST(IntervalMatMulTest, ExactHullContainsAlgorithmOne) {
+  // Algorithm 1 takes min/max after summation, the Sunaga hull before —
+  // so the hull always contains the Algorithm-1 interval.
+  Rng rng(3);
+  const IntervalMatrix a = RandomIntervalMatrix(5, 4, rng, -1.0, 1.0, 1.0);
+  const IntervalMatrix b = RandomIntervalMatrix(4, 3, rng, -1.0, 1.0, 1.0);
+  const IntervalMatrix paper = IntervalMatMul(a, b);
+  const IntervalMatrix exact = IntervalMatMulExact(a, b);
+  for (size_t i = 0; i < paper.rows(); ++i) {
+    for (size_t j = 0; j < paper.cols(); ++j) {
+      EXPECT_LE(exact.At(i, j).lo, paper.At(i, j).lo + 1e-12);
+      EXPECT_GE(exact.At(i, j).hi, paper.At(i, j).hi - 1e-12);
+    }
+  }
+}
+
+TEST(IntervalMatMulTest, VariantsCoincideForNonNegativeOperands) {
+  Rng rng(4);
+  const IntervalMatrix a = RandomIntervalMatrix(5, 4, rng, 0.0, 1.0, 0.5);
+  const IntervalMatrix b = RandomIntervalMatrix(4, 3, rng, 0.0, 1.0, 0.5);
+  const IntervalMatrix paper = IntervalMatMul(a, b);
+  const IntervalMatrix exact = IntervalMatMulExact(a, b);
+  EXPECT_TRUE(paper.ApproxEquals(exact, 1e-12));
+}
+
+TEST(IntervalMatMulTest, ContainsScalarSelections) {
+  // Any scalar matrix selected inside A and B multiplies into the exact
+  // hull product.
+  Rng rng(5);
+  const IntervalMatrix a = RandomIntervalMatrix(4, 4, rng, -1.0, 1.0, 0.6);
+  const IntervalMatrix b = RandomIntervalMatrix(4, 4, rng, -1.0, 1.0, 0.6);
+  const IntervalMatrix exact = IntervalMatMulExact(a, b);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix sa(4, 4), sb(4, 4);
+    for (size_t i = 0; i < 4; ++i) {
+      for (size_t j = 0; j < 4; ++j) {
+        sa(i, j) = rng.Uniform(a.At(i, j).lo, a.At(i, j).hi);
+        sb(i, j) = rng.Uniform(b.At(i, j).lo, b.At(i, j).hi);
+      }
+    }
+    EXPECT_TRUE(exact.ContainsMatrix(sa * sb, 1e-9));
+  }
+}
+
+TEST(IntervalMatMulTest, GramProductIsSymmetric) {
+  Rng rng(6);
+  const IntervalMatrix m = RandomIntervalMatrix(6, 4, rng, -1.0, 1.0, 0.7);
+  const IntervalMatrix gram = IntervalMatMul(m.Transpose(), m);
+  EXPECT_TRUE(gram.lower().ApproxEquals(gram.lower().Transpose(), 1e-12));
+  EXPECT_TRUE(gram.upper().ApproxEquals(gram.upper().Transpose(), 1e-12));
+}
+
+TEST(IntervalMatMulTest, MixedScalarOverloads) {
+  Rng rng(7);
+  const Matrix s = RandomMatrix(3, 4, rng);
+  const IntervalMatrix b = RandomIntervalMatrix(4, 2, rng);
+  const IntervalMatrix left = IntervalMatMul(s, b);
+  const IntervalMatrix ref = IntervalMatMul(IntervalMatrix::FromScalar(s), b);
+  EXPECT_TRUE(left.ApproxEquals(ref, 1e-12));
+}
+
+}  // namespace
+}  // namespace ivmf

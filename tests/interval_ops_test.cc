@@ -1,0 +1,101 @@
+#include "interval/interval_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+TEST(AverageReplaceVectorTest, RepairsOnlyMisorderedEntries) {
+  std::vector<Interval> v{Interval(1, 2), Interval(5, 3), Interval(-1, -1)};
+  AverageReplaceVector(v);
+  EXPECT_EQ(v[0], Interval(1, 2));
+  EXPECT_EQ(v[1], Interval(4, 4));
+  EXPECT_EQ(v[2], Interval(-1, -1));
+}
+
+TEST(InverseIntervalDiagonalTest, OptimalScalarInverse) {
+  // Section 4.4.2.1: σ = 2 / (s_* + s^*).
+  const std::vector<Interval> diag{Interval(1, 3), Interval(2, 2)};
+  const std::vector<double> inv = InverseIntervalDiagonal(diag);
+  EXPECT_DOUBLE_EQ(inv[0], 0.5);   // 2 / (1+3)
+  EXPECT_DOUBLE_EQ(inv[1], 0.5);   // scalar 2 inverts to 1/2
+}
+
+TEST(InverseIntervalDiagonalTest, HandlesZeroCases) {
+  const std::vector<Interval> diag{Interval(0, 0), Interval(0, 4),
+                                   Interval(4, 0)};
+  const std::vector<double> inv = InverseIntervalDiagonal(diag);
+  EXPECT_DOUBLE_EQ(inv[0], 0.0);
+  EXPECT_DOUBLE_EQ(inv[1], 0.5);  // 2 / 4 for the half-zero interval
+  EXPECT_DOUBLE_EQ(inv[2], 0.5);
+}
+
+TEST(InverseIntervalDiagonalTest, MatrixOverloadBuildsDiagonal) {
+  IntervalMatrix sigma(2, 2);
+  sigma.Set(0, 0, Interval(1, 3));
+  sigma.Set(1, 1, Interval(4, 4));
+  const Matrix inv = InverseIntervalDiagonal(sigma);
+  EXPECT_DOUBLE_EQ(inv(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(inv(1, 1), 0.25);
+  EXPECT_DOUBLE_EQ(inv(0, 1), 0.0);
+}
+
+TEST(InverseIntervalDiagonalTest, OptimalityOfEpsilon) {
+  // The minimal achievable ε_i is (s^*-s_*)/(s^*+s_*); check that the
+  // scalar inverse achieves exactly it: s_*σ = 1-ε and s^*σ = 1+ε.
+  const Interval s(2.0, 6.0);
+  const double sigma = InverseIntervalDiagonal({s})[0];
+  const double eps = IntervalDiagonalEpsilons({s})[0];
+  EXPECT_NEAR(s.lo * sigma, 1.0 - eps, 1e-12);
+  EXPECT_NEAR(s.hi * sigma, 1.0 + eps, 1e-12);
+  EXPECT_NEAR(eps, (6.0 - 2.0) / (6.0 + 2.0), 1e-12);
+}
+
+TEST(InverseIntervalDiagonalTest, EpsilonIsZeroForScalars) {
+  EXPECT_DOUBLE_EQ(IntervalDiagonalEpsilons({Interval::Scalar(5.0)})[0], 0.0);
+}
+
+TEST(InverseIntervalDiagonalTest, ScalarDiagonalGivesExactIdentity) {
+  IntervalMatrix sigma(3, 3);
+  sigma.Set(0, 0, Interval::Scalar(2.0));
+  sigma.Set(1, 1, Interval::Scalar(5.0));
+  sigma.Set(2, 2, Interval::Scalar(0.5));
+  const Matrix inv = InverseIntervalDiagonal(sigma);
+  const Matrix prod = sigma.Mid() * inv;
+  EXPECT_TRUE(prod.ApproxEquals(Matrix::Identity(3), 1e-12));
+}
+
+TEST(NormalizeColumnsL2Test, ColumnsBecomeUnitLength) {
+  Matrix m = Matrix::FromRows({{3, 0}, {4, 0}, {0, 2}});
+  const std::vector<double> norms = NormalizeColumnsL2(m);
+  EXPECT_DOUBLE_EQ(norms[0], 5.0);
+  EXPECT_DOUBLE_EQ(norms[1], 2.0);
+  EXPECT_NEAR(Norm2(m.Col(0)), 1.0, 1e-12);
+  EXPECT_NEAR(Norm2(m.Col(1)), 1.0, 1e-12);
+}
+
+TEST(NormalizeColumnsL2Test, ZeroColumnIsLeftUnchanged) {
+  Matrix m(3, 2);
+  m(0, 0) = 2.0;
+  const std::vector<double> norms = NormalizeColumnsL2(m);
+  EXPECT_DOUBLE_EQ(norms[1], 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+TEST(NormalizeColumnsL2Test, RenormalizationIsInvertible) {
+  Rng rng(9);
+  Matrix m = ivmf::testing::RandomMatrix(6, 4, rng);
+  const Matrix original = m;
+  const std::vector<double> norms = NormalizeColumnsL2(m);
+  for (size_t j = 0; j < m.cols(); ++j)
+    for (size_t i = 0; i < m.rows(); ++i) m(i, j) *= norms[j];
+  EXPECT_TRUE(m.ApproxEquals(original, 1e-12));
+}
+
+}  // namespace
+}  // namespace ivmf

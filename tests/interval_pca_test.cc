@@ -1,0 +1,132 @@
+#include "factor/interval_pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::OrthonormalityError;
+using ::ivmf::testing::RandomIntervalMatrix;
+using ::ivmf::testing::RandomMatrix;
+
+TEST(IntervalPcaTest, DegenerateIntervalsMatchScalarPca) {
+  // Zero-width intervals: both methods reduce to classical PCA of the data.
+  Rng rng(1);
+  const Matrix data = RandomMatrix(30, 6, rng);
+  const IntervalMatrix m = IntervalMatrix::FromScalar(data);
+  for (const IntervalPcaMethod method :
+       {IntervalPcaMethod::kCenters, IntervalPcaMethod::kMidpointRadius}) {
+    IntervalPcaOptions options;
+    options.method = method;
+    const IntervalPcaResult pca = ComputeIntervalPca(m, 3, options);
+    EXPECT_LT(OrthonormalityError(pca.components), 1e-9);
+    // Scores are degenerate intervals.
+    EXPECT_DOUBLE_EQ(pca.scores.Span().MaxAbs(), 0.0);
+    // Explained variances are non-negative descending.
+    for (size_t j = 1; j < pca.explained_variance.size(); ++j)
+      EXPECT_GE(pca.explained_variance[j - 1],
+                pca.explained_variance[j] - 1e-12);
+  }
+}
+
+TEST(IntervalPcaTest, MeanIsColumnAverageOfMidpoints) {
+  Rng rng(2);
+  const IntervalMatrix m = RandomIntervalMatrix(20, 4, rng);
+  const IntervalPcaResult pca = ComputeIntervalPca(m, 2);
+  const Matrix mid = m.Mid();
+  for (size_t j = 0; j < 4; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < 20; ++i) mean += mid(i, j);
+    EXPECT_NEAR(pca.mean[j], mean / 20.0, 1e-12);
+  }
+}
+
+TEST(IntervalPcaTest, ScoresContainMidpointProjections) {
+  Rng rng(3);
+  const IntervalMatrix m = RandomIntervalMatrix(25, 5, rng);
+  const IntervalPcaResult pca = ComputeIntervalPca(m, 3);
+  // The projection of the midpoint row must lie inside the interval score.
+  const Matrix mid = m.Mid();
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t k = 0; k < 3; ++k) {
+      double proj = 0.0;
+      for (size_t j = 0; j < m.cols(); ++j)
+        proj += (mid(i, j) - pca.mean[j]) * pca.components(j, k);
+      EXPECT_GE(proj, pca.scores.At(i, k).lo - 1e-9);
+      EXPECT_LE(proj, pca.scores.At(i, k).hi + 1e-9);
+    }
+  }
+}
+
+TEST(IntervalPcaTest, MidpointRadiusSeesIntervalSizeInformation) {
+  // Two features: feature 0 has tight intervals with varying midpoints,
+  // feature 1 has constant midpoint but huge spans. Centers-PCA ranks
+  // feature 0 first; MR-PCA gives feature 1 substantial variance.
+  Rng rng(4);
+  IntervalMatrix m(40, 2);
+  for (size_t i = 0; i < 40; ++i) {
+    const double v = rng.Uniform(-1.0, 1.0);
+    m.Set(i, 0, Interval(v - 0.01, v + 0.01));
+    m.Set(i, 1, Interval(-6.0, 6.0));  // constant midpoint 0, span 12
+  }
+  IntervalPcaOptions centers;
+  centers.method = IntervalPcaMethod::kCenters;
+  IntervalPcaOptions mr;
+  mr.method = IntervalPcaMethod::kMidpointRadius;
+  const IntervalPcaResult c = ComputeIntervalPca(m, 2, centers);
+  const IntervalPcaResult r = ComputeIntervalPca(m, 2, mr);
+  // Centers: top axis is feature 0 (midpoint variance ~1/3 vs ~0).
+  EXPECT_GT(std::abs(c.components(0, 0)), 0.9);
+  // MR: span²/12 = 12 dominates, so the top axis is feature 1.
+  EXPECT_GT(std::abs(r.components(1, 0)), 0.9);
+}
+
+TEST(IntervalPcaTest, ExplainedRatioIsMonotone) {
+  Rng rng(5);
+  const IntervalMatrix m = RandomIntervalMatrix(30, 6, rng);
+  const IntervalPcaResult pca = ComputeIntervalPca(m, 0);
+  double prev = 0.0;
+  for (size_t k = 1; k <= 6; ++k) {
+    const double ratio = pca.ExplainedRatio(k);
+    EXPECT_GE(ratio, prev - 1e-12);
+    prev = ratio;
+  }
+  EXPECT_NEAR(pca.ExplainedRatio(6), 1.0, 1e-9);
+}
+
+TEST(IntervalPcaTest, FullRankReconstructionCoversData) {
+  Rng rng(6);
+  const IntervalMatrix m = RandomIntervalMatrix(20, 4, rng);
+  const IntervalPcaResult pca = ComputeIntervalPca(m, 0);
+  const IntervalMatrix recon = IntervalPcaReconstruct(pca);
+  EXPECT_EQ(recon.rows(), m.rows());
+  EXPECT_EQ(recon.cols(), m.cols());
+  // Full-rank interval projection+backprojection widens but must contain
+  // the original midpoints.
+  EXPECT_TRUE(recon.ContainsMatrix(m.Mid(), 1e-6));
+}
+
+TEST(IntervalPcaTest, LowRankCapturesPlantedStructure) {
+  // Rank-1 planted data with small interval noise: one component explains
+  // nearly everything.
+  Rng rng(7);
+  IntervalMatrix m(30, 5);
+  std::vector<double> direction{0.5, -0.3, 0.8, 0.1, -0.2};
+  for (size_t i = 0; i < 30; ++i) {
+    const double t = rng.Uniform(-2.0, 2.0);
+    for (size_t j = 0; j < 5; ++j) {
+      const double v = t * direction[j];
+      m.Set(i, j, Interval(v - 0.01, v + 0.01));
+    }
+  }
+  const IntervalPcaResult pca = ComputeIntervalPca(m, 0);
+  EXPECT_GT(pca.ExplainedRatio(1), 0.95);
+}
+
+}  // namespace
+}  // namespace ivmf

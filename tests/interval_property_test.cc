@@ -1,0 +1,171 @@
+// Deeper algebraic property tests for the Sunaga interval algebra and the
+// interval matrix operations: sub-distributivity, inclusion monotonicity,
+// span arithmetic, and soundness of matrix products under sampling.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "interval/interval.h"
+#include "interval/interval_matrix.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomIntervalMatrix;
+
+Interval RandomInterval(Rng& rng, double lo = -3.0, double hi = 3.0) {
+  return Interval::FromUnordered(rng.Uniform(lo, hi), rng.Uniform(lo, hi));
+}
+
+TEST(IntervalPropertyTest, SubDistributivity) {
+  // Interval arithmetic is sub-distributive: a(b + c) ⊆ ab + ac.
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Interval a = RandomInterval(rng);
+    const Interval b = RandomInterval(rng);
+    const Interval c = RandomInterval(rng);
+    const Interval left = a * (b + c);
+    const Interval right = a * b + a * c;
+    EXPECT_LE(right.lo, left.lo + 1e-12);
+    EXPECT_GE(right.hi, left.hi - 1e-12);
+  }
+}
+
+TEST(IntervalPropertyTest, ScalarMultiplicationIsExactlyDistributive) {
+  // For scalar a, a(b + c) = ab + ac exactly.
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const double a = rng.Uniform(-3.0, 3.0);
+    const Interval b = RandomInterval(rng);
+    const Interval c = RandomInterval(rng);
+    const Interval left = a * (b + c);
+    const Interval right = a * b + a * c;
+    EXPECT_NEAR(left.lo, right.lo, 1e-12);
+    EXPECT_NEAR(left.hi, right.hi, 1e-12);
+  }
+}
+
+TEST(IntervalPropertyTest, AdditionSpansAdd) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Interval a = RandomInterval(rng);
+    const Interval b = RandomInterval(rng);
+    EXPECT_NEAR((a + b).Span(), a.Span() + b.Span(), 1e-12);
+    EXPECT_NEAR((a - b).Span(), a.Span() + b.Span(), 1e-12);
+  }
+}
+
+TEST(IntervalPropertyTest, SubtractionIsNotAdditionInverse) {
+  // a - a is NOT [0,0] for proper intervals — it spans ±span(a). This is
+  // the dependency problem of interval arithmetic, the root cause of
+  // Theorem 1 / Corollary 2.
+  const Interval a(1.0, 2.0);
+  const Interval diff = a - a;
+  EXPECT_DOUBLE_EQ(diff.lo, -1.0);
+  EXPECT_DOUBLE_EQ(diff.hi, 1.0);
+  EXPECT_TRUE(diff.Contains(0.0));
+}
+
+TEST(IntervalPropertyTest, MultiplicationInclusionMonotoneBothSides) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Interval a = RandomInterval(rng);
+    const Interval b = RandomInterval(rng);
+    // Shrink both by random sub-intervals.
+    const double fa = rng.Uniform(0.0, 0.5);
+    const double fb = rng.Uniform(0.0, 0.5);
+    const Interval a_sub(a.lo + fa * a.Span(), a.hi - fa * a.Span());
+    const Interval b_sub(b.lo + fb * b.Span(), b.hi - fb * b.Span());
+    EXPECT_TRUE((a * b).Contains(a_sub * b_sub));
+  }
+}
+
+TEST(IntervalPropertyTest, MidpointOfProductInsideProductOfMidpointsHull) {
+  // mid(a)·mid(b) lies inside a×b.
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Interval a = RandomInterval(rng);
+    const Interval b = RandomInterval(rng);
+    EXPECT_TRUE((a * b).Contains(a.Mid() * b.Mid()));
+  }
+}
+
+TEST(IntervalMatrixPropertyTest, ExactProductSoundnessUnderSampling) {
+  // For random scalar selections A ∈ A†, B ∈ B†: AB ∈ exact(A†B†).
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const IntervalMatrix a = RandomIntervalMatrix(5, 6, rng, -1.0, 1.0, 0.8);
+    const IntervalMatrix b = RandomIntervalMatrix(6, 4, rng, -1.0, 1.0, 0.8);
+    const IntervalMatrix exact = IntervalMatMulExact(a, b);
+    Matrix sa(5, 6), sb(6, 4);
+    for (size_t i = 0; i < 5; ++i)
+      for (size_t j = 0; j < 6; ++j)
+        sa(i, j) = rng.Uniform(a.At(i, j).lo, a.At(i, j).hi);
+    for (size_t i = 0; i < 6; ++i)
+      for (size_t j = 0; j < 4; ++j)
+        sb(i, j) = rng.Uniform(b.At(i, j).lo, b.At(i, j).hi);
+    EXPECT_TRUE(exact.ContainsMatrix(sa * sb, 1e-9));
+  }
+}
+
+TEST(IntervalMatrixPropertyTest, ProductTransposeIdentity) {
+  // (A† B†)ᵀ = B†ᵀ A†ᵀ holds for the Algorithm-1 product.
+  Rng rng(7);
+  const IntervalMatrix a = RandomIntervalMatrix(4, 6, rng, -1.0, 1.0, 0.5);
+  const IntervalMatrix b = RandomIntervalMatrix(6, 3, rng, -1.0, 1.0, 0.5);
+  const IntervalMatrix left = IntervalMatMul(a, b).Transpose();
+  const IntervalMatrix right = IntervalMatMul(b.Transpose(), a.Transpose());
+  EXPECT_TRUE(left.ApproxEquals(right, 1e-12));
+}
+
+TEST(IntervalMatrixPropertyTest, MidpointOfSumIsSumOfMidpoints) {
+  Rng rng(8);
+  const IntervalMatrix a = RandomIntervalMatrix(5, 5, rng);
+  const IntervalMatrix b = RandomIntervalMatrix(5, 5, rng);
+  EXPECT_TRUE((a + b).Mid().ApproxEquals(a.Mid() + b.Mid(), 1e-12));
+}
+
+TEST(IntervalMatrixPropertyTest, AverageReplacementIsIdempotent) {
+  Rng rng(9);
+  IntervalMatrix m = RandomIntervalMatrix(6, 6, rng);
+  // Inject misordered entries.
+  for (int k = 0; k < 8; ++k) {
+    const size_t i = rng.UniformIndex(6);
+    const size_t j = rng.UniformIndex(6);
+    const double lo = m.lower()(i, j);
+    m.mutable_lower()(i, j) = m.upper()(i, j) + 1.0;
+    m.mutable_upper()(i, j) = lo;
+  }
+  const IntervalMatrix once = m.AverageReplaced();
+  const IntervalMatrix twice = once.AverageReplaced();
+  EXPECT_TRUE(once.ApproxEquals(twice, 0.0));
+  EXPECT_TRUE(once.IsProper());
+}
+
+class IntervalMatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(IntervalMatMulShapeTest, PaperProductInsideExactHull) {
+  const auto [n, k, m] = GetParam();
+  Rng rng(1000 + n * 31 + k * 7 + m);
+  const IntervalMatrix a = RandomIntervalMatrix(n, k, rng, -1.0, 1.0, 1.0);
+  const IntervalMatrix b = RandomIntervalMatrix(k, m, rng, -1.0, 1.0, 1.0);
+  const IntervalMatrix paper = IntervalMatMul(a, b);
+  const IntervalMatrix exact = IntervalMatMulExact(a, b);
+  for (size_t i = 0; i < paper.rows(); ++i) {
+    for (size_t j = 0; j < paper.cols(); ++j) {
+      EXPECT_TRUE(exact.At(i, j).Contains(
+          Interval(paper.At(i, j).lo + 1e-12, paper.At(i, j).hi - 1e-12)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IntervalMatMulShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 5, 3),
+                      std::make_tuple(8, 2, 8), std::make_tuple(4, 12, 4)));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,179 @@
+#include "interval/interval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+TEST(IntervalTest, DefaultIsScalarZero) {
+  Interval a;
+  EXPECT_DOUBLE_EQ(a.lo, 0.0);
+  EXPECT_DOUBLE_EQ(a.hi, 0.0);
+  EXPECT_TRUE(a.IsScalar());
+}
+
+TEST(IntervalTest, SpanAndMid) {
+  const Interval a(1.0, 3.0);
+  EXPECT_DOUBLE_EQ(a.Span(), 2.0);
+  EXPECT_DOUBLE_EQ(a.Mid(), 2.0);
+  EXPECT_DOUBLE_EQ(a.Radius(), 1.0);
+}
+
+TEST(IntervalTest, FromUnorderedSorts) {
+  const Interval a = Interval::FromUnordered(3.0, -1.0);
+  EXPECT_DOUBLE_EQ(a.lo, -1.0);
+  EXPECT_DOUBLE_EQ(a.hi, 3.0);
+}
+
+TEST(IntervalTest, ContainsScalarAndInterval) {
+  const Interval a(0.0, 10.0);
+  EXPECT_TRUE(a.Contains(0.0));
+  EXPECT_TRUE(a.Contains(10.0));
+  EXPECT_FALSE(a.Contains(10.5));
+  EXPECT_TRUE(a.Contains(Interval(2.0, 3.0)));
+  EXPECT_FALSE(a.Contains(Interval(-1.0, 3.0)));
+}
+
+TEST(IntervalTest, AdditionDefinition) {
+  // [1,2] + [10,20] = [11,22].
+  const Interval c = Interval(1, 2) + Interval(10, 20);
+  EXPECT_DOUBLE_EQ(c.lo, 11);
+  EXPECT_DOUBLE_EQ(c.hi, 22);
+}
+
+TEST(IntervalTest, SubtractionDefinition) {
+  // [1,2] - [10,20] = [1-20, 2-10] = [-19, -8].
+  const Interval c = Interval(1, 2) - Interval(10, 20);
+  EXPECT_DOUBLE_EQ(c.lo, -19);
+  EXPECT_DOUBLE_EQ(c.hi, -8);
+}
+
+TEST(IntervalTest, MultiplicationPositive) {
+  const Interval c = Interval(1, 2) * Interval(3, 4);
+  EXPECT_DOUBLE_EQ(c.lo, 3);
+  EXPECT_DOUBLE_EQ(c.hi, 8);
+}
+
+TEST(IntervalTest, MultiplicationMixedSigns) {
+  // [-2, 3] * [-5, 4]: products {10, -8, -15, 12} -> [-15, 12].
+  const Interval c = Interval(-2, 3) * Interval(-5, 4);
+  EXPECT_DOUBLE_EQ(c.lo, -15);
+  EXPECT_DOUBLE_EQ(c.hi, 12);
+}
+
+TEST(IntervalTest, ScalarMultiplicationSpanRule) {
+  // span(s * b) == |s| * span(b) (Section 2.1).
+  const Interval b(2.0, 5.0);
+  EXPECT_DOUBLE_EQ((3.0 * b).Span(), 3.0 * b.Span());
+  EXPECT_DOUBLE_EQ((-3.0 * b).Span(), 3.0 * b.Span());
+}
+
+TEST(IntervalTest, NegationFlips) {
+  const Interval c = -Interval(1, 2);
+  EXPECT_DOUBLE_EQ(c.lo, -2);
+  EXPECT_DOUBLE_EQ(c.hi, -1);
+}
+
+TEST(IntervalTest, AdditionIsCommutativeAndAssociative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Interval a = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval b = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval c = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    EXPECT_EQ(a + b, b + a);
+    const Interval l = (a + b) + c;
+    const Interval r = a + (b + c);
+    EXPECT_NEAR(l.lo, r.lo, 1e-12);
+    EXPECT_NEAR(l.hi, r.hi, 1e-12);
+  }
+}
+
+TEST(IntervalTest, MultiplicationIsCommutative) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Interval a = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval b = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(IntervalTest, MultiplicationContainsAllPointProducts) {
+  // Fundamental soundness: x∈a, y∈b => x*y ∈ a*b.
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Interval a = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval b = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval c = a * b;
+    const double x = rng.Uniform(a.lo, a.hi);
+    const double y = rng.Uniform(b.lo, b.hi);
+    EXPECT_TRUE(c.Contains(x * y) || std::abs(x * y - c.lo) < 1e-12 ||
+                std::abs(x * y - c.hi) < 1e-12);
+  }
+}
+
+TEST(IntervalTest, AdditionContainsAllPointSums) {
+  Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Interval a = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval b = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const double x = rng.Uniform(a.lo, a.hi);
+    const double y = rng.Uniform(b.lo, b.hi);
+    EXPECT_TRUE((a + b).Contains(x + y));
+    EXPECT_TRUE((a - b).Contains(x - y));
+  }
+}
+
+// Theorem 1 (Scalar Theorem for ×): the product of two non-zero intervals is
+// scalar only when both operands are scalar.
+TEST(IntervalTest, ScalarTheoremForMultiplication) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double lo_a = rng.Uniform(0.1, 5.0);
+    const double lo_b = rng.Uniform(0.1, 5.0);
+    const Interval a(lo_a, lo_a + rng.Uniform(0.01, 1.0));  // proper interval
+    const Interval b(lo_b, lo_b + rng.Uniform(0.01, 1.0));
+    EXPECT_GT((a * b).Span(), 0.0);  // never scalar
+  }
+  // Scalar x scalar stays scalar.
+  EXPECT_TRUE((Interval::Scalar(2.0) * Interval::Scalar(3.0)).IsScalar());
+}
+
+TEST(IntervalTest, MultiplicationBySubsetIsMonotone) {
+  // Inclusion isotonicity: a' ⊆ a => a'*b ⊆ a*b.
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Interval a = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const Interval b = Interval::FromUnordered(rng.Uniform(-5, 5), rng.Uniform(-5, 5));
+    const double shrink = rng.Uniform(0.0, 0.5);
+    const Interval a_sub(a.lo + shrink * a.Span(), a.hi - shrink * a.Span());
+    EXPECT_TRUE((a * b).Contains(a_sub * b));
+  }
+}
+
+TEST(IntervalTest, NormalizedOrdersEndpoints) {
+  const Interval misordered(5.0, 1.0);
+  EXPECT_FALSE(misordered.IsProper());
+  const Interval fixed = misordered.Normalized();
+  EXPECT_TRUE(fixed.IsProper());
+  EXPECT_DOUBLE_EQ(fixed.lo, 1.0);
+  EXPECT_DOUBLE_EQ(fixed.hi, 5.0);
+}
+
+TEST(IntervalTest, IsScalarWithTolerance) {
+  EXPECT_TRUE(Interval(1.0, 1.0 + 1e-12).IsScalar(1e-10));
+  EXPECT_FALSE(Interval(1.0, 1.1).IsScalar(1e-10));
+}
+
+TEST(IntervalTest, CompoundAssignment) {
+  Interval a(1, 2);
+  a += Interval(1, 1);
+  EXPECT_EQ(a, Interval(2, 3));
+  a -= Interval(1, 1);
+  EXPECT_EQ(a, Interval(1, 2));
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,174 @@
+// Edge cases and failure injection for the ISVD pipeline: degenerate
+// shapes, zero matrices, extreme intervals, rank clamping, and numerical
+// sanity (no NaN/Inf escapes).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "core/accuracy.h"
+#include "core/isvd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomIntervalMatrix;
+
+bool AllFinite(const Matrix& m) {
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j)
+      if (!std::isfinite(m(i, j))) return false;
+  return true;
+}
+
+bool ResultIsFinite(const IsvdResult& r) {
+  if (!AllFinite(r.u.lower()) || !AllFinite(r.u.upper())) return false;
+  if (!AllFinite(r.v.lower()) || !AllFinite(r.v.upper())) return false;
+  for (const Interval& s : r.sigma)
+    if (!std::isfinite(s.lo) || !std::isfinite(s.hi)) return false;
+  return true;
+}
+
+class IsvdEdgeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsvdEdgeTest, ZeroMatrix) {
+  const IntervalMatrix zero(6, 8);
+  const IsvdResult result = RunIsvd(GetParam(), zero, 3);
+  EXPECT_TRUE(ResultIsFinite(result));
+  for (const Interval& s : result.sigma) {
+    EXPECT_NEAR(s.lo, 0.0, 1e-12);
+    EXPECT_NEAR(s.hi, 0.0, 1e-12);
+  }
+  // Reconstruction of zero is zero.
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_NEAR(recon.lower().MaxAbs(), 0.0, 1e-9);
+}
+
+TEST_P(IsvdEdgeTest, RankOne) {
+  Rng rng(1);
+  const IntervalMatrix m = RandomIntervalMatrix(7, 9, rng);
+  const IsvdResult result = RunIsvd(GetParam(), m, 1);
+  EXPECT_EQ(result.rank(), 1u);
+  EXPECT_TRUE(ResultIsFinite(result));
+}
+
+TEST_P(IsvdEdgeTest, RankClampedToMinDimension) {
+  Rng rng(2);
+  const IntervalMatrix m = RandomIntervalMatrix(4, 10, rng);
+  const IsvdResult result = RunIsvd(GetParam(), m, 99);
+  EXPECT_EQ(result.rank(), 4u);
+  EXPECT_TRUE(ResultIsFinite(result));
+}
+
+TEST_P(IsvdEdgeTest, SingleRowMatrix) {
+  Rng rng(3);
+  const IntervalMatrix m = RandomIntervalMatrix(1, 6, rng);
+  const IsvdResult result = RunIsvd(GetParam(), m, 1);
+  EXPECT_EQ(result.u.rows(), 1u);
+  EXPECT_EQ(result.v.rows(), 6u);
+  EXPECT_TRUE(ResultIsFinite(result));
+}
+
+TEST_P(IsvdEdgeTest, SingleColumnMatrix) {
+  Rng rng(4);
+  const IntervalMatrix m = RandomIntervalMatrix(6, 1, rng);
+  const IsvdResult result = RunIsvd(GetParam(), m, 1);
+  EXPECT_EQ(result.u.rows(), 6u);
+  EXPECT_EQ(result.v.rows(), 1u);
+  EXPECT_TRUE(ResultIsFinite(result));
+}
+
+TEST_P(IsvdEdgeTest, HugeIntervalsStayFinite) {
+  // Intervals spanning 6 orders of magnitude must not produce NaNs.
+  Rng rng(5);
+  IntervalMatrix m(8, 10);
+  for (size_t i = 0; i < 8; ++i)
+    for (size_t j = 0; j < 10; ++j) {
+      const double lo = rng.Uniform(0.0, 1e-3);
+      m.Set(i, j, Interval(lo, lo + rng.Uniform(0.0, 1e3)));
+    }
+  const IsvdResult result = RunIsvd(GetParam(), m, 4);
+  EXPECT_TRUE(ResultIsFinite(result));
+  const AccuracyReport report =
+      DecompositionAccuracy(m, result.Reconstruct());
+  EXPECT_TRUE(std::isfinite(report.harmonic_mean));
+}
+
+TEST_P(IsvdEdgeTest, NegativeValuedIntervals) {
+  Rng rng(6);
+  IntervalMatrix m(9, 7);
+  for (size_t i = 0; i < 9; ++i)
+    for (size_t j = 0; j < 7; ++j) {
+      const double lo = rng.Uniform(-2.0, 0.0);
+      m.Set(i, j, Interval(lo, lo + rng.Uniform(0.0, 1.0)));
+    }
+  const IsvdResult result = RunIsvd(GetParam(), m, 4);
+  EXPECT_TRUE(ResultIsFinite(result));
+  EXPECT_TRUE(result.u.IsProper());
+  EXPECT_TRUE(result.v.IsProper());
+}
+
+TEST_P(IsvdEdgeTest, ConstantMatrix) {
+  // Rank-1 structure with identical entries everywhere.
+  IntervalMatrix m(5, 8);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 8; ++j) m.Set(i, j, Interval(1.0, 2.0));
+  const IsvdResult result = RunIsvd(GetParam(), m, 2);
+  EXPECT_TRUE(ResultIsFinite(result));
+  // One dominant singular value, the second ~0.
+  EXPECT_GT(result.sigma[0].hi, 1.0);
+  EXPECT_LT(result.sigma[1].hi, 1e-6 * result.sigma[0].hi + 1e-9);
+}
+
+TEST_P(IsvdEdgeTest, DuplicatedColumnsAreHandled) {
+  // Exactly repeated columns create degenerate singular values — the
+  // alignment must still produce a valid permutation.
+  Rng rng(7);
+  IntervalMatrix m(10, 6);
+  for (size_t i = 0; i < 10; ++i) {
+    const double v = rng.Uniform(0.1, 1.0);
+    for (size_t j = 0; j < 6; ++j) {
+      m.Set(i, j, Interval(v, v + 0.1));  // all columns identical
+    }
+  }
+  const IsvdResult result = RunIsvd(GetParam(), m, 3);
+  EXPECT_TRUE(ResultIsFinite(result));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, IsvdEdgeTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(IsvdLanczosTest, LanczosSolverMatchesJacobiAccuracy) {
+  Rng rng(8);
+  const IntervalMatrix m = RandomIntervalMatrix(20, 60, rng, 0.2, 1.0, 0.5);
+  IsvdOptions jacobi;
+  jacobi.target = DecompositionTarget::kB;
+  IsvdOptions lanczos = jacobi;
+  lanczos.eig_solver = EigSolver::kLanczos;
+
+  const double h_jacobi =
+      DecompositionAccuracy(m, Isvd4(m, 8, jacobi).Reconstruct())
+          .harmonic_mean;
+  const double h_lanczos =
+      DecompositionAccuracy(m, Isvd4(m, 8, lanczos).Reconstruct())
+          .harmonic_mean;
+  EXPECT_NEAR(h_jacobi, h_lanczos, 0.02);
+}
+
+TEST(IsvdLanczosTest, AutoSwitchesAtLowRank) {
+  Rng rng(9);
+  const IntervalMatrix m = RandomIntervalMatrix(15, 80, rng, 0.2, 1.0, 0.5);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.eig_solver = EigSolver::kAuto;
+  options.gram_side = GramSide::kMtM;  // 80 x 80 Gram, rank 5 -> Lanczos
+  const IsvdResult result = Isvd3(m, 5, options);
+  EXPECT_EQ(result.rank(), 5u);
+  const AccuracyReport report =
+      DecompositionAccuracy(m, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.2);
+}
+
+}  // namespace
+}  // namespace ivmf

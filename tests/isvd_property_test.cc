@@ -1,0 +1,217 @@
+// Property-based sweeps over the ISVD family: paper-level behavioural
+// invariants checked across strategies, targets, shapes, and interval
+// intensities (parameterized gtest).
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "core/accuracy.h"
+#include "core/isvd.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+IntervalMatrix MakeMatrix(size_t rows, size_t cols, double intensity,
+                          uint64_t seed) {
+  Rng rng(seed);
+  SyntheticConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.interval_intensity = intensity;
+  return GenerateUniformIntervalMatrix(config, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 1: strategy x target — reconstruction H-mean must be meaningful
+// (> 0.25) at half rank on a well-behaved random instance, and the result
+// structurally valid.
+// ---------------------------------------------------------------------------
+
+using StrategyTarget = std::tuple<int, DecompositionTarget>;
+
+class StrategyTargetTest : public ::testing::TestWithParam<StrategyTarget> {};
+
+TEST_P(StrategyTargetTest, HalfRankAccuracyIsMeaningful) {
+  const auto [strategy, target] = GetParam();
+  const IntervalMatrix m = MakeMatrix(16, 24, 0.5, 100 + strategy);
+  IsvdOptions options;
+  options.target = target;
+  const IsvdResult result = RunIsvd(strategy, m, 8, options);
+  const AccuracyReport report = DecompositionAccuracy(m, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.25)
+      << IsvdName(strategy, target);
+  EXPECT_LE(report.harmonic_mean, 1.0 + 1e-12);
+}
+
+TEST_P(StrategyTargetTest, SigmaSortedDescendinglyByMidpoint) {
+  const auto [strategy, target] = GetParam();
+  if (strategy == 1) GTEST_SKIP() << "ISVD1 reorders sigma by alignment";
+  const IntervalMatrix m = MakeMatrix(14, 20, 0.3, 200 + strategy);
+  IsvdOptions options;
+  options.target = target;
+  const IsvdResult result = RunIsvd(strategy, m, 6, options);
+  // The max-side (unaligned) ordering is descending; allow mild slack for
+  // the aligned min side shifting midpoints.
+  for (size_t j = 1; j < result.rank(); ++j) {
+    EXPECT_GE(result.sigma[j - 1].hi, result.sigma[j].hi - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, StrategyTargetTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(DecompositionTarget::kA,
+                                         DecompositionTarget::kB,
+                                         DecompositionTarget::kC)));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: interval intensity — higher imprecision should not *increase*
+// reconstruction accuracy for the scalar baseline ISVD0 (the paper's Table
+// 2b trend), and ISVD4-b should beat ISVD0 at full intensity (Figure 6a).
+// ---------------------------------------------------------------------------
+
+class IntensityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IntensityTest, AllStrategiesProduceFiniteAccuracy) {
+  const double intensity = GetParam();
+  const IntervalMatrix m = MakeMatrix(15, 25, intensity, 300);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  for (int strategy = 0; strategy <= 4; ++strategy) {
+    const IsvdResult result = RunIsvd(strategy, m, 8, options);
+    const AccuracyReport report =
+        DecompositionAccuracy(m, result.Reconstruct());
+    EXPECT_TRUE(std::isfinite(report.harmonic_mean));
+    EXPECT_GE(report.harmonic_mean, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, IntensityTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 1.0));
+
+TEST(IntensityTrendTest, AlignedStrategiesBeatNaiveAtHighIntensity) {
+  // Figure 6a / Table 2: at 100% interval density and intensity the aligned
+  // ISVD3/4-b dominate ISVD0. Averaged over several matrices to de-noise.
+  double naive_sum = 0.0, isvd4_sum = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const IntervalMatrix m = MakeMatrix(20, 40, 1.0, 400 + t);
+    IsvdOptions options;
+    options.target = DecompositionTarget::kB;
+    naive_sum +=
+        DecompositionAccuracy(m, Isvd0(m, 10, options).Reconstruct())
+            .harmonic_mean;
+    isvd4_sum +=
+        DecompositionAccuracy(m, Isvd4(m, 10, options).Reconstruct())
+            .harmonic_mean;
+  }
+  EXPECT_GT(isvd4_sum / trials, naive_sum / trials - 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 3: shapes (Table 2d) — every strategy must handle tall, wide and
+// near-square inputs at several ranks.
+// ---------------------------------------------------------------------------
+
+using ShapeRank = std::tuple<std::pair<int, int>, int>;
+
+class ShapeRankTest : public ::testing::TestWithParam<ShapeRank> {};
+
+TEST_P(ShapeRankTest, DecompositionIsWellFormed) {
+  const auto [shape, rank] = GetParam();
+  const auto [rows, cols] = shape;
+  const IntervalMatrix m = MakeMatrix(rows, cols, 0.5, 37 * rows + cols);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  for (int strategy = 0; strategy <= 4; ++strategy) {
+    const IsvdResult result = RunIsvd(strategy, m, rank, options);
+    const size_t expected_rank =
+        std::min<size_t>(rank, std::min<size_t>(rows, cols));
+    EXPECT_EQ(result.rank(), expected_rank);
+    EXPECT_EQ(result.u.rows(), static_cast<size_t>(rows));
+    EXPECT_EQ(result.v.rows(), static_cast<size_t>(cols));
+    EXPECT_TRUE(result.u.IsProper());
+    EXPECT_TRUE(result.v.IsProper());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeRankTest,
+    ::testing::Combine(::testing::Values(std::make_pair(8, 20),
+                                         std::make_pair(20, 8),
+                                         std::make_pair(12, 12)),
+                       ::testing::Values(2, 5, 8)));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: matchers inside ISVD — all three ILSA matchers must run through
+// the full ISVD4 pipeline, and Hungarian's aligned similarity dominates.
+// ---------------------------------------------------------------------------
+
+class MatcherPipelineTest : public ::testing::TestWithParam<AlignMatcher> {};
+
+TEST_P(MatcherPipelineTest, PipelineCompletes) {
+  const IntervalMatrix m = MakeMatrix(14, 22, 0.8, 555);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.ilsa.matcher = GetParam();
+  const IsvdResult result = Isvd4(m, 7, options);
+  const AccuracyReport report = DecompositionAccuracy(m, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matchers, MatcherPipelineTest,
+                         ::testing::Values(AlignMatcher::kHungarian,
+                                           AlignMatcher::kGreedy,
+                                           AlignMatcher::kStableMarriage));
+
+// ---------------------------------------------------------------------------
+// Sweep 5: containment sanity — target-a interval reconstruction at full
+// rank should cover most of the midpoint matrix (soundness of the interval
+// recombination; not exact, per Corollary 2 an exact interval SVD cannot
+// exist).
+// ---------------------------------------------------------------------------
+
+TEST(ContainmentTest, FullRankTargetAReconstructionCoversMidpoints) {
+  const IntervalMatrix m = MakeMatrix(10, 14, 0.4, 777);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kA;
+  const IsvdResult result = Isvd1(m, 0, options);
+  const IntervalMatrix recon = result.Reconstruct();
+  const Matrix mid = m.Mid();
+  size_t covered = 0;
+  const double slack = 0.05 * mid.MaxAbs();
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j)
+      if (mid(i, j) >= recon.At(i, j).lo - slack &&
+          mid(i, j) <= recon.At(i, j).hi + slack)
+        ++covered;
+  EXPECT_GT(static_cast<double>(covered) /
+                static_cast<double>(m.rows() * m.cols()),
+            0.8);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep 6: rank monotonicity (Table 2e trend) — more rank, more accuracy,
+// checked with a tolerance for stochastic jitter.
+// ---------------------------------------------------------------------------
+
+TEST(RankTrendTest, AccuracyGrowsWithRank) {
+  const IntervalMatrix m = MakeMatrix(20, 30, 0.5, 888);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  double prev = -1.0;
+  for (const size_t rank : {2u, 5u, 10u, 20u}) {
+    const double h =
+        DecompositionAccuracy(m, Isvd4(m, rank, options).Reconstruct())
+            .harmonic_mean;
+    EXPECT_GT(h, prev - 0.05) << "rank " << rank;
+    prev = h;
+  }
+}
+
+}  // namespace
+}  // namespace ivmf

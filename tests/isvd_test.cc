@@ -1,0 +1,272 @@
+#include "core/isvd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "core/accuracy.h"
+#include "data/synthetic.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomIntervalMatrix;
+using ::ivmf::testing::RandomMatrix;
+
+IntervalMatrix SmallTestMatrix(uint64_t seed, size_t rows = 12,
+                               size_t cols = 18) {
+  Rng rng(seed);
+  return RandomIntervalMatrix(rows, cols, rng, 0.2, 1.0, 0.4);
+}
+
+TEST(Isvd0Test, DegenerateInputMatchesPlainSvd) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(8, 10, rng, 0.0, 1.0);
+  const IsvdResult result = Isvd0(IntervalMatrix::FromScalar(m), 4);
+  const SvdResult svd = ComputeSvd(m, 4);
+  for (size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(result.sigma[j].Mid(), svd.sigma[j], 1e-9);
+  // Scalar target: factors are degenerate.
+  EXPECT_TRUE(result.u.IsProper());
+  EXPECT_DOUBLE_EQ(result.u.Span().MaxAbs(), 0.0);
+  EXPECT_EQ(result.target, DecompositionTarget::kC);
+}
+
+TEST(Isvd0Test, FullRankDegenerateReconstructsExactly) {
+  Rng rng(2);
+  const Matrix m = RandomMatrix(6, 9, rng, 0.0, 1.0);
+  const IsvdResult result = Isvd0(IntervalMatrix::FromScalar(m), 0);
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_TRUE(recon.lower().ApproxEquals(m, 1e-8));
+}
+
+TEST(Isvd0Test, DecomposesMidpointOfIntervals) {
+  const IntervalMatrix m = SmallTestMatrix(3);
+  const IsvdResult result = Isvd0(m, 0);
+  const IntervalMatrix recon = result.Reconstruct();
+  // Full-rank SVD of the midpoint reconstructs the midpoint.
+  EXPECT_TRUE(recon.lower().ApproxEquals(m.Mid(), 1e-8));
+}
+
+TEST(Isvd0Test, TimingsArePopulated) {
+  const IsvdResult result = Isvd0(SmallTestMatrix(4), 5);
+  EXPECT_GE(result.timings.decompose, 0.0);
+  EXPECT_GT(result.timings.Total(), 0.0);
+}
+
+class IsvdStrategyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsvdStrategyTest, RankIsRespected) {
+  const int strategy = GetParam();
+  const IntervalMatrix m = SmallTestMatrix(5);
+  const IsvdResult result = RunIsvd(strategy, m, 6);
+  EXPECT_EQ(result.rank(), 6u);
+  EXPECT_EQ(result.u.rows(), m.rows());
+  EXPECT_EQ(result.u.cols(), 6u);
+  EXPECT_EQ(result.v.rows(), m.cols());
+  EXPECT_EQ(result.v.cols(), 6u);
+}
+
+TEST_P(IsvdStrategyTest, OutputsAreProperIntervals) {
+  const int strategy = GetParam();
+  for (const DecompositionTarget target :
+       {DecompositionTarget::kA, DecompositionTarget::kB,
+        DecompositionTarget::kC}) {
+    IsvdOptions options;
+    options.target = target;
+    const IsvdResult result = RunIsvd(strategy, SmallTestMatrix(6), 5, options);
+    EXPECT_TRUE(result.u.IsProper());
+    EXPECT_TRUE(result.v.IsProper());
+    for (const Interval& s : result.sigma) {
+      EXPECT_TRUE(s.IsProper());
+      EXPECT_GE(s.lo, -1e-9);  // singular values stay non-negative
+    }
+  }
+}
+
+TEST_P(IsvdStrategyTest, ScalarTargetsHaveDegenerateFactors) {
+  const int strategy = GetParam();
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult b = RunIsvd(strategy, SmallTestMatrix(7), 5, options);
+  EXPECT_DOUBLE_EQ(b.u.Span().MaxAbs(), 0.0);
+  EXPECT_DOUBLE_EQ(b.v.Span().MaxAbs(), 0.0);
+
+  options.target = DecompositionTarget::kC;
+  const IsvdResult c = RunIsvd(strategy, SmallTestMatrix(7), 5, options);
+  for (const Interval& s : c.sigma) EXPECT_TRUE(s.IsScalar(1e-12));
+}
+
+TEST_P(IsvdStrategyTest, TargetBFactorsHaveUnitColumns) {
+  const int strategy = GetParam();
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult result = RunIsvd(strategy, SmallTestMatrix(8), 5, options);
+  for (size_t j = 0; j < result.rank(); ++j) {
+    EXPECT_NEAR(Norm2(result.ScalarU().Col(j)), 1.0, 1e-6);
+    EXPECT_NEAR(Norm2(result.ScalarV().Col(j)), 1.0, 1e-6);
+  }
+}
+
+TEST_P(IsvdStrategyTest, DegenerateInputGivesAccurateReconstruction) {
+  // With zero-width intervals every strategy reduces to scalar SVD, so a
+  // full-rank decomposition reconstructs the input (nearly) exactly.
+  const int strategy = GetParam();
+  Rng rng(9);
+  const Matrix m = RandomMatrix(10, 8, rng, 0.1, 1.0);
+  const IntervalMatrix im = IntervalMatrix::FromScalar(m);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const IsvdResult result = RunIsvd(strategy, im, 0, options);
+  const AccuracyReport report =
+      DecompositionAccuracy(im, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.99) << "strategy " << strategy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, IsvdStrategyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(IsvdTest, Isvd1AlignedFactorsReconstruct) {
+  const IntervalMatrix m = SmallTestMatrix(10);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kA;
+  const IsvdResult result = Isvd1(m, 0, options);
+  // Full-rank target-a reconstruction should track the endpoints closely
+  // (alignment permutes consistently, so U_* Σ_* V_*ᵀ ≈ M_*).
+  const AccuracyReport report = DecompositionAccuracy(m, result.Reconstruct());
+  EXPECT_GT(report.harmonic_mean, 0.3);
+}
+
+TEST(IsvdTest, GramEigReuseMatchesDirectCall) {
+  const IntervalMatrix m = SmallTestMatrix(11);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const GramEig gram = ComputeGramEig(m, 5, options);
+  const IsvdResult direct = Isvd3(m, 5, options);
+  const IsvdResult reused = Isvd3(m, 5, gram, options);
+  EXPECT_TRUE(reused.u.lower().ApproxEquals(direct.u.lower(), 1e-9));
+  EXPECT_TRUE(reused.v.upper().ApproxEquals(direct.v.upper(), 1e-9));
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(reused.sigma[j].lo, direct.sigma[j].lo, 1e-9);
+    EXPECT_NEAR(reused.sigma[j].hi, direct.sigma[j].hi, 1e-9);
+  }
+}
+
+TEST(IsvdTest, GramSideTransposeConsistency) {
+  // The kMMt route must produce factor shapes consistent with the input.
+  const IntervalMatrix m = SmallTestMatrix(12, 6, 15);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  options.gram_side = GramSide::kMMt;
+  const IsvdResult result = Isvd2(m, 4, options);
+  EXPECT_EQ(result.u.rows(), 6u);
+  EXPECT_EQ(result.v.rows(), 15u);
+  EXPECT_EQ(result.rank(), 4u);
+}
+
+TEST(IsvdTest, TruncateGramEigMatchesDirectComputation) {
+  const IntervalMatrix m = SmallTestMatrix(21);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kB;
+  const GramEig full = ComputeGramEig(m, 0, options);
+  const GramEig direct = ComputeGramEig(m, 4, options);
+  const GramEig sliced = TruncateGramEig(full, 4);
+  ASSERT_EQ(sliced.lo.eigenvalues.size(), 4u);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(sliced.lo.eigenvalues[j], direct.lo.eigenvalues[j], 1e-9);
+    EXPECT_NEAR(sliced.hi.eigenvalues[j], direct.hi.eigenvalues[j], 1e-9);
+  }
+  // The downstream decomposition agrees too.
+  const IsvdResult a = Isvd4(m, 4, direct, options);
+  const IsvdResult b = Isvd4(m, 4, sliced, options);
+  EXPECT_TRUE(a.u.lower().ApproxEquals(b.u.lower(), 1e-9));
+  for (size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(a.sigma[j].hi, b.sigma[j].hi, 1e-9);
+}
+
+TEST(IsvdTest, AutoSidePicksSmallerGram) {
+  const IntervalMatrix wide = SmallTestMatrix(13, 5, 20);
+  IsvdOptions options;
+  options.gram_side = GramSide::kAuto;
+  const GramEig gram = ComputeGramEig(wide, 3, options);
+  EXPECT_TRUE(gram.transposed);        // 5 < 20: use M Mᵀ
+  EXPECT_EQ(gram.gram.rows(), 5u);
+}
+
+TEST(IsvdTest, Isvd4RecomputationImprovesVAlignment) {
+  // Figure 5 property: after the ISVD4 recomputation step the min/max V
+  // factors are more similar than ISVD3's.
+  Rng rng(14);
+  SyntheticConfig config;
+  config.rows = 20;
+  config.cols = 30;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kA;
+
+  const GramEig gram = ComputeGramEig(m, 10, options);
+  const IsvdResult r3 = Isvd3(m, 10, gram, options);
+  const IsvdResult r4 = Isvd4(m, 10, gram, options);
+
+  auto mean_abs_cos = [](const IsvdResult& r) {
+    const std::vector<double> cosines =
+        ColumnwiseCosine(r.v.lower(), r.v.upper());
+    double sum = 0.0;
+    for (double c : cosines) sum += std::abs(c);
+    return sum / static_cast<double>(cosines.size());
+  };
+  EXPECT_GE(mean_abs_cos(r4), mean_abs_cos(r3) - 1e-9);
+}
+
+TEST(IsvdTest, RunIsvdDispatch) {
+  const IntervalMatrix m = SmallTestMatrix(15);
+  const IsvdResult r0 = RunIsvd(0, m, 3);
+  EXPECT_EQ(r0.target, DecompositionTarget::kC);
+  const IsvdResult r4 = RunIsvd(4, m, 3);
+  EXPECT_EQ(r4.rank(), 3u);
+}
+
+TEST(IsvdTest, IsvdNameFormatting) {
+  EXPECT_EQ(IsvdName(0, DecompositionTarget::kB), "ISVD0");
+  EXPECT_EQ(IsvdName(1, DecompositionTarget::kA), "ISVD1-a");
+  EXPECT_EQ(IsvdName(3, DecompositionTarget::kB), "ISVD3-b");
+  EXPECT_EQ(IsvdName(4, DecompositionTarget::kC), "ISVD4-c");
+}
+
+TEST(IsvdTest, PhaseTimingsAccumulate) {
+  PhaseTimings a;
+  a.decompose = 1.0;
+  a.align = 0.5;
+  PhaseTimings b;
+  b.decompose = 2.0;
+  b.solve = 0.25;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.decompose, 3.0);
+  EXPECT_DOUBLE_EQ(a.align, 0.5);
+  EXPECT_DOUBLE_EQ(a.solve, 0.25);
+  EXPECT_DOUBLE_EQ(a.Total(), 3.75);
+}
+
+TEST(IsvdTest, ReconstructTargetAUsesIntervalAlgebra) {
+  const IntervalMatrix m = SmallTestMatrix(16);
+  IsvdOptions options;
+  options.target = DecompositionTarget::kA;
+  const IsvdResult result = Isvd1(m, 4, options);
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_EQ(recon.rows(), m.rows());
+  EXPECT_EQ(recon.cols(), m.cols());
+  EXPECT_TRUE(recon.IsProper());  // interval matmul yields proper intervals
+}
+
+TEST(IsvdTest, ReconstructTargetCIsScalar) {
+  IsvdOptions options;
+  options.target = DecompositionTarget::kC;
+  const IsvdResult result = Isvd2(SmallTestMatrix(17), 4, options);
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_DOUBLE_EQ(recon.Span().MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace ivmf

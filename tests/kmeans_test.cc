@@ -1,0 +1,167 @@
+#include "eval/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+// Three well-separated Gaussian blobs with ground-truth labels.
+std::pair<Matrix, std::vector<int>> MakeBlobs(size_t per_cluster, Rng& rng) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix points(3 * per_cluster, 2);
+  std::vector<int> labels(3 * per_cluster);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      const size_t row = c * per_cluster + i;
+      points(row, 0) = centers[c][0] + 0.5 * rng.Normal();
+      points(row, 1) = centers[c][1] + 0.5 * rng.Normal();
+      labels[row] = static_cast<int>(c);
+    }
+  }
+  return {points, labels};
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(1);
+  const auto [points, labels] = MakeBlobs(30, rng);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = KMeans(points, options);
+  EXPECT_GT(NormalizedMutualInformation(labels, result.assignments), 0.95);
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  Rng rng(2);
+  const auto [points, labels] = MakeBlobs(10, rng);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = KMeans(points, options);
+  for (int a : result.assignments) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+  EXPECT_EQ(result.assignments.size(), points.rows());
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredDistances) {
+  Rng rng(3);
+  const auto [points, labels] = MakeBlobs(10, rng);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult result = KMeans(points, options);
+  double inertia = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    double d = 0.0;
+    for (size_t j = 0; j < points.cols(); ++j) {
+      const double diff =
+          points(i, j) - result.centroids(result.assignments[i], j);
+      d += diff * diff;
+    }
+    inertia += d;
+  }
+  EXPECT_NEAR(result.inertia, inertia, 1e-9);
+}
+
+TEST(KMeansTest, KEqualsOneGroupsEverything) {
+  Rng rng(4);
+  const auto [points, labels] = MakeBlobs(5, rng);
+  KMeansOptions options;
+  options.k = 1;
+  const KMeansResult result = KMeans(points, options);
+  for (int a : result.assignments) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Rng rng(5);
+  Matrix points(4, 2);
+  points(0, 0) = 0;
+  points(1, 0) = 5;
+  points(2, 0) = 10;
+  points(3, 0) = 15;
+  KMeansOptions options;
+  options.k = 4;
+  options.restarts = 5;
+  const KMeansResult result = KMeans(points, options);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+  std::set<int> distinct(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorsenInertia) {
+  Rng rng(6);
+  const auto [points, labels] = MakeBlobs(15, rng);
+  KMeansOptions one;
+  one.k = 3;
+  one.restarts = 1;
+  KMeansOptions many = one;
+  many.restarts = 8;
+  EXPECT_LE(KMeans(points, many).inertia, KMeans(points, one).inertia + 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(7);
+  const auto [points, labels] = MakeBlobs(10, rng);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult a = KMeans(points, options);
+  const KMeansResult b = KMeans(points, options);
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST(KMeansIntervalTest, SeparatesBySpanWhenMidpointsCoincide) {
+  // Two groups share midpoints but differ in interval width; interval
+  // k-means (doubled representation) separates them, scalar-on-midpoint
+  // cannot.
+  Rng rng(8);
+  IntervalMatrix points(40, 1);
+  std::vector<int> truth(40);
+  for (size_t i = 0; i < 40; ++i) {
+    const double mid = 5.0 + 0.05 * rng.Normal();
+    const double halfspan = (i < 20) ? 0.1 : 4.0;
+    points.Set(i, 0, Interval(mid - halfspan, mid + halfspan));
+    truth[i] = i < 20 ? 0 : 1;
+  }
+  KMeansOptions options;
+  options.k = 2;
+  options.restarts = 5;
+  const KMeansResult interval_result = KMeansInterval(points, options);
+  EXPECT_GT(NormalizedMutualInformation(truth, interval_result.assignments),
+            0.9);
+}
+
+TEST(KMeansIntervalTest, DegenerateMatchesScalar) {
+  Rng rng(9);
+  const auto [points, labels] = MakeBlobs(10, rng);
+  KMeansOptions options;
+  options.k = 3;
+  const KMeansResult scalar = KMeans(points, options);
+  const KMeansResult interval =
+      KMeansInterval(IntervalMatrix::FromScalar(points), options);
+  // Same data twice (doubled) -> identical partition structure.
+  EXPECT_NEAR(
+      NormalizedMutualInformation(scalar.assignments, interval.assignments),
+      1.0, 1e-9);
+}
+
+class KMeansKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansKSweep, InertiaDecreasesWithK) {
+  Rng rng(10);
+  const auto [points, labels] = MakeBlobs(20, rng);
+  KMeansOptions fewer;
+  fewer.k = static_cast<size_t>(GetParam());
+  fewer.restarts = 4;
+  KMeansOptions more = fewer;
+  more.k = fewer.k + 2;
+  EXPECT_GE(KMeans(points, fewer).inertia, KMeans(points, more).inertia - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansKSweep, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,80 @@
+#include "eval/knn.h"
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+TEST(ConcatenateEndpointsTest, DoublesColumns) {
+  IntervalMatrix m(2, 3);
+  m.Set(0, 1, Interval(2, 5));
+  const Matrix c = ConcatenateEndpoints(m);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 6u);
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);   // lower endpoint block
+  EXPECT_DOUBLE_EQ(c(0, 4), 5.0);   // upper endpoint block
+}
+
+TEST(RowDistanceSquaredTest, KnownValue) {
+  const Matrix a = Matrix::FromRows({{0, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(RowDistanceSquared(a, 0, a, 1), 25.0);
+}
+
+TEST(Classify1NnTest, PicksNearestLabel) {
+  const Matrix train = Matrix::FromRows({{0, 0}, {10, 10}});
+  const std::vector<int> labels{7, 9};
+  const Matrix test = Matrix::FromRows({{1, 1}, {9, 9}});
+  const std::vector<int> pred = Classify1Nn(train, labels, test);
+  EXPECT_EQ(pred[0], 7);
+  EXPECT_EQ(pred[1], 9);
+}
+
+TEST(Classify1NnTest, ExactMatchWinsAlways) {
+  Rng rng(1);
+  const Matrix train = ivmf::testing::RandomMatrix(20, 5, rng);
+  std::vector<int> labels(20);
+  for (int i = 0; i < 20; ++i) labels[i] = i;
+  const std::vector<int> pred = Classify1Nn(train, labels, train);
+  EXPECT_EQ(pred, labels);
+}
+
+TEST(Classify1NnIntervalTest, MatchesPaperDistanceDefinition) {
+  // dist²([a_*,a^*],[b_*,b^*]) = (a_*-b_*)² + (a^*-b^*)².
+  IntervalMatrix train(2, 1);
+  train.Set(0, 0, Interval(0.0, 0.0));
+  train.Set(1, 0, Interval(10.0, 12.0));
+  IntervalMatrix test(1, 1);
+  test.Set(0, 0, Interval(9.0, 11.0));  // clearly nearer the second row
+  const std::vector<int> pred =
+      Classify1NnInterval(train, {0, 1}, test);
+  EXPECT_EQ(pred[0], 1);
+}
+
+TEST(Classify1NnIntervalTest, SpanInformationDisambiguates) {
+  // Same midpoints, different spans: interval distance separates them.
+  IntervalMatrix train(2, 1);
+  train.Set(0, 0, Interval(4.0, 6.0));    // mid 5, span 2
+  train.Set(1, 0, Interval(0.0, 10.0));   // mid 5, span 10
+  IntervalMatrix test(1, 1);
+  test.Set(0, 0, Interval(0.5, 9.5));     // near the wide interval
+  const std::vector<int> pred = Classify1NnInterval(train, {0, 1}, test);
+  EXPECT_EQ(pred[0], 1);
+}
+
+TEST(Classify1NnIntervalTest, DegenerateIntervalsReduceToScalar) {
+  Rng rng(2);
+  const Matrix features = ivmf::testing::RandomMatrix(15, 4, rng);
+  std::vector<int> labels(15);
+  for (int i = 0; i < 15; ++i) labels[i] = i % 3;
+  const Matrix queries = ivmf::testing::RandomMatrix(5, 4, rng);
+  const std::vector<int> scalar_pred = Classify1Nn(features, labels, queries);
+  const std::vector<int> interval_pred =
+      Classify1NnInterval(IntervalMatrix::FromScalar(features), labels,
+                          IntervalMatrix::FromScalar(queries));
+  EXPECT_EQ(scalar_pred, interval_pred);
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,173 @@
+#include "linalg/lanczos.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::OrthonormalityError;
+using ::ivmf::testing::RandomMatrix;
+using ::ivmf::testing::RandomSymmetric;
+
+TEST(TridiagonalQLTest, DiagonalInput) {
+  std::vector<double> diag{3, 1, 2};
+  std::vector<double> off{0, 0};
+  Matrix z = Matrix::Identity(3);
+  ASSERT_TRUE(TridiagonalQL(diag, off, &z));
+  EXPECT_NEAR(diag[0], 1.0, 1e-12);
+  EXPECT_NEAR(diag[1], 2.0, 1e-12);
+  EXPECT_NEAR(diag[2], 3.0, 1e-12);
+}
+
+TEST(TridiagonalQLTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] -> eigenvalues 1, 3.
+  std::vector<double> diag{2, 2};
+  std::vector<double> off{1};
+  Matrix z = Matrix::Identity(2);
+  ASSERT_TRUE(TridiagonalQL(diag, off, &z));
+  EXPECT_NEAR(diag[0], 1.0, 1e-12);
+  EXPECT_NEAR(diag[1], 3.0, 1e-12);
+  // Eigenvectors: (1,-1)/sqrt2 and (1,1)/sqrt2 up to sign.
+  EXPECT_NEAR(std::abs(z(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(std::abs(z(0, 1)), std::sqrt(0.5), 1e-10);
+}
+
+TEST(TridiagonalQLTest, MatchesJacobiOnRandomTridiagonal) {
+  Rng rng(1);
+  const size_t n = 12;
+  std::vector<double> diag(n), off(n - 1);
+  for (double& d : diag) d = rng.Uniform(-2, 2);
+  for (double& o : off) o = rng.Uniform(-1, 1);
+
+  // Build the dense tridiagonal and solve with Jacobi as an oracle.
+  Matrix dense(n, n);
+  for (size_t i = 0; i < n; ++i) dense(i, i) = diag[i];
+  for (size_t i = 0; i + 1 < n; ++i) {
+    dense(i, i + 1) = off[i];
+    dense(i + 1, i) = off[i];
+  }
+  const EigResult jacobi = ComputeSymmetricEig(dense);
+
+  Matrix z = Matrix::Identity(n);
+  ASSERT_TRUE(TridiagonalQL(diag, off, &z));
+  for (size_t i = 0; i < n; ++i) {
+    // QL sorts ascending, Jacobi descending.
+    EXPECT_NEAR(diag[i], jacobi.eigenvalues[n - 1 - i], 1e-9);
+  }
+  EXPECT_LT(OrthonormalityError(z), 1e-9);
+}
+
+TEST(TridiagonalQLTest, SingleElement) {
+  std::vector<double> diag{5.0};
+  std::vector<double> off;
+  ASSERT_TRUE(TridiagonalQL(diag, off, nullptr));
+  EXPECT_DOUBLE_EQ(diag[0], 5.0);
+}
+
+TEST(LanczosTest, TopEigenvaluesMatchJacobi) {
+  // PSD Gram-style matrix — the shape ISVD actually feeds to the solver.
+  Rng rng(2);
+  const Matrix base = RandomMatrix(40, 40, rng);
+  const Matrix a = base * base.Transpose();
+  const EigResult jacobi = ComputeSymmetricEig(a, 5);
+  const EigResult lanczos = ComputeLanczosEig(a, 5);
+  ASSERT_EQ(lanczos.eigenvalues.size(), 5u);
+  const double scale = std::abs(jacobi.eigenvalues[0]) + 1.0;
+  for (size_t j = 0; j < 5; ++j)
+    EXPECT_NEAR(lanczos.eigenvalues[j] / scale,
+                jacobi.eigenvalues[j] / scale, 1e-6);
+}
+
+TEST(LanczosTest, EigenpairsSatisfyDefiningEquation) {
+  Rng rng(3);
+  const Matrix base = RandomMatrix(30, 30, rng);
+  const Matrix a = base * base.Transpose();  // PSD, well-separated spectrum
+  const EigResult result = ComputeLanczosEig(a, 6);
+  const double scale = std::abs(result.eigenvalues[0]) + 1.0;
+  for (size_t j = 0; j < result.eigenvalues.size(); ++j) {
+    const std::vector<double> v = result.eigenvectors.Col(j);
+    double err = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) {
+      double av = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) av += a(i, k) * v[k];
+      const double r = av - result.eigenvalues[j] * v[i];
+      err += r * r;
+    }
+    EXPECT_LT(std::sqrt(err) / scale, 1e-6);
+  }
+}
+
+TEST(LanczosTest, RitzVectorsAreOrthonormal) {
+  Rng rng(4);
+  const Matrix a = RandomSymmetric(25, rng);
+  const EigResult result = ComputeLanczosEig(a, 8);
+  EXPECT_LT(OrthonormalityError(result.eigenvectors), 1e-8);
+}
+
+TEST(LanczosTest, FullRankFallsBackToJacobi) {
+  Rng rng(5);
+  const Matrix a = RandomSymmetric(10, rng);
+  const EigResult full = ComputeLanczosEig(a, 0);
+  const EigResult jacobi = ComputeSymmetricEig(a);
+  ASSERT_EQ(full.eigenvalues.size(), jacobi.eigenvalues.size());
+  for (size_t j = 0; j < full.eigenvalues.size(); ++j)
+    EXPECT_NEAR(full.eigenvalues[j], jacobi.eigenvalues[j], 1e-10);
+}
+
+TEST(LanczosTest, GramMatrixSingularValuesMatchSvd) {
+  Rng rng(6);
+  const Matrix m = RandomMatrix(20, 35, rng);
+  const Matrix gram = m.Transpose() * m;  // 35 x 35
+  const EigResult lanczos = ComputeLanczosEig(gram, 4);
+  const SvdResult svd = ComputeSvd(m, 4);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(std::sqrt(std::max(0.0, lanczos.eigenvalues[j])),
+                svd.sigma[j], 1e-7);
+  }
+}
+
+TEST(LanczosTest, DeterministicForSeed) {
+  Rng rng(7);
+  const Matrix a = RandomSymmetric(20, rng);
+  const EigResult r1 = ComputeLanczosEig(a, 4);
+  const EigResult r2 = ComputeLanczosEig(a, 4);
+  EXPECT_TRUE(r1.eigenvectors == r2.eigenvectors);
+}
+
+TEST(LanczosTest, LowRankMatrixTerminatesEarly) {
+  // Rank-2 PSD matrix: Krylov space exhausts after ~2 steps.
+  Rng rng(8);
+  const Matrix f = RandomMatrix(20, 2, rng);
+  const Matrix a = f * f.Transpose();
+  const EigResult result = ComputeLanczosEig(a, 2);
+  const EigResult jacobi = ComputeSymmetricEig(a, 2);
+  for (size_t j = 0; j < 2; ++j)
+    EXPECT_NEAR(result.eigenvalues[j], jacobi.eigenvalues[j], 1e-7);
+}
+
+class LanczosRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LanczosRankTest, AgreesWithJacobiAcrossRanks) {
+  const int rank = GetParam();
+  Rng rng(100 + rank);
+  const Matrix base = RandomMatrix(50, 50, rng);
+  const Matrix a = base * base.Transpose();
+  const EigResult jacobi = ComputeSymmetricEig(a, rank);
+  const EigResult lanczos = ComputeLanczosEig(a, rank);
+  for (int j = 0; j < rank; ++j) {
+    const double scale = std::abs(jacobi.eigenvalues[0]) + 1.0;
+    EXPECT_NEAR(lanczos.eigenvalues[j] / scale,
+                jacobi.eigenvalues[j] / scale, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, LanczosRankTest,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,172 @@
+// Additional invariance / consistency properties of the linear-algebra
+// substrate: SVD under scaling, permutation and orthogonal transforms;
+// eigendecomposition under diagonal shifts; pseudo-inverse of orthonormal
+// factors; condition-number behaviour.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "linalg/eig.h"
+#include "linalg/lu.h"
+#include "linalg/pinv.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+using ::ivmf::testing::RandomSymmetric;
+
+TEST(SvdInvarianceTest, ScalingScalesSingularValues) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(8, 6, rng);
+  const SvdResult base = ComputeSvd(m);
+  const SvdResult scaled = ComputeSvd(m * (-2.5));
+  for (size_t j = 0; j < base.sigma.size(); ++j)
+    EXPECT_NEAR(scaled.sigma[j], 2.5 * base.sigma[j], 1e-9);
+}
+
+TEST(SvdInvarianceTest, TransposeKeepsSingularValues) {
+  Rng rng(2);
+  const Matrix m = RandomMatrix(9, 5, rng);
+  const SvdResult a = ComputeSvd(m);
+  const SvdResult b = ComputeSvd(m.Transpose());
+  for (size_t j = 0; j < a.sigma.size(); ++j)
+    EXPECT_NEAR(a.sigma[j], b.sigma[j], 1e-9);
+}
+
+TEST(SvdInvarianceTest, RowPermutationKeepsSingularValues) {
+  Rng rng(3);
+  const Matrix m = RandomMatrix(7, 5, rng);
+  Matrix permuted(7, 5);
+  const size_t perm[7] = {3, 0, 6, 1, 5, 2, 4};
+  for (size_t i = 0; i < 7; ++i) permuted.SetRow(perm[i], m.Row(i));
+  const SvdResult a = ComputeSvd(m);
+  const SvdResult b = ComputeSvd(permuted);
+  for (size_t j = 0; j < a.sigma.size(); ++j)
+    EXPECT_NEAR(a.sigma[j], b.sigma[j], 1e-9);
+}
+
+TEST(SvdInvarianceTest, OrthogonalTransformKeepsSingularValues) {
+  Rng rng(4);
+  const Matrix m = RandomMatrix(8, 8, rng);
+  // Build an orthogonal Q from the SVD of another random matrix.
+  const Matrix q = ComputeSvd(RandomMatrix(8, 8, rng)).u;
+  const SvdResult a = ComputeSvd(m);
+  const SvdResult b = ComputeSvd(q * m);
+  for (size_t j = 0; j < a.sigma.size(); ++j)
+    EXPECT_NEAR(a.sigma[j], b.sigma[j], 1e-8);
+}
+
+TEST(SvdInvarianceTest, FrobeniusNormEqualsSigmaNorm) {
+  Rng rng(5);
+  const Matrix m = RandomMatrix(10, 7, rng);
+  const SvdResult svd = ComputeSvd(m);
+  double sigma_sq = 0.0;
+  for (double s : svd.sigma) sigma_sq += s * s;
+  EXPECT_NEAR(m.FrobeniusNorm(), std::sqrt(sigma_sq), 1e-9);
+}
+
+TEST(EigInvarianceTest, DiagonalShiftShiftsEigenvalues) {
+  Rng rng(6);
+  const Matrix a = RandomSymmetric(10, rng);
+  Matrix shifted = a;
+  for (size_t i = 0; i < 10; ++i) shifted(i, i) += 3.5;
+  const EigResult ea = ComputeSymmetricEig(a);
+  const EigResult es = ComputeSymmetricEig(shifted);
+  for (size_t j = 0; j < 10; ++j)
+    EXPECT_NEAR(es.eigenvalues[j], ea.eigenvalues[j] + 3.5, 1e-9);
+}
+
+TEST(EigInvarianceTest, NegationReversesSpectrum) {
+  Rng rng(7);
+  const Matrix a = RandomSymmetric(8, rng);
+  const EigResult ea = ComputeSymmetricEig(a);
+  const EigResult en = ComputeSymmetricEig(a * (-1.0));
+  for (size_t j = 0; j < 8; ++j)
+    EXPECT_NEAR(en.eigenvalues[j], -ea.eigenvalues[8 - 1 - j], 1e-9);
+}
+
+TEST(EigInvarianceTest, IdempotentProjectorHasZeroOneSpectrum) {
+  // P = Q Qᵀ for orthonormal Q (n x r) has eigenvalues 1 (r times), 0.
+  Rng rng(8);
+  const Matrix q = ComputeSvd(RandomMatrix(10, 4, rng)).u;  // 10 x 4
+  const Matrix p = q * q.Transpose();
+  const EigResult eig = ComputeSymmetricEig(p);
+  for (size_t j = 0; j < 4; ++j) EXPECT_NEAR(eig.eigenvalues[j], 1.0, 1e-9);
+  for (size_t j = 4; j < 10; ++j) EXPECT_NEAR(eig.eigenvalues[j], 0.0, 1e-9);
+}
+
+TEST(PinvPropertyTest, PinvOfOrthonormalIsTranspose) {
+  Rng rng(9);
+  const Matrix q = ComputeSvd(RandomMatrix(9, 4, rng)).u;
+  const Matrix pinv = PseudoInverse(q);
+  EXPECT_TRUE(pinv.ApproxEquals(q.Transpose(), 1e-8));
+}
+
+TEST(PinvPropertyTest, PinvOfPinvIsOriginal) {
+  Rng rng(10);
+  const Matrix a = RandomMatrix(6, 4, rng);
+  const Matrix back = PseudoInverse(PseudoInverse(a));
+  EXPECT_TRUE(back.ApproxEquals(a, 1e-7));
+}
+
+TEST(PinvPropertyTest, PinvSolvesLeastSquares) {
+  // x = A⁺ b minimizes ||Ax - b||; the residual is orthogonal to range(A).
+  Rng rng(11);
+  const Matrix a = RandomMatrix(10, 4, rng);
+  std::vector<double> b(10);
+  for (double& v : b) v = rng.Uniform(-1.0, 1.0);
+  const Matrix pinv = PseudoInverse(a);
+  std::vector<double> x(4, 0.0);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 10; ++j) x[i] += pinv(i, j) * b[j];
+  // residual r = Ax - b; check Aᵀ r = 0.
+  std::vector<double> r(10);
+  for (size_t i = 0; i < 10; ++i) {
+    r[i] = -b[i];
+    for (size_t j = 0; j < 4; ++j) r[i] += a(i, j) * x[j];
+  }
+  for (size_t j = 0; j < 4; ++j) {
+    double dot = 0.0;
+    for (size_t i = 0; i < 10; ++i) dot += a(i, j) * r[i];
+    EXPECT_NEAR(dot, 0.0, 1e-8);
+  }
+}
+
+TEST(ConditionPropertyTest, ScalingLeavesConditionUnchanged) {
+  Rng rng(12);
+  const Matrix a = RandomMatrix(6, 6, rng);
+  EXPECT_NEAR(ConditionNumber(a), ConditionNumber(a * 7.0), 1e-6);
+}
+
+TEST(ConditionPropertyTest, InverseHasSameCondition) {
+  Rng rng(13);
+  const Matrix a = RandomMatrix(5, 5, rng) + 3.0 * Matrix::Identity(5);
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_NEAR(ConditionNumber(a), ConditionNumber(*inv),
+              1e-6 * ConditionNumber(a));
+}
+
+TEST(LuPropertyTest, SolveMatchesPinvForSquareNonsingular) {
+  Rng rng(14);
+  const Matrix a = RandomMatrix(6, 6, rng) + 2.0 * Matrix::Identity(6);
+  std::vector<double> b(6);
+  for (double& v : b) v = rng.Uniform(-1.0, 1.0);
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.IsSingular());
+  const std::vector<double> x_lu = lu.Solve(b);
+  const Matrix pinv = PseudoInverse(a);
+  for (size_t i = 0; i < 6; ++i) {
+    double x_p = 0.0;
+    for (size_t j = 0; j < 6; ++j) x_p += pinv(i, j) * b[j];
+    EXPECT_NEAR(x_lu[i], x_p, 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,116 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+TEST(LuTest, SolvesSmallSystem) {
+  // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3.
+  const Matrix a = Matrix::FromRows({{2, 1}, {1, 3}});
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.IsSingular());
+  const std::vector<double> x = lu.Solve(std::vector<double>{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, SolveMatrixRhs) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(6, 6, rng);
+  const Matrix b = RandomMatrix(6, 3, rng);
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.IsSingular());
+  const Matrix x = lu.Solve(b);
+  EXPECT_TRUE((a * x).ApproxEquals(b, 1e-10));
+}
+
+TEST(LuTest, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(8, 8, rng);
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.IsSingular());
+  EXPECT_TRUE((a * lu.Inverse()).ApproxEquals(Matrix::Identity(8), 1e-9));
+  EXPECT_TRUE((lu.Inverse() * a).ApproxEquals(Matrix::Identity(8), 1e-9));
+}
+
+TEST(LuTest, DetectsSingularMatrix) {
+  // Second row is twice the first.
+  const Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  LuDecomposition lu(a);
+  EXPECT_TRUE(lu.IsSingular());
+  EXPECT_DOUBLE_EQ(lu.Determinant(), 0.0);
+}
+
+TEST(LuTest, DeterminantOfDiagonal) {
+  LuDecomposition lu(Matrix::Diagonal({2, 3, 4}));
+  EXPECT_NEAR(lu.Determinant(), 24.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantSignWithPermutation) {
+  // Anti-diagonal: det([[0,1],[1,0]]) = -1.
+  const Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  LuDecomposition lu(a);
+  EXPECT_NEAR(lu.Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantMatchesProductRule) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(5, 5, rng);
+  const Matrix b = RandomMatrix(5, 5, rng);
+  const double det_a = LuDecomposition(a).Determinant();
+  const double det_b = LuDecomposition(b).Determinant();
+  const double det_ab = LuDecomposition(a * b).Determinant();
+  EXPECT_NEAR(det_ab, det_a * det_b, 1e-8 * std::abs(det_ab) + 1e-10);
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  const Matrix a = Matrix::FromRows({{0, 1}, {1, 0}});
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.IsSingular());
+  const std::vector<double> x = lu.Solve(std::vector<double>{2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuTest, InverseHelperReturnsNulloptForSingular) {
+  EXPECT_FALSE(Inverse(Matrix(3, 3)).has_value());
+}
+
+TEST(LuTest, InverseHelperMatchesLu) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(4, 4, rng);
+  const auto inv = Inverse(a);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_TRUE((a * *inv).ApproxEquals(Matrix::Identity(4), 1e-10));
+}
+
+TEST(LuTest, OneByOne) {
+  LuDecomposition lu(Matrix::FromRows({{4.0}}));
+  EXPECT_NEAR(lu.Solve(std::vector<double>{8.0})[0], 2.0, 1e-14);
+  EXPECT_NEAR(lu.Determinant(), 4.0, 1e-14);
+}
+
+class LuSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizeTest, SolveResidualIsTiny) {
+  const int n = GetParam();
+  Rng rng(700 + n);
+  const Matrix a = RandomMatrix(n, n, rng);
+  LuDecomposition lu(a);
+  ASSERT_FALSE(lu.IsSingular());
+  const Matrix id = Matrix::Identity(n);
+  EXPECT_TRUE((a * lu.Inverse()).ApproxEquals(id, 1e-8)) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace ivmf

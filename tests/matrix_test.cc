@@ -1,0 +1,227 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructorFillsValue) {
+  Matrix m(2, 3, 1.5);
+  for (size_t i = 0; i < 2; ++i)
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(MatrixTest, FromRowsBuildsExpectedLayout) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::Identity(4);
+  for (size_t i = 0; i < 4; ++i)
+    for (size_t j = 0; j < 4; ++j)
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, DiagonalPlacesEntries) {
+  const Matrix d = Matrix::Diagonal({1, 2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 1);
+  EXPECT_DOUBLE_EQ(d(1, 1), 2);
+  EXPECT_DOUBLE_EQ(d(2, 2), 3);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{3, 4}));
+  EXPECT_EQ(m.Col(0), (std::vector<double>{1, 3, 5}));
+}
+
+TEST(MatrixTest, SetRowAndSetCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, {1, 2});
+  m.SetCol(1, {7, 8});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8);
+}
+
+TEST(MatrixTest, ColBlockExtractsContiguousColumns) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3, 4}, {5, 6, 7, 8}});
+  const Matrix block = m.ColBlock(1, 2);
+  EXPECT_EQ(block.rows(), 2u);
+  EXPECT_EQ(block.cols(), 2u);
+  EXPECT_DOUBLE_EQ(block(0, 0), 2);
+  EXPECT_DOUBLE_EQ(block(1, 1), 7);
+}
+
+TEST(MatrixTest, AdditionAndSubtraction) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix sum = a + b;
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 6);
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12);
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4);
+  EXPECT_DOUBLE_EQ(diff(1, 1), 4);
+}
+
+TEST(MatrixTest, ScalarMultiplication) {
+  const Matrix a = Matrix::FromRows({{1, -2}});
+  const Matrix b = 2.0 * a;
+  const Matrix c = a * 2.0;
+  EXPECT_DOUBLE_EQ(b(0, 1), -4);
+  EXPECT_TRUE(b == c);
+}
+
+TEST(MatrixTest, MatrixProductMatchesHandComputation) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 19);
+  EXPECT_DOUBLE_EQ(p(0, 1), 22);
+  EXPECT_DOUBLE_EQ(p(1, 0), 43);
+  EXPECT_DOUBLE_EQ(p(1, 1), 50);
+}
+
+TEST(MatrixTest, ProductWithIdentityIsIdentityOperation) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(5, 7, rng);
+  EXPECT_TRUE((Matrix::Identity(5) * a).ApproxEquals(a, 1e-14));
+  EXPECT_TRUE((a * Matrix::Identity(7)).ApproxEquals(a, 1e-14));
+}
+
+TEST(MatrixTest, ProductIsAssociative) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(4, 5, rng);
+  const Matrix b = RandomMatrix(5, 6, rng);
+  const Matrix c = RandomMatrix(6, 3, rng);
+  EXPECT_TRUE(((a * b) * c).ApproxEquals(a * (b * c), 1e-12));
+}
+
+TEST(MatrixTest, TransposeRoundTrips) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(3, 8, rng);
+  EXPECT_TRUE(a.Transpose().Transpose() == a);
+}
+
+TEST(MatrixTest, TransposeOfProductReversesOrder) {
+  Rng rng(6);
+  const Matrix a = RandomMatrix(4, 5, rng);
+  const Matrix b = RandomMatrix(5, 3, rng);
+  EXPECT_TRUE(
+      (a * b).Transpose().ApproxEquals(b.Transpose() * a.Transpose(), 1e-13));
+}
+
+TEST(MatrixTest, CwiseMultiply) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{2, 0}, {-1, 5}});
+  const Matrix p = a.CwiseMultiply(b);
+  EXPECT_DOUBLE_EQ(p(0, 0), 2);
+  EXPECT_DOUBLE_EQ(p(0, 1), 0);
+  EXPECT_DOUBLE_EQ(p(1, 0), -3);
+  EXPECT_DOUBLE_EQ(p(1, 1), 20);
+}
+
+TEST(MatrixTest, CwiseQuotientGuardsZeroDenominator) {
+  const Matrix a = Matrix::FromRows({{4, 9}});
+  const Matrix b = Matrix::FromRows({{2, 0}});
+  const Matrix q = a.CwiseQuotient(b);
+  EXPECT_DOUBLE_EQ(q(0, 0), 2);
+  EXPECT_DOUBLE_EQ(q(0, 1), 0.0);  // guarded division
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsAndSum) {
+  const Matrix m = Matrix::FromRows({{1, -7}, {3, 2}});
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 7.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), -1.0);
+}
+
+TEST(MatrixTest, DiagonalEntriesOfRectangular) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.DiagonalEntries(), (std::vector<double>{1, 5}));
+}
+
+TEST(MatrixTest, ApproxEqualsRespectsTolerance) {
+  const Matrix a = Matrix::FromRows({{1.0}});
+  const Matrix b = Matrix::FromRows({{1.0 + 1e-9}});
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-8));
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-10));
+}
+
+TEST(MatrixTest, ApproxEqualsRejectsShapeMismatch) {
+  EXPECT_FALSE(Matrix(2, 2).ApproxEquals(Matrix(2, 3), 1.0));
+}
+
+TEST(VectorOpsTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+}
+
+TEST(VectorOpsTest, CosineSimilarityOfParallelVectors) {
+  EXPECT_NEAR(CosineSimilarity({1, 2}, {2, 4}), 1.0, 1e-12);
+}
+
+TEST(VectorOpsTest, CosineSimilarityOfOrthogonalVectors) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+}
+
+TEST(VectorOpsTest, CosineSimilarityOfOppositeVectors) {
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {-1, -1}), -1.0, 1e-12);
+}
+
+TEST(VectorOpsTest, CosineSimilarityOfZeroVectorIsZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 2}), 0.0);
+}
+
+// Parameterized sweep: (AB)ᵀ = BᵀAᵀ and Frobenius submultiplicativity over
+// a range of shapes.
+class MatrixShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MatrixShapeTest, ProductDimensionsAndNormBound) {
+  const auto [n, m] = GetParam();
+  Rng rng(1000 + n * 31 + m);
+  const Matrix a = RandomMatrix(n, m, rng);
+  const Matrix b = RandomMatrix(m, n, rng);
+  const Matrix p = a * b;
+  EXPECT_EQ(p.rows(), static_cast<size_t>(n));
+  EXPECT_EQ(p.cols(), static_cast<size_t>(n));
+  // ||AB||_F <= ||A||_F ||B||_F.
+  EXPECT_LE(p.FrobeniusNorm(),
+            a.FrobeniusNorm() * b.FrobeniusNorm() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatrixShapeTest,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 5),
+                      std::make_pair(5, 1), std::make_pair(3, 7),
+                      std::make_pair(7, 3), std::make_pair(10, 10),
+                      std::make_pair(17, 23)));
+
+}  // namespace
+}  // namespace ivmf

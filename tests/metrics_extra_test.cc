@@ -1,0 +1,144 @@
+// Tests for the extended evaluation metrics (ARI, per-class report,
+// confusion matrix) and the interval-matrix statistics helpers.
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "eval/metrics.h"
+#include "interval/interval_ops.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+TEST(AriTest, IdenticalPartitionsGiveOne) {
+  EXPECT_NEAR(AdjustedRandIndex({0, 0, 1, 1, 2}, {0, 0, 1, 1, 2}), 1.0, 1e-12);
+}
+
+TEST(AriTest, RelabeledPartitionsGiveOne) {
+  EXPECT_NEAR(AdjustedRandIndex({0, 0, 1, 1}, {7, 7, 3, 3}), 1.0, 1e-12);
+}
+
+TEST(AriTest, CrossedPartitionsNearZero) {
+  // Perfectly crossed 2x2 design: ARI ~ at/below 0.
+  const double ari = AdjustedRandIndex({0, 0, 1, 1}, {0, 1, 0, 1});
+  EXPECT_LT(ari, 0.1);
+}
+
+TEST(AriTest, SymmetricInArguments) {
+  const std::vector<int> a{0, 1, 1, 2, 0, 2, 1, 0};
+  const std::vector<int> b{1, 1, 0, 2, 2, 0, 1, 1};
+  EXPECT_NEAR(AdjustedRandIndex(a, b), AdjustedRandIndex(b, a), 1e-12);
+}
+
+TEST(AriTest, RandomPartitionsAverageNearZero) {
+  Rng rng(1);
+  double sum = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> a(60), b(60);
+    for (size_t i = 0; i < 60; ++i) {
+      a[i] = static_cast<int>(rng.UniformIndex(4));
+      b[i] = static_cast<int>(rng.UniformIndex(4));
+    }
+    sum += AdjustedRandIndex(a, b);
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);  // "adjusted for chance"
+}
+
+TEST(AriTest, BothTrivialPartitions) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({1, 1, 1}, {2, 2, 2}), 1.0);
+}
+
+TEST(PerClassReportTest, PerfectPrediction) {
+  const auto reports = PerClassReport({0, 1, 1}, {0, 1, 1});
+  ASSERT_EQ(reports.size(), 2u);
+  for (const ClassReport& r : reports) {
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  }
+  EXPECT_EQ(reports[0].support, 1u);
+  EXPECT_EQ(reports[1].support, 2u);
+}
+
+TEST(PerClassReportTest, KnownBinaryCase) {
+  // truth: 1 1 1 0 0 / pred: 1 1 0 0 1
+  const auto reports = PerClassReport({1, 1, 1, 0, 0}, {1, 1, 0, 0, 1});
+  ASSERT_EQ(reports.size(), 2u);
+  const ClassReport& c0 = reports[0];
+  EXPECT_EQ(c0.label, 0);
+  EXPECT_DOUBLE_EQ(c0.precision, 0.5);  // predicted 0 twice, one right
+  EXPECT_DOUBLE_EQ(c0.recall, 0.5);
+  const ClassReport& c1 = reports[1];
+  EXPECT_DOUBLE_EQ(c1.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c1.recall, 2.0 / 3.0);
+}
+
+TEST(PerClassReportTest, MacroF1Consistency) {
+  const std::vector<int> truth{0, 0, 1, 1, 2, 2, 2};
+  const std::vector<int> pred{0, 1, 1, 1, 2, 0, 2};
+  const auto reports = PerClassReport(truth, pred);
+  double mean_f1 = 0.0;
+  for (const ClassReport& r : reports) mean_f1 += r.f1;
+  mean_f1 /= static_cast<double>(reports.size());
+  EXPECT_NEAR(mean_f1, MacroF1(truth, pred), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, CountsAreCorrect) {
+  const ConfusionMatrix cm =
+      BuildConfusionMatrix({0, 0, 1, 1, 1}, {0, 1, 1, 1, 0});
+  ASSERT_EQ(cm.labels.size(), 2u);
+  EXPECT_EQ(cm.counts[0][0], 1u);  // truth 0 -> pred 0
+  EXPECT_EQ(cm.counts[0][1], 1u);  // truth 0 -> pred 1
+  EXPECT_EQ(cm.counts[1][0], 1u);
+  EXPECT_EQ(cm.counts[1][1], 2u);
+}
+
+TEST(ConfusionMatrixTest, IncludesPredictedOnlyLabels) {
+  const ConfusionMatrix cm = BuildConfusionMatrix({0, 0}, {0, 5});
+  ASSERT_EQ(cm.labels.size(), 2u);
+  EXPECT_EQ(cm.labels[1], 5);
+  EXPECT_EQ(cm.counts[0][1], 1u);
+}
+
+TEST(ConfusionMatrixTest, TotalEqualsSampleCount) {
+  Rng rng(2);
+  std::vector<int> truth(40), pred(40);
+  for (size_t i = 0; i < 40; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(5));
+    pred[i] = static_cast<int>(rng.UniformIndex(5));
+  }
+  const ConfusionMatrix cm = BuildConfusionMatrix(truth, pred);
+  size_t total = 0;
+  for (const auto& row : cm.counts)
+    for (size_t c : row) total += c;
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(IntervalStatsTest, MeanSpan) {
+  IntervalMatrix m(1, 2);
+  m.Set(0, 0, Interval(0, 4));
+  m.Set(0, 1, Interval(1, 1));
+  EXPECT_DOUBLE_EQ(MeanSpan(m), 2.0);
+  EXPECT_DOUBLE_EQ(MeanSpan(IntervalMatrix()), 0.0);
+}
+
+TEST(IntervalStatsTest, ContainmentFraction) {
+  IntervalMatrix m(1, 2);
+  m.Set(0, 0, Interval(0, 1));
+  m.Set(0, 1, Interval(0, 1));
+  const Matrix inside = Matrix::FromRows({{0.5, 0.7}});
+  const Matrix half = Matrix::FromRows({{0.5, 2.0}});
+  EXPECT_DOUBLE_EQ(ContainmentFraction(m, inside), 1.0);
+  EXPECT_DOUBLE_EQ(ContainmentFraction(m, half), 0.5);
+}
+
+TEST(IntervalStatsTest, IntervalDensity) {
+  IntervalMatrix m(2, 2);
+  m.Set(0, 0, Interval(0, 1));
+  m.Set(1, 1, Interval(2, 2.5));
+  EXPECT_DOUBLE_EQ(IntervalDensity(m), 0.5);
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,101 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ivmf {
+namespace {
+
+TEST(AccuracyTest, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {4, 5, 6}), 0.0);
+}
+
+TEST(AccuracyTest, Partial) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3, 4}, {1, 2, 0, 0}), 0.5);
+}
+
+TEST(AccuracyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MacroF1Test, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 0, 1}, {0, 1, 0, 1}), 1.0);
+}
+
+TEST(MacroF1Test, AllWrong) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MacroF1Test, KnownBinaryCase) {
+  // truth:   1 1 1 0 0
+  // pred:    1 1 0 0 1
+  // class 1: tp=2 fp=1 fn=1 -> F1 = 2*2/(4+1+1) = 4/6
+  // class 0: tp=1 fp=1 fn=1 -> F1 = 2/(2+1+1) = 0.5
+  const double f1 = MacroF1({1, 1, 1, 0, 0}, {1, 1, 0, 0, 1});
+  EXPECT_NEAR(f1, 0.5 * (4.0 / 6.0 + 0.5), 1e-12);
+}
+
+TEST(MacroF1Test, ClassImbalanceWeighsClassesEqually) {
+  // 9 of class 0 correct, 1 of class 1 wrong -> macro punishes class 1.
+  std::vector<int> truth(10, 0);
+  truth[9] = 1;
+  std::vector<int> pred(10, 0);
+  const double f1 = MacroF1(truth, pred);
+  // class 0: tp=9, fp=1, fn=0 -> 18/19; class 1: 0.
+  EXPECT_NEAR(f1, 0.5 * 18.0 / 19.0, 1e-12);
+}
+
+TEST(MicroF1Test, EqualsAccuracy) {
+  const std::vector<int> truth{1, 2, 3, 1};
+  const std::vector<int> pred{1, 2, 0, 0};
+  EXPECT_DOUBLE_EQ(MicroF1(truth, pred), Accuracy(truth, pred));
+}
+
+TEST(NmiTest, IdenticalPartitionsGiveOne) {
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1, 2, 2},
+                                          {0, 0, 1, 1, 2, 2}),
+              1.0, 1e-12);
+}
+
+TEST(NmiTest, RelabeledPartitionsGiveOne) {
+  // NMI is invariant to label names.
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {5, 5, 9, 9}), 1.0,
+              1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsGiveZero) {
+  // Perfectly crossed: each cluster of `a` splits evenly across `b`.
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {0, 1, 0, 1}), 0.0,
+              1e-12);
+}
+
+TEST(NmiTest, PartialOverlapIsBetweenZeroAndOne) {
+  const double nmi =
+      NormalizedMutualInformation({0, 0, 1, 1, 2, 2}, {0, 0, 1, 2, 2, 2});
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  const std::vector<int> a{0, 1, 1, 2, 0, 2, 1};
+  const std::vector<int> b{1, 1, 0, 2, 2, 0, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b),
+              NormalizedMutualInformation(b, a), 1e-12);
+}
+
+TEST(NmiTest, ConstantLabelingEdgeCases) {
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({1, 1, 1}, {1, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({1, 1, 1}, {0, 1, 2}), 0.0);
+}
+
+TEST(NmiTest, FinerPartitionKeepsInformation) {
+  // Splitting one true cluster into two still identifies the others.
+  const double nmi =
+      NormalizedMutualInformation({0, 0, 0, 0, 1, 1, 1, 1},
+                                  {0, 0, 2, 2, 1, 1, 1, 1});
+  EXPECT_GT(nmi, 0.5);
+  EXPECT_LT(nmi, 1.0);
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,149 @@
+#include "factor/nmf.h"
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+Matrix RandomNonNegative(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.Uniform(0.0, 1.0);
+  return m;
+}
+
+// Low-rank non-negative ground truth.
+Matrix LowRankNonNegative(size_t rows, size_t cols, size_t rank, Rng& rng) {
+  return RandomNonNegative(rows, rank, rng) *
+         RandomNonNegative(cols, rank, rng).Transpose();
+}
+
+TEST(NmfTest, FactorsStayNonNegative) {
+  Rng rng(1);
+  const Matrix m = RandomNonNegative(10, 8, rng);
+  const NmfResult result = ComputeNmf(m, 4);
+  for (size_t i = 0; i < result.u.rows(); ++i)
+    for (size_t j = 0; j < result.u.cols(); ++j)
+      EXPECT_GE(result.u(i, j), 0.0);
+  for (size_t i = 0; i < result.v.rows(); ++i)
+    for (size_t j = 0; j < result.v.cols(); ++j)
+      EXPECT_GE(result.v(i, j), 0.0);
+}
+
+TEST(NmfTest, LossIsMonotoneNonIncreasing) {
+  Rng rng(2);
+  const Matrix m = RandomNonNegative(12, 9, rng);
+  const NmfResult result = ComputeNmf(m, 5);
+  for (size_t i = 1; i < result.loss_history.size(); ++i)
+    EXPECT_LE(result.loss_history[i], result.loss_history[i - 1] + 1e-9);
+}
+
+TEST(NmfTest, RecoversLowRankStructure) {
+  Rng rng(3);
+  const Matrix m = LowRankNonNegative(15, 12, 3, rng);
+  NmfOptions options;
+  options.max_iterations = 500;
+  options.tolerance = 1e-10;
+  const NmfResult result = ComputeNmf(m, 3, options);
+  const double rel_err =
+      (result.Reconstruct() - m).FrobeniusNorm() / m.FrobeniusNorm();
+  EXPECT_LT(rel_err, 0.05);
+}
+
+TEST(NmfTest, LossDecreasesSubstantially) {
+  Rng rng(4);
+  const Matrix m = LowRankNonNegative(10, 10, 2, rng);
+  const NmfResult result = ComputeNmf(m, 2);
+  EXPECT_LT(result.loss_history.back(), 0.5 * result.loss_history.front());
+}
+
+TEST(NmfTest, DeterministicForFixedSeed) {
+  Rng rng(5);
+  const Matrix m = RandomNonNegative(8, 6, rng);
+  const NmfResult a = ComputeNmf(m, 3);
+  const NmfResult b = ComputeNmf(m, 3);
+  EXPECT_TRUE(a.u == b.u);
+  EXPECT_TRUE(a.v == b.v);
+}
+
+TEST(NmfTest, DifferentSeedsDiffer) {
+  Rng rng(6);
+  const Matrix m = RandomNonNegative(8, 6, rng);
+  NmfOptions options;
+  options.seed = 1;
+  const NmfResult a = ComputeNmf(m, 3, options);
+  options.seed = 2;
+  const NmfResult b = ComputeNmf(m, 3, options);
+  EXPECT_FALSE(a.u == b.u);
+}
+
+TEST(IntervalNmfTest, FactorsStayNonNegative) {
+  Rng rng(7);
+  const Matrix base = RandomNonNegative(10, 8, rng);
+  Matrix upper = base;
+  for (size_t i = 0; i < 10; ++i)
+    for (size_t j = 0; j < 8; ++j) upper(i, j) += rng.Uniform(0.0, 0.3);
+  const IntervalMatrix m(base, upper);
+  const IntervalNmfResult result = ComputeIntervalNmf(m, 4);
+  EXPECT_GE(result.u.Sum(), 0.0);
+  for (size_t i = 0; i < result.v_lo.rows(); ++i)
+    for (size_t j = 0; j < result.v_lo.cols(); ++j) {
+      EXPECT_GE(result.v_lo(i, j), 0.0);
+      EXPECT_GE(result.v_hi(i, j), 0.0);
+    }
+}
+
+TEST(IntervalNmfTest, LossIsMonotoneNonIncreasing) {
+  Rng rng(8);
+  const Matrix base = RandomNonNegative(10, 8, rng);
+  Matrix upper = base;
+  for (size_t i = 0; i < 10; ++i)
+    for (size_t j = 0; j < 8; ++j) upper(i, j) += rng.Uniform(0.0, 0.3);
+  const IntervalNmfResult result = ComputeIntervalNmf(IntervalMatrix(base, upper), 4);
+  for (size_t i = 1; i < result.loss_history.size(); ++i)
+    EXPECT_LE(result.loss_history[i], result.loss_history[i - 1] + 1e-9);
+}
+
+TEST(IntervalNmfTest, DegenerateInputMatchesBothEndpoints) {
+  Rng rng(9);
+  const Matrix m = LowRankNonNegative(12, 10, 3, rng);
+  NmfOptions options;
+  options.max_iterations = 500;
+  const IntervalNmfResult result =
+      ComputeIntervalNmf(IntervalMatrix::FromScalar(m), 3, options);
+  // Both endpoint reconstructions should fit the same matrix.
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_LT((recon.lower() - m).FrobeniusNorm() / m.FrobeniusNorm(), 0.1);
+  EXPECT_LT((recon.upper() - m).FrobeniusNorm() / m.FrobeniusNorm(), 0.1);
+}
+
+TEST(IntervalNmfTest, ReconstructIsProper) {
+  Rng rng(10);
+  const Matrix base = RandomNonNegative(8, 6, rng);
+  Matrix upper = base;
+  for (size_t i = 0; i < 8; ++i)
+    for (size_t j = 0; j < 6; ++j) upper(i, j) += 0.2;
+  const IntervalNmfResult result =
+      ComputeIntervalNmf(IntervalMatrix(base, upper), 3);
+  EXPECT_TRUE(result.Reconstruct().IsProper());
+}
+
+class NmfRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NmfRankTest, ReconstructionErrorShrinksWithRank) {
+  const int rank = GetParam();
+  Rng rng(11);
+  const Matrix m = RandomNonNegative(14, 12, rng);
+  NmfOptions options;
+  options.max_iterations = 300;
+  const NmfResult result = ComputeNmf(m, rank, options);
+  EXPECT_EQ(result.u.cols(), static_cast<size_t>(rank));
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, NmfRankTest, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,115 @@
+#include "linalg/pinv.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "linalg/svd.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+TEST(PinvTest, SquareInvertibleMatchesInverse) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(5, 5, rng);
+  const Matrix pinv = PseudoInverse(a);
+  EXPECT_TRUE((a * pinv).ApproxEquals(Matrix::Identity(5), 1e-8));
+}
+
+TEST(PinvTest, TallMatrixLeftInverse) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(9, 4, rng);
+  const Matrix pinv = PseudoInverse(a);
+  EXPECT_EQ(pinv.rows(), 4u);
+  EXPECT_EQ(pinv.cols(), 9u);
+  // A⁺A = I for full column rank.
+  EXPECT_TRUE((pinv * a).ApproxEquals(Matrix::Identity(4), 1e-8));
+}
+
+TEST(PinvTest, WideMatrixRightInverse) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(4, 9, rng);
+  const Matrix pinv = PseudoInverse(a);
+  EXPECT_TRUE((a * pinv).ApproxEquals(Matrix::Identity(4), 1e-8));
+}
+
+TEST(PinvTest, MoorePenroseConditions) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(6, 4, rng);
+  const Matrix p = PseudoInverse(a);
+  // 1) A A⁺ A = A,  2) A⁺ A A⁺ = A⁺, 3) (A A⁺)ᵀ = A A⁺, 4) (A⁺A)ᵀ = A⁺A.
+  EXPECT_TRUE((a * p * a).ApproxEquals(a, 1e-8));
+  EXPECT_TRUE((p * a * p).ApproxEquals(p, 1e-8));
+  EXPECT_TRUE((a * p).ApproxEquals((a * p).Transpose(), 1e-8));
+  EXPECT_TRUE((p * a).ApproxEquals((p * a).Transpose(), 1e-8));
+}
+
+TEST(PinvTest, RankDeficientSatisfiesMoorePenrose) {
+  // Rank-1 outer product.
+  Matrix a(5, 3);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 3; ++j) a(i, j) = (i + 1.0) * (j + 1.0);
+  const Matrix p = PseudoInverse(a);
+  EXPECT_TRUE((a * p * a).ApproxEquals(a, 1e-8));
+  EXPECT_TRUE((p * a * p).ApproxEquals(p, 1e-8));
+}
+
+TEST(PinvTest, CutoffDropsSmallSingularValues) {
+  // Diagonal with one small singular value.
+  const Matrix a = Matrix::Diagonal({2.0, 0.05});
+  PinvOptions options;
+  options.singular_value_cutoff = 0.1;  // per the paper's ISVD policy
+  const Matrix p = PseudoInverse(a, options);
+  EXPECT_NEAR(p(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(p(1, 1), 0.0, 1e-12);  // dropped, not inverted to 20
+}
+
+TEST(PinvTest, ZeroMatrixPinvIsZero) {
+  const Matrix p = PseudoInverse(Matrix(3, 4));
+  EXPECT_DOUBLE_EQ(p.MaxAbs(), 0.0);
+  EXPECT_EQ(p.rows(), 4u);
+  EXPECT_EQ(p.cols(), 3u);
+}
+
+TEST(ConditionNumberTest, IdentityHasConditionOne) {
+  EXPECT_NEAR(ConditionNumber(Matrix::Identity(6)), 1.0, 1e-9);
+}
+
+TEST(ConditionNumberTest, DiagonalRatio) {
+  EXPECT_NEAR(ConditionNumber(Matrix::Diagonal({10, 2})), 5.0, 1e-9);
+}
+
+TEST(ConditionNumberTest, SingularIsInfinite) {
+  EXPECT_TRUE(std::isinf(ConditionNumber(Matrix(3, 3))));
+}
+
+TEST(RobustInverseTest, WellConditionedUsesExactInverse) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(5, 5, rng) + 5.0 * Matrix::Identity(5);
+  const Matrix inv = RobustInverse(a);
+  EXPECT_TRUE((a * inv).ApproxEquals(Matrix::Identity(5), 1e-9));
+}
+
+TEST(RobustInverseTest, NonSquareFallsBackToPinv) {
+  Rng rng(6);
+  const Matrix a = RandomMatrix(6, 3, rng) * 10.0;  // σ well above 0.1
+  const Matrix inv = RobustInverse(a);
+  EXPECT_EQ(inv.rows(), 3u);
+  EXPECT_EQ(inv.cols(), 6u);
+  EXPECT_TRUE((inv * a).ApproxEquals(Matrix::Identity(3), 1e-8));
+}
+
+TEST(RobustInverseTest, IllConditionedUsesCutoffPinv) {
+  // cond = 1e10 forces the pseudo-inverse path; σ=1e-9 < 0.1 is dropped.
+  const Matrix a = Matrix::Diagonal({10.0, 1e-9});
+  const Matrix inv = RobustInverse(a, /*cond_threshold=*/1e6);
+  EXPECT_NEAR(inv(0, 0), 0.1, 1e-12);
+  EXPECT_NEAR(inv(1, 1), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,179 @@
+#include "factor/pmf.h"
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+// Rating-like low-rank matrix in roughly [1, 5].
+Matrix RatingMatrix(size_t n, size_t m, size_t rank, Rng& rng) {
+  const Matrix u = RandomMatrix(n, rank, rng, -0.6, 0.6);
+  const Matrix v = RandomMatrix(m, rank, rng, -0.6, 0.6);
+  Matrix r = u * v.Transpose();
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < m; ++j) r(i, j) = 3.0 + r(i, j);
+  return r;
+}
+
+Matrix FullMask(size_t n, size_t m) { return Matrix(n, m, 1.0); }
+
+TEST(PmfTest, LossDecreasesOverTraining) {
+  Rng rng(1);
+  const Matrix m = RatingMatrix(20, 15, 3, rng);
+  const PmfResult result = ComputePmf(m, FullMask(20, 15), 3);
+  EXPECT_LT(result.loss_history.back(), 0.5 * result.loss_history.front());
+}
+
+TEST(PmfTest, ReconstructionApproximatesObservedEntries) {
+  Rng rng(2);
+  const Matrix m = RatingMatrix(25, 20, 2, rng);
+  PmfOptions options;
+  options.epochs = 400;
+  const PmfResult result = ComputePmf(m, FullMask(25, 20), 4, options);
+  const double rel =
+      (result.Reconstruct() - m).FrobeniusNorm() / m.FrobeniusNorm();
+  EXPECT_LT(rel, 0.1);
+}
+
+TEST(PmfTest, MaskedEntriesDoNotDriveLoss) {
+  Rng rng(3);
+  const Matrix m = RatingMatrix(15, 12, 2, rng);
+  // Mask half the entries; corrupt the masked-out ones wildly.
+  Matrix mask(15, 12);
+  Matrix corrupted = m;
+  for (size_t i = 0; i < 15; ++i)
+    for (size_t j = 0; j < 12; ++j) {
+      if ((i + j) % 2 == 0) {
+        mask(i, j) = 1.0;
+      } else {
+        corrupted(i, j) = 1000.0;  // must be ignored
+      }
+    }
+  const PmfResult result = ComputePmf(corrupted, mask, 3);
+  // Training converged (finite, decreasing loss) despite absurd hidden values.
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+  EXPECT_LT(result.Reconstruct().MaxAbs(), 100.0);
+}
+
+TEST(PmfTest, DeterministicForFixedSeed) {
+  Rng rng(4);
+  const Matrix m = RatingMatrix(10, 8, 2, rng);
+  const PmfResult a = ComputePmf(m, FullMask(10, 8), 3);
+  const PmfResult b = ComputePmf(m, FullMask(10, 8), 3);
+  EXPECT_TRUE(a.u == b.u);
+}
+
+IntervalMatrix RatingIntervals(const Matrix& m, double delta) {
+  Matrix lo = m, hi = m;
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j) {
+      lo(i, j) -= delta;
+      hi(i, j) += delta;
+    }
+  return IntervalMatrix(lo, hi);
+}
+
+TEST(IntervalPmfTest, LossDecreases) {
+  Rng rng(5);
+  const Matrix m = RatingMatrix(18, 14, 3, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.4);
+  const IntervalPmfResult result =
+      ComputeIntervalPmf(im, FullMask(18, 14), 3);
+  EXPECT_LT(result.loss_history.back(), 0.5 * result.loss_history.front());
+}
+
+TEST(IntervalPmfTest, ReconstructionTracksBothEndpoints) {
+  Rng rng(6);
+  const Matrix m = RatingMatrix(20, 16, 2, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.5);
+  PmfOptions options;
+  options.epochs = 400;
+  const IntervalPmfResult result =
+      ComputeIntervalPmf(im, FullMask(20, 16), 4, options);
+  const IntervalMatrix recon = result.Reconstruct();
+  EXPECT_LT((recon.lower() - im.lower()).FrobeniusNorm() /
+                im.lower().FrobeniusNorm(),
+            0.15);
+  EXPECT_LT((recon.upper() - im.upper()).FrobeniusNorm() /
+                im.upper().FrobeniusNorm(),
+            0.15);
+}
+
+TEST(IntervalPmfTest, PredictMidIsBetweenEndpointReconstructions) {
+  Rng rng(7);
+  const Matrix m = RatingMatrix(12, 10, 2, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.3);
+  const IntervalPmfResult result =
+      ComputeIntervalPmf(im, FullMask(12, 10), 3);
+  const IntervalMatrix recon = result.Reconstruct();
+  const Matrix mid = result.PredictMid();
+  for (size_t i = 0; i < 12; ++i)
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_GE(mid(i, j), recon.At(i, j).lo - 1e-9);
+      EXPECT_LE(mid(i, j), recon.At(i, j).hi + 1e-9);
+    }
+}
+
+TEST(AiPmfTest, TrainingCompletesAndFits) {
+  Rng rng(8);
+  const Matrix m = RatingMatrix(18, 14, 3, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.4);
+  const IntervalPmfResult result =
+      ComputeAlignedIntervalPmf(im, FullMask(18, 14), 3);
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+}
+
+TEST(AiPmfTest, AlignmentKeepsFactorsFinite) {
+  Rng rng(9);
+  const Matrix m = RatingMatrix(15, 12, 2, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.6);
+  const IntervalPmfResult result =
+      ComputeAlignedIntervalPmf(im, FullMask(15, 12), 4);
+  EXPECT_LT(result.u.MaxAbs(), 1e3);
+  EXPECT_LT(result.v_lo.MaxAbs(), 1e3);
+  EXPECT_LT(result.v_hi.MaxAbs(), 1e3);
+}
+
+TEST(AiPmfTest, FinalAlignmentOnlyModeRuns) {
+  Rng rng(10);
+  const Matrix m = RatingMatrix(12, 10, 2, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.3);
+  PmfOptions options;
+  options.align_every_epoch = false;
+  const IntervalPmfResult result =
+      ComputeAlignedIntervalPmf(im, FullMask(12, 10), 3, options);
+  EXPECT_FALSE(result.loss_history.empty());
+}
+
+TEST(AiPmfTest, AlignedVsUnalignedShareShapes) {
+  Rng rng(11);
+  const Matrix m = RatingMatrix(10, 8, 2, rng);
+  const IntervalMatrix im = RatingIntervals(m, 0.2);
+  const IntervalPmfResult plain = ComputeIntervalPmf(im, FullMask(10, 8), 3);
+  const IntervalPmfResult aligned =
+      ComputeAlignedIntervalPmf(im, FullMask(10, 8), 3);
+  EXPECT_EQ(plain.v_lo.rows(), aligned.v_lo.rows());
+  EXPECT_EQ(plain.v_lo.cols(), aligned.v_lo.cols());
+}
+
+class PmfRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PmfRankTest, HigherRankFitsNoWorse) {
+  Rng rng(12);
+  const Matrix m = RatingMatrix(20, 16, 4, rng);
+  PmfOptions options;
+  options.epochs = 200;
+  const PmfResult result =
+      ComputePmf(m, FullMask(20, 16), GetParam(), options);
+  EXPECT_EQ(result.u.cols(), static_cast<size_t>(GetParam()));
+  EXPECT_LT(result.loss_history.back(), result.loss_history.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, PmfRankTest, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,200 @@
+#include "data/ratings.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ivmf {
+namespace {
+
+RatingsConfig SmallConfig() {
+  RatingsConfig config;
+  config.num_users = 60;
+  config.num_items = 80;
+  config.num_genres = 7;
+  config.fill = 0.3;
+  return config;
+}
+
+TEST(RatingsTest, DimensionsAndMaskConsistency) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  EXPECT_EQ(data.ratings.rows(), 60u);
+  EXPECT_EQ(data.ratings.cols(), 80u);
+  for (size_t i = 0; i < 60; ++i)
+    for (size_t j = 0; j < 80; ++j) {
+      if (data.mask(i, j) == 0.0) {
+        EXPECT_DOUBLE_EQ(data.ratings(i, j), 0.0);
+      } else {
+        EXPECT_GE(data.ratings(i, j), 1.0);
+        EXPECT_LE(data.ratings(i, j), 5.0);
+      }
+    }
+}
+
+TEST(RatingsTest, RatingsAreIntegers) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  for (size_t i = 0; i < data.ratings.rows(); ++i) {
+    for (size_t j = 0; j < data.ratings.cols(); ++j) {
+      if (data.mask(i, j) != 0.0) {
+        EXPECT_DOUBLE_EQ(data.ratings(i, j),
+                         std::round(data.ratings(i, j)));
+      }
+    }
+  }
+}
+
+TEST(RatingsTest, FillFractionApproximatelyMatches) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  const double observed =
+      data.mask.Sum() / static_cast<double>(data.mask.size());
+  EXPECT_NEAR(observed, 0.3, 0.05);
+}
+
+TEST(RatingsTest, GenresAssignedToAllItems) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  for (int g : data.item_genre) {
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, 7);
+  }
+}
+
+TEST(RatingsTest, DeterministicForSeed) {
+  const RatingsData a = GenerateRatings(SmallConfig());
+  const RatingsData b = GenerateRatings(SmallConfig());
+  EXPECT_TRUE(a.ratings == b.ratings);
+  EXPECT_EQ(a.item_genre, b.item_genre);
+}
+
+TEST(UserGenreIntervalTest, IntervalsSpanObservedRatings) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  const IntervalMatrix ug = UserGenreIntervalMatrix(data);
+  EXPECT_EQ(ug.rows(), 60u);
+  EXPECT_EQ(ug.cols(), 7u);
+  EXPECT_TRUE(ug.IsProper());
+  // Recompute one user's genre range by hand.
+  for (size_t g = 0; g < 7; ++g) {
+    double lo = 1e9, hi = -1e9;
+    bool any = false;
+    for (size_t j = 0; j < data.ratings.cols(); ++j) {
+      if (data.item_genre[j] != static_cast<int>(g)) continue;
+      if (data.mask(0, j) == 0.0) continue;
+      lo = std::min(lo, data.ratings(0, j));
+      hi = std::max(hi, data.ratings(0, j));
+      any = true;
+    }
+    if (any) {
+      EXPECT_DOUBLE_EQ(ug.At(0, g).lo, lo);
+      EXPECT_DOUBLE_EQ(ug.At(0, g).hi, hi);
+    } else {
+      EXPECT_EQ(ug.At(0, g), Interval(0, 0));
+    }
+  }
+}
+
+TEST(CfIntervalTest, IntervalsCenterOnRatings) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  const IntervalMatrix cf = CfIntervalMatrix(data, 0.5);
+  for (size_t i = 0; i < data.ratings.rows(); ++i)
+    for (size_t j = 0; j < data.ratings.cols(); ++j) {
+      if (data.mask(i, j) == 0.0) {
+        EXPECT_EQ(cf.At(i, j), Interval(0, 0));
+      } else {
+        EXPECT_NEAR(cf.At(i, j).Mid(), data.ratings(i, j), 1e-9);
+      }
+    }
+}
+
+TEST(CfIntervalTest, AlphaScalesDelta) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  const IntervalMatrix a1 = CfIntervalMatrix(data, 0.5);
+  const IntervalMatrix a2 = CfIntervalMatrix(data, 1.0);
+  EXPECT_LT((a2.Span() - a1.Span() * 2.0).MaxAbs(), 1e-9);
+}
+
+TEST(SplitRatingsTest, PartitionsObservedEntries) {
+  const RatingsData data = GenerateRatings(SmallConfig());
+  Rng rng(42);
+  const CfSplit split = SplitRatings(data, 0.25, rng);
+  for (size_t i = 0; i < data.mask.rows(); ++i)
+    for (size_t j = 0; j < data.mask.cols(); ++j) {
+      const double total =
+          split.train_mask(i, j) + split.test_mask(i, j);
+      if (data.mask(i, j) == 0.0) {
+        EXPECT_DOUBLE_EQ(total, 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(total, 1.0);  // exactly one of train/test
+      }
+    }
+  const double test_share = split.test_mask.Sum() / data.mask.Sum();
+  EXPECT_NEAR(test_share, 0.25, 0.05);
+}
+
+TEST(MaskedRmseTest, KnownValue) {
+  const Matrix truth = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix pred = Matrix::FromRows({{2, 2}, {3, 2}});
+  Matrix mask(2, 2, 1.0);
+  // Errors: 1, 0, 0, 2 -> RMSE = sqrt(5/4).
+  EXPECT_NEAR(MaskedRmse(truth, pred, mask), std::sqrt(1.25), 1e-12);
+  // Masking the second row out changes the error set to {1, 0}.
+  mask(1, 0) = 0.0;
+  mask(1, 1) = 0.0;
+  EXPECT_NEAR(MaskedRmse(truth, pred, mask), std::sqrt(0.5), 1e-12);
+}
+
+TEST(MaskedRmseTest, EmptyMaskGivesZero) {
+  EXPECT_DOUBLE_EQ(
+      MaskedRmse(Matrix(2, 2), Matrix(2, 2, 5.0), Matrix(2, 2)), 0.0);
+}
+
+TEST(CategoryRangeTest, DimensionsAndScale) {
+  CategoryRangeConfig config;
+  config.num_users = 50;
+  config.num_categories = 10;
+  const IntervalMatrix m = GenerateCategoryRangeMatrix(config);
+  EXPECT_EQ(m.rows(), 50u);
+  EXPECT_EQ(m.cols(), 10u);
+  EXPECT_TRUE(m.IsProper());
+  for (size_t i = 0; i < 50; ++i)
+    for (size_t j = 0; j < 10; ++j) {
+      const Interval cell = m.At(i, j);
+      if (cell.lo == 0.0 && cell.hi == 0.0) continue;  // empty
+      EXPECT_GE(cell.lo, 1.0);
+      EXPECT_LE(cell.hi, 5.0);
+    }
+}
+
+TEST(CategoryRangeTest, DensityApproximatelyMatches) {
+  CategoryRangeConfig config;
+  config.num_users = 200;
+  config.num_categories = 28;
+  config.matrix_density = 0.27;
+  const IntervalMatrix m = GenerateCategoryRangeMatrix(config);
+  size_t filled = 0;
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j)
+      if (!(m.At(i, j).lo == 0.0 && m.At(i, j).hi == 0.0)) ++filled;
+  EXPECT_NEAR(static_cast<double>(filled) /
+                  static_cast<double>(m.rows() * m.cols()),
+              0.27, 0.04);
+}
+
+TEST(CategoryRangeTest, IntervalDensityOnFilledCells) {
+  CategoryRangeConfig config;
+  config.num_users = 300;
+  config.interval_density = 0.45;
+  const IntervalMatrix m = GenerateCategoryRangeMatrix(config);
+  size_t filled = 0, ranged = 0;
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j) {
+      const Interval cell = m.At(i, j);
+      if (cell.lo == 0.0 && cell.hi == 0.0) continue;
+      ++filled;
+      if (cell.Span() > 0.0) ++ranged;
+    }
+  ASSERT_GT(filled, 0u);
+  EXPECT_NEAR(static_cast<double>(ranged) / static_cast<double>(filled), 0.45,
+              0.07);
+}
+
+}  // namespace
+}  // namespace ivmf

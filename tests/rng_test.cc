@@ -1,0 +1,120 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ivmf {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, IsDeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIndexCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformIndex(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMomentsAreStandard) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n - mean * mean, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child continues differently from the parent.
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,151 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0  -> x=4, y=0, obj=12.
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{1, 1}, {1, 3}});
+  lp.b = {4, 6};
+  lp.types = {LpConstraintType::kLessEqual, LpConstraintType::kLessEqual};
+  lp.c = {3, 2};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 12.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y  s.t. 2x + y <= 4, x + 2y <= 4 -> x=y=4/3, obj=8/3.
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{2, 1}, {1, 2}});
+  lp.b = {4, 4};
+  lp.types = {LpConstraintType::kLessEqual, LpConstraintType::kLessEqual};
+  lp.c = {1, 1};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 4.0 / 3.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualConstraints) {
+  // min x + y s.t. x + y >= 3, x <= 5, y <= 5 (as max of -(x+y)).
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{1, 1}, {1, 0}, {0, 1}});
+  lp.b = {3, 5, 5};
+  lp.types = {LpConstraintType::kGreaterEqual, LpConstraintType::kLessEqual,
+              LpConstraintType::kLessEqual};
+  lp.c = {-1, -1};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, -3.0, 1e-9);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max 2x + y s.t. x + y = 5, x <= 3 -> x=3, y=2, obj=8.
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{1, 1}, {1, 0}});
+  lp.b = {5, 3};
+  lp.types = {LpConstraintType::kEqual, LpConstraintType::kLessEqual};
+  lp.c = {2, 1};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 2 simultaneously.
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{1}, {1}});
+  lp.b = {1, 2};
+  lp.types = {LpConstraintType::kLessEqual, LpConstraintType::kGreaterEqual};
+  lp.c = {1};
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // max x s.t. x >= 1 (no upper bound).
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{1}});
+  lp.b = {1};
+  lp.types = {LpConstraintType::kGreaterEqual};
+  lp.c = {1};
+  EXPECT_EQ(SolveLp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsIsNormalized) {
+  // -x <= -2 means x >= 2; max -x -> x = 2.
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{-1}, {1}});
+  lp.b = {-2, 10};
+  lp.types = {LpConstraintType::kLessEqual, LpConstraintType::kLessEqual};
+  lp.c = {-1};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateConstraintsTerminate) {
+  // Classic degenerate vertex; Bland fallback must prevent cycling.
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{0.5, -5.5, -2.5, 9.0},
+                           {0.5, -1.5, -0.5, 1.0},
+                           {1.0, 0.0, 0.0, 0.0}});
+  lp.b = {0, 0, 1};
+  lp.types = {LpConstraintType::kLessEqual, LpConstraintType::kLessEqual,
+              LpConstraintType::kLessEqual};
+  lp.c = {10, -57, -9, -24};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-7);
+}
+
+TEST(SimplexTest, SolutionSatisfiesAllConstraints) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 3 + trial % 4;
+    const size_t m = 4 + trial % 5;
+    LpProblem lp;
+    lp.a = Matrix(m, n);
+    for (size_t i = 0; i < m; ++i)
+      for (size_t j = 0; j < n; ++j) lp.a(i, j) = rng.Uniform(0.1, 2.0);
+    lp.b.assign(m, 10.0);
+    lp.types.assign(m, LpConstraintType::kLessEqual);
+    lp.c.assign(n, 0.0);
+    for (size_t j = 0; j < n; ++j) lp.c[j] = rng.Uniform(0.1, 1.0);
+
+    const LpSolution sol = SolveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::kOptimal);
+    for (size_t i = 0; i < m; ++i) {
+      double lhs = 0.0;
+      for (size_t j = 0; j < n; ++j) lhs += lp.a(i, j) * sol.x[j];
+      EXPECT_LE(lhs, lp.b[i] + 1e-7);
+    }
+    for (double x : sol.x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+TEST(SimplexTest, ObjectiveMatchesSolutionVector) {
+  LpProblem lp;
+  lp.a = Matrix::FromRows({{1, 2, 1}, {2, 1, 3}});
+  lp.b = {10, 15};
+  lp.types = {LpConstraintType::kLessEqual, LpConstraintType::kLessEqual};
+  lp.c = {2, 3, 1};
+  const LpSolution sol = SolveLp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  double dot = 0.0;
+  for (size_t j = 0; j < 3; ++j) dot += lp.c[j] * sol.x[j];
+  EXPECT_NEAR(dot, sol.objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace ivmf

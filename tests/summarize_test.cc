@@ -1,0 +1,98 @@
+#include "data/summarize.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+TEST(SummarizeTest, GroupsOfTwoTakeMinMax) {
+  const Matrix m = Matrix::FromRows({{1, 5}, {3, 2}, {7, 7}, {6, 9}});
+  const IntervalMatrix s = SummarizeRows(m, 2);
+  ASSERT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.At(0, 0), Interval(1, 3));
+  EXPECT_EQ(s.At(0, 1), Interval(2, 5));
+  EXPECT_EQ(s.At(1, 0), Interval(6, 7));
+  EXPECT_EQ(s.At(1, 1), Interval(7, 9));
+}
+
+TEST(SummarizeTest, PartialFinalGroup) {
+  const Matrix m = Matrix::FromRows({{1}, {2}, {3}});
+  const IntervalMatrix s = SummarizeRows(m, 2);
+  ASSERT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.At(0, 0), Interval(1, 2));
+  EXPECT_EQ(s.At(1, 0), Interval(3, 3));  // singleton group is scalar
+}
+
+TEST(SummarizeTest, GroupSizeOneIsDegenerate) {
+  Rng rng(1);
+  const Matrix m = RandomMatrix(5, 3, rng);
+  const IntervalMatrix s = SummarizeRows(m, 1);
+  EXPECT_EQ(s.rows(), 5u);
+  EXPECT_DOUBLE_EQ(s.Span().MaxAbs(), 0.0);
+  EXPECT_TRUE(s.lower() == m);
+}
+
+TEST(SummarizeTest, SummaryContainsAllGroupMembers) {
+  Rng rng(2);
+  const Matrix m = RandomMatrix(24, 6, rng);
+  const size_t group_size = 4;
+  const IntervalMatrix s = SummarizeRows(m, group_size);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const size_t g = i / group_size;
+    for (size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_TRUE(s.At(g, j).Contains(m(i, j)));
+    }
+  }
+}
+
+TEST(SummarizeTest, ByGroupHonorsArbitraryAssignment) {
+  const Matrix m = Matrix::FromRows({{1}, {10}, {2}, {20}});
+  const IntervalMatrix s = SummarizeRowsByGroup(m, {0, 1, 0, 1}, 2);
+  EXPECT_EQ(s.At(0, 0), Interval(1, 2));
+  EXPECT_EQ(s.At(1, 0), Interval(10, 20));
+}
+
+TEST(SummarizeTest, EmptyGroupStaysZero) {
+  const Matrix m = Matrix::FromRows({{1}, {2}});
+  const IntervalMatrix s = SummarizeRowsByGroup(m, {0, 0}, 3);
+  EXPECT_EQ(s.At(1, 0), Interval(0, 0));
+  EXPECT_EQ(s.At(2, 0), Interval(0, 0));
+}
+
+TEST(SummarizeTest, MeanStdCentersOnGroupMean) {
+  const Matrix m = Matrix::FromRows({{1}, {3}});
+  const IntervalMatrix s = SummarizeRowsMeanStd(m, 2, 1.0);
+  ASSERT_EQ(s.rows(), 1u);
+  // mean 2, std 1 -> [1, 3].
+  EXPECT_NEAR(s.At(0, 0).lo, 1.0, 1e-12);
+  EXPECT_NEAR(s.At(0, 0).hi, 3.0, 1e-12);
+}
+
+TEST(SummarizeTest, MeanStdAlphaScalesWidth) {
+  Rng rng(3);
+  const Matrix m = RandomMatrix(20, 4, rng);
+  const IntervalMatrix narrow = SummarizeRowsMeanStd(m, 5, 0.5);
+  const IntervalMatrix wide = SummarizeRowsMeanStd(m, 5, 1.0);
+  EXPECT_LT((wide.Span() - narrow.Span() * 2.0).MaxAbs(), 1e-9);
+}
+
+TEST(SummarizeTest, MinMaxAlwaysContainsMeanStdForSmallAlpha) {
+  // mean ± 0.5·std never exceeds min/max of the group.
+  Rng rng(4);
+  const Matrix m = RandomMatrix(30, 5, rng);
+  const IntervalMatrix range = SummarizeRows(m, 6);
+  const IntervalMatrix meanstd = SummarizeRowsMeanStd(m, 6, 0.5);
+  for (size_t g = 0; g < range.rows(); ++g)
+    for (size_t j = 0; j < range.cols(); ++j)
+      EXPECT_TRUE(range.At(g, j).Contains(meanstd.At(g, j)))
+          << "group " << g << " col " << j;
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,141 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::OrthonormalityError;
+using ::ivmf::testing::RandomMatrix;
+
+TEST(SvdTest, ReconstructsDiagonalMatrix) {
+  const Matrix m = Matrix::Diagonal({3, 2, 1});
+  const SvdResult svd = ComputeSvd(m);
+  EXPECT_NEAR(svd.sigma[0], 3.0, 1e-10);
+  EXPECT_NEAR(svd.sigma[1], 2.0, 1e-10);
+  EXPECT_NEAR(svd.sigma[2], 1.0, 1e-10);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(m, 1e-10));
+}
+
+TEST(SvdTest, SingularValuesAreSortedDescending) {
+  Rng rng(2);
+  const Matrix m = RandomMatrix(20, 12, rng);
+  const SvdResult svd = ComputeSvd(m);
+  for (size_t i = 1; i < svd.sigma.size(); ++i)
+    EXPECT_GE(svd.sigma[i - 1], svd.sigma[i]);
+}
+
+TEST(SvdTest, SingularValuesAreNonNegative) {
+  Rng rng(3);
+  const Matrix m = RandomMatrix(8, 15, rng);
+  for (double s : ComputeSvd(m).sigma) EXPECT_GE(s, 0.0);
+}
+
+TEST(SvdTest, FullRankReconstructionIsExact) {
+  Rng rng(4);
+  const Matrix m = RandomMatrix(10, 6, rng);
+  EXPECT_LT((ComputeSvd(m).Reconstruct() - m).MaxAbs(), 1e-10);
+}
+
+TEST(SvdTest, WideMatrixReconstruction) {
+  Rng rng(5);
+  const Matrix m = RandomMatrix(6, 18, rng);
+  EXPECT_LT((ComputeSvd(m).Reconstruct() - m).MaxAbs(), 1e-10);
+}
+
+TEST(SvdTest, FactorsAreOrthonormal) {
+  Rng rng(6);
+  const Matrix m = RandomMatrix(12, 9, rng);
+  const SvdResult svd = ComputeSvd(m);
+  EXPECT_LT(OrthonormalityError(svd.u), 1e-9);
+  EXPECT_LT(OrthonormalityError(svd.v), 1e-9);
+}
+
+TEST(SvdTest, TruncationKeepsLargestComponents) {
+  Rng rng(7);
+  const Matrix m = RandomMatrix(10, 10, rng);
+  const SvdResult full = ComputeSvd(m);
+  const SvdResult truncated = ComputeSvd(m, 3);
+  ASSERT_EQ(truncated.sigma.size(), 3u);
+  for (size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(truncated.sigma[i], full.sigma[i], 1e-9);
+}
+
+TEST(SvdTest, TruncatedReconstructionIsBestLowRank) {
+  Rng rng(8);
+  const Matrix m = RandomMatrix(10, 8, rng);
+  const SvdResult full = ComputeSvd(m);
+  const SvdResult rank2 = ComputeSvd(m, 2);
+  // Eckart–Young: residual norm equals the tail singular values.
+  double tail = 0.0;
+  for (size_t i = 2; i < full.sigma.size(); ++i)
+    tail += full.sigma[i] * full.sigma[i];
+  const Matrix residual = m - rank2.Reconstruct();
+  EXPECT_NEAR(residual.FrobeniusNorm(), std::sqrt(tail), 1e-8);
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Outer product: rank 1.
+  Matrix m(5, 4);
+  for (size_t i = 0; i < 5; ++i)
+    for (size_t j = 0; j < 4; ++j) m(i, j) = (i + 1.0) * (j + 1.0);
+  const SvdResult svd = ComputeSvd(m);
+  EXPECT_GT(svd.sigma[0], 1.0);
+  for (size_t i = 1; i < svd.sigma.size(); ++i)
+    EXPECT_NEAR(svd.sigma[i], 0.0, 1e-9);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(m, 1e-9));
+}
+
+TEST(SvdTest, ZeroMatrixGivesZeroSigma) {
+  const SvdResult svd = ComputeSvd(Matrix(4, 3));
+  for (double s : svd.sigma) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(SvdTest, SingleElementMatrix) {
+  const SvdResult svd = ComputeSvd(Matrix::FromRows({{-5.0}}));
+  ASSERT_EQ(svd.sigma.size(), 1u);
+  EXPECT_NEAR(svd.sigma[0], 5.0, 1e-12);
+  EXPECT_TRUE(svd.Reconstruct().ApproxEquals(Matrix::FromRows({{-5.0}}), 1e-12));
+}
+
+TEST(SvdTest, MatchesGramEigenvalues) {
+  Rng rng(9);
+  const Matrix m = RandomMatrix(7, 5, rng);
+  const SvdResult svd = ComputeSvd(m);
+  // σ_i² are the eigenvalues of MᵀM; verify via trace.
+  const Matrix gram = m.Transpose() * m;
+  double trace = 0.0;
+  for (size_t i = 0; i < gram.rows(); ++i) trace += gram(i, i);
+  double sigma_sq = 0.0;
+  for (double s : svd.sigma) sigma_sq += s * s;
+  EXPECT_NEAR(trace, sigma_sq, 1e-9);
+}
+
+// Property sweep over shapes: reconstruction + orthonormality.
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapeTest, ReconstructionAndOrthonormality) {
+  const auto [n, m] = GetParam();
+  Rng rng(500 + 31 * n + m);
+  const Matrix a = RandomMatrix(n, m, rng, -2.0, 2.0);
+  const SvdResult svd = ComputeSvd(a);
+  EXPECT_LT((svd.Reconstruct() - a).MaxAbs(), 1e-9) << n << "x" << m;
+  EXPECT_LT(OrthonormalityError(svd.v), 1e-8);
+  EXPECT_LT(OrthonormalityError(svd.u), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeTest,
+    ::testing::Values(std::make_pair(2, 2), std::make_pair(5, 3),
+                      std::make_pair(3, 5), std::make_pair(16, 16),
+                      std::make_pair(40, 10), std::make_pair(10, 40),
+                      std::make_pair(25, 24), std::make_pair(1, 8),
+                      std::make_pair(8, 1)));
+
+}  // namespace
+}  // namespace ivmf

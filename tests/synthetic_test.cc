@@ -1,0 +1,122 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace ivmf {
+namespace {
+
+TEST(SyntheticTest, DimensionsMatchConfig) {
+  Rng rng(1);
+  SyntheticConfig config;
+  config.rows = 13;
+  config.cols = 27;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  EXPECT_EQ(m.rows(), 13u);
+  EXPECT_EQ(m.cols(), 27u);
+}
+
+TEST(SyntheticTest, AllIntervalsAreProper) {
+  Rng rng(2);
+  const IntervalMatrix m =
+      GenerateUniformIntervalMatrix(DefaultSyntheticConfig(), rng);
+  EXPECT_TRUE(m.IsProper());
+}
+
+TEST(SyntheticTest, ScalarValueIsIntervalMinimum) {
+  // Section 6.1.1: the interval replaces the scalar with [v, v + span].
+  Rng rng(3);
+  SyntheticConfig config;
+  config.rows = 30;
+  config.cols = 30;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m.At(i, j).lo, 0.0);
+      EXPECT_GE(m.At(i, j).hi, m.At(i, j).lo);
+    }
+}
+
+TEST(SyntheticTest, ZeroFractionControlsSparsity) {
+  Rng rng(4);
+  SyntheticConfig config;
+  config.rows = 100;
+  config.cols = 100;
+  config.zero_fraction = 0.5;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  size_t zeros = 0;
+  for (size_t i = 0; i < 100; ++i)
+    for (size_t j = 0; j < 100; ++j)
+      if (m.At(i, j).lo == 0.0 && m.At(i, j).hi == 0.0) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+}
+
+TEST(SyntheticTest, FullDensityHasNoZeros) {
+  Rng rng(5);
+  SyntheticConfig config;
+  config.rows = 50;
+  config.cols = 50;
+  config.zero_fraction = 0.0;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  for (size_t i = 0; i < 50; ++i)
+    for (size_t j = 0; j < 50; ++j) EXPECT_GT(m.At(i, j).lo, 0.0);
+}
+
+TEST(SyntheticTest, IntervalDensityControlsIntervalShare) {
+  Rng rng(6);
+  SyntheticConfig config;
+  config.rows = 100;
+  config.cols = 100;
+  config.interval_density = 0.25;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  size_t with_span = 0;
+  for (size_t i = 0; i < 100; ++i)
+    for (size_t j = 0; j < 100; ++j)
+      if (m.At(i, j).Span() > 0.0) ++with_span;
+  EXPECT_NEAR(static_cast<double>(with_span) / 10000.0, 0.25, 0.03);
+}
+
+TEST(SyntheticTest, IntensityBoundsSpan) {
+  Rng rng(7);
+  SyntheticConfig config;
+  config.rows = 60;
+  config.cols = 60;
+  config.interval_intensity = 0.5;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  for (size_t i = 0; i < 60; ++i)
+    for (size_t j = 0; j < 60; ++j)
+      EXPECT_LE(m.At(i, j).Span(), 0.5 * m.At(i, j).lo + 1e-12);
+}
+
+TEST(SyntheticTest, ZeroIntensityGivesScalarMatrix) {
+  Rng rng(8);
+  SyntheticConfig config;
+  config.interval_intensity = 0.0;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  EXPECT_DOUBLE_EQ(m.Span().MaxAbs(), 0.0);
+}
+
+TEST(SyntheticTest, DeterministicForSameRngState) {
+  Rng a(9), b(9);
+  const IntervalMatrix ma =
+      GenerateUniformIntervalMatrix(DefaultSyntheticConfig(), a);
+  const IntervalMatrix mb =
+      GenerateUniformIntervalMatrix(DefaultSyntheticConfig(), b);
+  EXPECT_TRUE(ma.ApproxEquals(mb, 0.0));
+}
+
+TEST(SyntheticTest, ValueRangeRespected) {
+  Rng rng(10);
+  SyntheticConfig config;
+  config.value_min = 2.0;
+  config.value_max = 3.0;
+  config.interval_intensity = 0.0;
+  const IntervalMatrix m = GenerateUniformIntervalMatrix(config, rng);
+  for (size_t i = 0; i < m.rows(); ++i)
+    for (size_t j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m.At(i, j).lo, 2.0);
+      EXPECT_LT(m.At(i, j).lo, 3.0);
+    }
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,129 @@
+#include "tensor/tensor3.h"
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "test_util.h"
+
+namespace ivmf {
+namespace {
+
+using ::ivmf::testing::RandomMatrix;
+
+Tensor3 RandomTensor(size_t i, size_t j, size_t k, Rng& rng) {
+  Tensor3 t(i, j, k);
+  for (size_t a = 0; a < i; ++a)
+    for (size_t b = 0; b < j; ++b)
+      for (size_t c = 0; c < k; ++c) t(a, b, c) = rng.Uniform(-1.0, 1.0);
+  return t;
+}
+
+TEST(Tensor3Test, ElementAccessRoundTrip) {
+  Tensor3 t(2, 3, 4);
+  t(1, 2, 3) = 42.0;
+  t(0, 0, 0) = -1.0;
+  EXPECT_DOUBLE_EQ(t(1, 2, 3), 42.0);
+  EXPECT_DOUBLE_EQ(t(0, 0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(t(1, 0, 0), 0.0);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.dim(2), 4u);
+}
+
+TEST(Tensor3Test, UnfoldMode0Layout) {
+  // x_{ijk} must land at (i, j + k*J).
+  Tensor3 t(2, 3, 2);
+  t(1, 2, 1) = 5.0;
+  const Matrix u = t.Unfold(0);
+  EXPECT_EQ(u.rows(), 2u);
+  EXPECT_EQ(u.cols(), 6u);
+  EXPECT_DOUBLE_EQ(u(1, 2 + 1 * 3), 5.0);
+}
+
+TEST(Tensor3Test, UnfoldMode1Layout) {
+  Tensor3 t(2, 3, 2);
+  t(1, 2, 1) = 5.0;
+  const Matrix u = t.Unfold(1);
+  EXPECT_EQ(u.rows(), 3u);
+  EXPECT_DOUBLE_EQ(u(2, 1 + 1 * 2), 5.0);
+}
+
+TEST(Tensor3Test, UnfoldMode2Layout) {
+  Tensor3 t(2, 3, 2);
+  t(1, 2, 1) = 5.0;
+  const Matrix u = t.Unfold(2);
+  EXPECT_EQ(u.rows(), 2u);
+  EXPECT_DOUBLE_EQ(u(1, 1 + 2 * 2), 5.0);
+}
+
+TEST(Tensor3Test, FoldInvertsUnfold) {
+  Rng rng(1);
+  const Tensor3 t = RandomTensor(3, 4, 5, rng);
+  for (int mode = 0; mode < 3; ++mode) {
+    const Tensor3 back = Tensor3::Fold(t.Unfold(mode), mode, 3, 4, 5);
+    EXPECT_TRUE(back.ApproxEquals(t, 0.0)) << "mode " << mode;
+  }
+}
+
+TEST(Tensor3Test, UnfoldPreservesFrobeniusNorm) {
+  Rng rng(2);
+  const Tensor3 t = RandomTensor(4, 3, 6, rng);
+  for (int mode = 0; mode < 3; ++mode)
+    EXPECT_NEAR(t.Unfold(mode).FrobeniusNorm(), t.FrobeniusNorm(), 1e-12);
+}
+
+TEST(KhatriRaoTest, KnownSmallExample) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix kr = KhatriRao(a, b);
+  // Column 0: kron([1,3],[5,7]) = [5,7,15,21].
+  EXPECT_EQ(kr.rows(), 4u);
+  EXPECT_DOUBLE_EQ(kr(0, 0), 5);
+  EXPECT_DOUBLE_EQ(kr(1, 0), 7);
+  EXPECT_DOUBLE_EQ(kr(2, 0), 15);
+  EXPECT_DOUBLE_EQ(kr(3, 0), 21);
+  // Column 1: kron([2,4],[6,8]) = [12,16,24,32].
+  EXPECT_DOUBLE_EQ(kr(0, 1), 12);
+  EXPECT_DOUBLE_EQ(kr(3, 1), 32);
+}
+
+TEST(Tensor3Test, FromCpMatchesUnfoldingIdentity) {
+  // X(0) = A diag(λ) (C ⊙ B)ᵀ — the identity CP-ALS relies on.
+  Rng rng(3);
+  const Matrix a = RandomMatrix(4, 2, rng);
+  const Matrix b = RandomMatrix(3, 2, rng);
+  const Matrix c = RandomMatrix(5, 2, rng);
+  const std::vector<double> lambda{2.0, -1.5};
+  const Tensor3 x = Tensor3::FromCp(a, b, c, lambda);
+
+  Matrix a_scaled = a;
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t t = 0; t < 2; ++t) a_scaled(i, t) *= lambda[t];
+  const Matrix expected = a_scaled * KhatriRao(c, b).Transpose();
+  EXPECT_TRUE(x.Unfold(0).ApproxEquals(expected, 1e-12));
+
+  // Mode-1 and mode-2 identities as well.
+  Matrix b_scaled = b;
+  for (size_t i = 0; i < b.rows(); ++i)
+    for (size_t t = 0; t < 2; ++t) b_scaled(i, t) *= lambda[t];
+  EXPECT_TRUE(x.Unfold(1).ApproxEquals(
+      b_scaled * KhatriRao(c, a).Transpose(), 1e-12));
+  Matrix c_scaled = c;
+  for (size_t i = 0; i < c.rows(); ++i)
+    for (size_t t = 0; t < 2; ++t) c_scaled(i, t) *= lambda[t];
+  EXPECT_TRUE(x.Unfold(2).ApproxEquals(
+      c_scaled * KhatriRao(b, a).Transpose(), 1e-12));
+}
+
+TEST(Tensor3Test, ArithmeticAndNorm) {
+  Rng rng(4);
+  Tensor3 a = RandomTensor(3, 3, 3, rng);
+  const Tensor3 b = a;
+  a -= b;
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 0.0);
+  a += b;
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-15));
+  EXPECT_GT(b.MaxAbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace ivmf

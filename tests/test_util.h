@@ -1,0 +1,64 @@
+// Shared helpers for the ivmf test suite.
+
+#ifndef IVMF_TESTS_TEST_UTIL_H_
+#define IVMF_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "base/rng.h"
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf::testing {
+
+// A dense matrix of uniform values in [lo, hi).
+inline Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng, double lo = -1.0,
+                           double hi = 1.0) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i)
+    for (size_t j = 0; j < cols; ++j) m(i, j) = rng.Uniform(lo, hi);
+  return m;
+}
+
+// A symmetric random matrix (A + Aᵀ) / 2.
+inline Matrix RandomSymmetric(size_t n, Rng& rng) {
+  Matrix a = RandomMatrix(n, n, rng);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < i; ++j) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+// A random proper interval matrix: base values in [lo, hi), spans in
+// [0, max_span).
+inline IntervalMatrix RandomIntervalMatrix(size_t rows, size_t cols, Rng& rng,
+                                           double lo = 0.1, double hi = 1.0,
+                                           double max_span = 0.5) {
+  IntervalMatrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      const double base = rng.Uniform(lo, hi);
+      m.Set(i, j, Interval(base, base + rng.Uniform(0.0, max_span)));
+    }
+  }
+  return m;
+}
+
+// Max |A - B| entry.
+inline double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  return (a - b).MaxAbs();
+}
+
+// Checks columns of `m` are orthonormal within tol; returns max deviation
+// |MᵀM - I|.
+inline double OrthonormalityError(const Matrix& m) {
+  const Matrix gram = m.Transpose() * m;
+  return MaxAbsDiff(gram, Matrix::Identity(m.cols()));
+}
+
+}  // namespace ivmf::testing
+
+#endif  // IVMF_TESTS_TEST_UTIL_H_
