@@ -14,18 +14,7 @@ namespace ivmf {
 namespace {
 
 size_t ClampRank(const IntervalMatrix& m, size_t rank) {
-  const size_t full = std::min(m.rows(), m.cols());
-  if (rank == 0 || rank > full) return full;
-  return rank;
-}
-
-// Singular values from Gram-matrix eigenvalues: sqrt of the non-negative
-// part (tiny negative eigenvalues appear from rounding).
-std::vector<double> SqrtClamped(const std::vector<double>& eigenvalues) {
-  std::vector<double> sigma(eigenvalues.size());
-  for (size_t i = 0; i < eigenvalues.size(); ++i)
-    sigma[i] = eigenvalues[i] > 0.0 ? std::sqrt(eigenvalues[i]) : 0.0;
-  return sigma;
+  return isvd_internal::ClampRank(m.rows(), m.cols(), rank);
 }
 
 // U = M * V * diag(1/sigma): the SVD identity U = M (Vᵀ)⁻¹ Σ⁻¹ specialised
@@ -34,29 +23,8 @@ std::vector<double> SqrtClamped(const std::vector<double>& eigenvalues) {
 Matrix RecoverLeftFactor(const Matrix& m, const Matrix& v,
                          const std::vector<double>& sigma) {
   Matrix u = m * v;  // n x r
-  for (size_t j = 0; j < u.cols(); ++j) {
-    const double inv = sigma[j] > 1e-300 ? 1.0 / sigma[j] : 0.0;
-    for (size_t i = 0; i < u.rows(); ++i) u(i, j) *= inv;
-  }
+  isvd_internal::ScaleColumnsByInverseSigma(u, sigma);
   return u;
-}
-
-// Applies ILSA (computed on the V pair) to all min-side matrices, per
-// Algorithms 8–9: permute columns of U_*, V_* and entries of sigma_*, and
-// flip the direction of misaligned U_*/V_* columns.
-void AlignMinSide(const IlsaResult& ilsa, Matrix* u_lo, Matrix* v_lo,
-                  std::vector<double>* s_lo) {
-  if (u_lo != nullptr) *u_lo = ApplyIlsaToColumns(*u_lo, ilsa);
-  if (v_lo != nullptr) *v_lo = ApplyIlsaToColumns(*v_lo, ilsa);
-  if (s_lo != nullptr) *s_lo = ApplyIlsaToDiagonal(*s_lo, ilsa);
-}
-
-std::vector<Interval> MakeIntervalDiag(const std::vector<double>& lo,
-                                       const std::vector<double>& hi) {
-  IVMF_CHECK(lo.size() == hi.size());
-  std::vector<Interval> diag(lo.size());
-  for (size_t i = 0; i < lo.size(); ++i) diag[i] = Interval(lo[i], hi[i]);
-  return diag;
 }
 
 GramSide ResolveSide(const IntervalMatrix& m, GramSide side) {
@@ -71,6 +39,41 @@ void SwapFactors(IsvdResult& result) {
 }  // namespace
 
 namespace isvd_internal {
+
+size_t ClampRank(size_t rows, size_t cols, size_t rank) {
+  const size_t full = std::min(rows, cols);
+  if (rank == 0 || rank > full) return full;
+  return rank;
+}
+
+std::vector<double> SqrtClamped(const std::vector<double>& eigenvalues) {
+  std::vector<double> sigma(eigenvalues.size());
+  for (size_t i = 0; i < eigenvalues.size(); ++i)
+    sigma[i] = eigenvalues[i] > 0.0 ? std::sqrt(eigenvalues[i]) : 0.0;
+  return sigma;
+}
+
+std::vector<Interval> MakeIntervalDiag(const std::vector<double>& lo,
+                                       const std::vector<double>& hi) {
+  IVMF_CHECK(lo.size() == hi.size());
+  std::vector<Interval> diag(lo.size());
+  for (size_t i = 0; i < lo.size(); ++i) diag[i] = Interval(lo[i], hi[i]);
+  return diag;
+}
+
+void AlignMinSide(const IlsaResult& ilsa, Matrix* u_lo, Matrix* v_lo,
+                  std::vector<double>* s_lo) {
+  if (u_lo != nullptr) *u_lo = ApplyIlsaToColumns(*u_lo, ilsa);
+  if (v_lo != nullptr) *v_lo = ApplyIlsaToColumns(*v_lo, ilsa);
+  if (s_lo != nullptr) *s_lo = ApplyIlsaToDiagonal(*s_lo, ilsa);
+}
+
+void ScaleColumnsByInverseSigma(Matrix& u, const std::vector<double>& sigma) {
+  for (size_t j = 0; j < u.cols(); ++j) {
+    const double inv = sigma[j] > 1e-300 ? 1.0 / sigma[j] : 0.0;
+    for (size_t i = 0; i < u.rows(); ++i) u(i, j) *= inv;
+  }
+}
 
 IsvdResult BuildResult(IntervalMatrix u, std::vector<Interval> sigma,
                        IntervalMatrix v, DecompositionTarget target,
@@ -113,7 +116,10 @@ IsvdResult BuildResult(IntervalMatrix u, std::vector<Interval> sigma,
 }  // namespace isvd_internal
 
 namespace {
+using isvd_internal::AlignMinSide;
 using isvd_internal::BuildResult;
+using isvd_internal::MakeIntervalDiag;
+using isvd_internal::SqrtClamped;
 }  // namespace
 
 PhaseTimings& PhaseTimings::operator+=(const PhaseTimings& other) {

@@ -1,5 +1,5 @@
-// Internal helpers shared between the ISVD strategies and the LP competitor.
-// Not part of the public API.
+// Internal helpers shared between the ISVD strategies (dense and sparse
+// paths) and the LP competitor. Not part of the public API.
 
 #ifndef IVMF_CORE_ISVD_INTERNAL_H_
 #define IVMF_CORE_ISVD_INTERNAL_H_
@@ -18,6 +18,28 @@ namespace ivmf::isvd_internal {
 IsvdResult BuildResult(IntervalMatrix u, std::vector<Interval> sigma,
                        IntervalMatrix v, DecompositionTarget target,
                        PhaseTimings timings);
+
+// Effective rank: 0 (or an over-ask) means full rank min(rows, cols).
+size_t ClampRank(size_t rows, size_t cols, size_t rank);
+
+// Singular values from Gram-matrix eigenvalues: sqrt of the non-negative
+// part (tiny negative eigenvalues appear from rounding).
+std::vector<double> SqrtClamped(const std::vector<double>& eigenvalues);
+
+// Pairs per-entry endpoints into an interval diagonal.
+std::vector<Interval> MakeIntervalDiag(const std::vector<double>& lo,
+                                       const std::vector<double>& hi);
+
+// Applies ILSA (computed on the V pair) to all min-side matrices, per
+// Algorithms 8–9: permute columns of U_*, V_* and entries of sigma_*, and
+// flip the direction of misaligned U_*/V_* columns. Null arguments are
+// skipped.
+void AlignMinSide(const IlsaResult& ilsa, Matrix* u_lo, Matrix* v_lo,
+                  std::vector<double>* s_lo);
+
+// In-place column scaling by 1 / sigma_j; zero singular values produce zero
+// columns (the second half of the SVD identity U = M V Σ⁻¹).
+void ScaleColumnsByInverseSigma(Matrix& u, const std::vector<double>& sigma);
 
 }  // namespace ivmf::isvd_internal
 

@@ -1,0 +1,256 @@
+#include "core/sparse_isvd.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/parallel.h"
+#include "base/stopwatch.h"
+#include "core/isvd_internal.h"
+#include "interval/interval_ops.h"
+#include "linalg/lanczos.h"
+#include "linalg/pinv.h"
+#include "sparse/sparse_gram_operator.h"
+
+namespace ivmf {
+namespace {
+
+using isvd_internal::AlignMinSide;
+using isvd_internal::BuildResult;
+using isvd_internal::MakeIntervalDiag;
+using isvd_internal::ScaleColumnsByInverseSigma;
+using isvd_internal::SqrtClamped;
+
+using Endpoint = SparseIntervalMatrix::Endpoint;
+
+GramSide ResolveSide(const SparseIntervalMatrix& m, GramSide side) {
+  if (side != GramSide::kAuto) return side;
+  return m.cols() <= m.rows() ? GramSide::kMtM : GramSide::kMMt;
+}
+
+// Sparse counterpart of the SVD identity U = M V Σ⁻¹.
+Matrix RecoverLeftFactor(const SparseIntervalMatrix& m, Endpoint e,
+                         const Matrix& v, const std::vector<double>& sigma) {
+  Matrix u = m.MultiplyDense(e, v);  // n x r
+  ScaleColumnsByInverseSigma(u, sigma);
+  return u;
+}
+
+void SwapFactors(IsvdResult& result) { std::swap(result.u, result.v); }
+
+// Binds the working matrix (M† or M†ᵀ) without copying the CSR arrays in
+// the common non-transposed case; `storage` only materializes on the kMMt
+// route.
+const SparseIntervalMatrix& BindWork(const SparseIntervalMatrix& m,
+                                     bool transposed,
+                                     SparseIntervalMatrix& storage) {
+  if (!transposed) return m;
+  storage = m.Transpose();
+  return storage;
+}
+
+// The shared ISVD3/ISVD4 front half on the sparse path (mirrors the dense
+// SolveLeftFactor in core/isvd.cc).
+struct SolvedLeft {
+  IntervalMatrix u;
+  IntervalMatrix v;
+  std::vector<Interval> sigma;
+  Matrix sigma_inv;
+  PhaseTimings timings;
+};
+
+SolvedLeft SolveLeftFactor(const SparseIntervalMatrix& work,
+                           const GramEig& gram, const IsvdOptions& options) {
+  SolvedLeft out;
+  out.timings.preprocess = gram.preprocess_seconds;
+  out.timings.decompose = gram.decompose_seconds;
+
+  Matrix v_lo = gram.lo.eigenvectors;
+  const Matrix& v_hi = gram.hi.eigenvectors;
+  std::vector<double> s_lo = SqrtClamped(gram.lo.eigenvalues);
+  const std::vector<double> s_hi = SqrtClamped(gram.hi.eigenvalues);
+
+  Stopwatch sw;
+  const IlsaResult ilsa = ComputeIlsa(v_lo, v_hi, options.ilsa);
+  AlignMinSide(ilsa, /*u_lo=*/nullptr, &v_lo, &s_lo);
+  out.timings.align = sw.Seconds();
+
+  out.v = IntervalMatrix(std::move(v_lo), v_hi);
+  out.sigma = MakeIntervalDiag(s_lo, s_hi);
+
+  // U† = M† ((V†)ᵀ)⁻¹ (Σ†)⁻¹ (Section 4.4.2): the inverses act on the small
+  // averaged r-column factor; the only O(nnz) work is the final sparse
+  // interval product.
+  sw.Restart();
+  const Matrix v_avg = out.v.Mid();
+  const Matrix vt_inv =
+      RobustInverse(v_avg.Transpose(), options.cond_threshold);  // m x r
+  out.sigma_inv = Matrix::Diagonal(InverseIntervalDiagonal(out.sigma));
+  out.u = work.IntervalMultiplyDense(vt_inv * out.sigma_inv);
+  out.timings.solve = sw.Seconds();
+  return out;
+}
+
+}  // namespace
+
+GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
+                       const IsvdOptions& options) {
+  IVMF_CHECK_MSG(m.IsNonNegative(),
+                 "the matrix-free sparse Gram route requires an entrywise "
+                 "non-negative interval matrix");
+  GramEig result;
+  result.transposed = (ResolveSide(m, options.gram_side) == GramSide::kMMt);
+  SparseIntervalMatrix work_storage;
+  const SparseIntervalMatrix& work =
+      BindWork(m, result.transposed, work_storage);
+  const size_t r = isvd_internal::ClampRank(work.rows(), work.cols(), rank);
+
+  bool use_lanczos = options.eig_solver != EigSolver::kJacobi;
+  if (options.eig_solver == EigSolver::kAuto) {
+    use_lanczos = 4 * r < work.cols();
+  }
+
+  if (!use_lanczos) {
+    // Exact route for narrow matrices: accumulate the dense endpoint Grams
+    // from the sparse rows, then Jacobi. For entrywise non-negative input
+    // these are exactly the Algorithm-1 interval Gram endpoints.
+    Stopwatch sw;
+    Matrix gram_lo = SparseGramOperator::DenseGram(work, Endpoint::kLower);
+    Matrix gram_hi = SparseGramOperator::DenseGram(work, Endpoint::kUpper);
+    result.gram = IntervalMatrix(std::move(gram_lo), std::move(gram_hi));
+    result.preprocess_seconds = sw.Seconds();
+
+    sw.Restart();
+    ParallelFor(0, 2, [&](size_t side) {
+      const Matrix& endpoint =
+          side == 0 ? result.gram.lower() : result.gram.upper();
+      EigResult& out = side == 0 ? result.lo : result.hi;
+      out = ComputeSymmetricEig(endpoint, r, options.eig);
+    });
+    result.decompose_seconds = sw.Seconds();
+    return result;
+  }
+
+  // Matrix-free route: the Gram matrix is never formed. Building the shared
+  // transpose once is the whole preprocess phase.
+  Stopwatch sw;
+  const SparseIntervalMatrix work_t = work.Transpose();
+  result.preprocess_seconds = sw.Seconds();
+
+  sw.Restart();
+  ParallelFor(0, 2, [&](size_t side) {
+    const Endpoint e = side == 0 ? Endpoint::kLower : Endpoint::kUpper;
+    const SparseGramOperator op(work, work_t, e);
+    EigResult& out = side == 0 ? result.lo : result.hi;
+    out = ComputeLanczosEig(op, r);
+  });
+  result.decompose_seconds = sw.Seconds();
+  return result;
+}
+
+IsvdResult Isvd2(const SparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options) {
+  (void)rank;  // rank is baked into `gram`
+  SparseIntervalMatrix work_storage;
+  const SparseIntervalMatrix& work = BindWork(m, gram.transposed, work_storage);
+  PhaseTimings timings;
+  timings.preprocess = gram.preprocess_seconds;
+  timings.decompose = gram.decompose_seconds;
+
+  Matrix v_lo = gram.lo.eigenvectors;
+  Matrix v_hi = gram.hi.eigenvectors;
+  std::vector<double> s_lo = SqrtClamped(gram.lo.eigenvalues);
+  std::vector<double> s_hi = SqrtClamped(gram.hi.eigenvalues);
+
+  Stopwatch sw;
+  Matrix u_lo = RecoverLeftFactor(work, Endpoint::kLower, v_lo, s_lo);
+  Matrix u_hi = RecoverLeftFactor(work, Endpoint::kUpper, v_hi, s_hi);
+  timings.solve = sw.Seconds();
+
+  sw.Restart();
+  const IlsaResult ilsa = ComputeIlsa(v_lo, v_hi, options.ilsa);
+  AlignMinSide(ilsa, &u_lo, &v_lo, &s_lo);
+  timings.align = sw.Seconds();
+
+  IsvdResult result =
+      BuildResult(IntervalMatrix(std::move(u_lo), std::move(u_hi)),
+                  MakeIntervalDiag(s_lo, s_hi),
+                  IntervalMatrix(std::move(v_lo), std::move(v_hi)),
+                  options.target, timings);
+  if (gram.transposed) SwapFactors(result);
+  return result;
+}
+
+IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options) {
+  (void)rank;
+  SparseIntervalMatrix work_storage;
+  const SparseIntervalMatrix& work = BindWork(m, gram.transposed, work_storage);
+  SolvedLeft solved = SolveLeftFactor(work, gram, options);
+  IsvdResult result =
+      BuildResult(std::move(solved.u), std::move(solved.sigma),
+                  std::move(solved.v), options.target, solved.timings);
+  if (gram.transposed) SwapFactors(result);
+  return result;
+}
+
+IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options) {
+  (void)rank;
+  SparseIntervalMatrix work_storage;
+  const SparseIntervalMatrix& work = BindWork(m, gram.transposed, work_storage);
+  SolvedLeft solved = SolveLeftFactor(work, gram, options);
+
+  // Recompute V† from the solved U† (Section 4.5.1). The scalar prefix
+  // S = Σ†⁻¹ (U†ᵀ)⁻¹ is r x n, so V† = (S M†)ᵀ is evaluated as
+  // M†ᵀ Sᵀ — one sparse interval product on the transposed matrix, matching
+  // the dense mixed-product semantics. On the kMMt route workᵀ is just `m`
+  // again, so no transpose needs building at all.
+  Stopwatch sw;
+  const Matrix u_avg = solved.u.Mid();  // n x r
+  const Matrix u_inv = RobustInverse(u_avg, options.cond_threshold);  // r x n
+  const Matrix s_t = (solved.sigma_inv * u_inv).Transpose();          // n x r
+  SparseIntervalMatrix work_t_storage;
+  const SparseIntervalMatrix& work_t =
+      BindWork(m, !gram.transposed, work_t_storage);
+  const IntervalMatrix v_recomputed = work_t.IntervalMultiplyDense(s_t);
+  solved.timings.recompute = sw.Seconds();
+
+  IsvdResult result =
+      BuildResult(std::move(solved.u), std::move(solved.sigma), v_recomputed,
+                  options.target, solved.timings);
+  if (gram.transposed) SwapFactors(result);
+  return result;
+}
+
+IsvdResult Isvd2(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  return Isvd2(m, rank, ComputeGramEig(m, rank, options), options);
+}
+
+IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  return Isvd3(m, rank, ComputeGramEig(m, rank, options), options);
+}
+
+IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  return Isvd4(m, rank, ComputeGramEig(m, rank, options), options);
+}
+
+IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
+                   const IsvdOptions& options) {
+  switch (strategy) {
+    case 2:
+      return Isvd2(m, rank, options);
+    case 3:
+      return Isvd3(m, rank, options);
+    case 4:
+      return Isvd4(m, rank, options);
+    default:
+      IVMF_CHECK_MSG(false,
+                     "sparse ISVD supports the Gram-based strategies 2..4");
+      return {};
+  }
+}
+
+}  // namespace ivmf

@@ -1,0 +1,67 @@
+// Matrix-free ISVD over sparse interval matrices.
+//
+// Overloads of the ISVD2–ISVD4 pipeline (core/isvd.h) that take a CSR
+// SparseIntervalMatrix and never materialize either the dense endpoint
+// matrices or — on the Lanczos route — the m x m interval Gram matrix
+// A† = M†ᵀ M†. Instead the eigensolver touches the Gram endpoints only
+// through the operator x -> M_eᵀ(M_e x), which costs O(nnz) per step
+// (sparse/sparse_gram_operator.h). The downstream solve/align/recompute
+// phases run on the small n x r / m x r factors exactly as in the dense
+// path, with sparse x dense kernels substituted for the dense products.
+//
+// Precondition: the matrix must be entrywise non-negative (true for all the
+// paper's recommender constructions, whose entries are rating intervals or
+// empty cells). That is what makes the Algorithm-1 interval Gram endpoints
+// equal M_*ᵀM_* and M^*ᵀM^*, so the matrix-free route reproduces the dense
+// ComputeGramEig results. Violations abort via IVMF_CHECK.
+//
+// Solver awareness:
+//   EigSolver::kLanczos  matrix-free (the scalable route; GramEig.gram is
+//                        left empty).
+//   EigSolver::kJacobi   accumulates the dense endpoint Grams from the
+//                        sparse rows (m x m memory, exact full spectrum) —
+//                        useful for narrow matrices such as user-genre.
+//   EigSolver::kAuto     Lanczos when 4 * rank < gram dimension, else
+//                        Jacobi, mirroring the dense heuristic.
+// GramSide::kAuto picks the smaller Gram dimension, like the dense path.
+
+#ifndef IVMF_CORE_SPARSE_ISVD_H_
+#define IVMF_CORE_SPARSE_ISVD_H_
+
+#include "core/isvd.h"
+#include "sparse/sparse_interval_matrix.h"
+
+namespace ivmf {
+
+// Gram eigendecomposition without forming dense endpoint matrices. On the
+// Lanczos route `GramEig.gram` stays empty (it would be the dense m x m
+// matrix this path exists to avoid); the Jacobi route fills it so rank
+// sweeps via TruncateGramEig keep working.
+GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
+                       const IsvdOptions& options = {});
+
+// ISVD2–ISVD4 on a sparse matrix, reusing a precomputed GramEig.
+IsvdResult Isvd2(const SparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options);
+IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options);
+IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options);
+
+// Convenience one-shot forms.
+IsvdResult Isvd2(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
+// Dispatch by strategy index. Only the Gram-based strategies 2–4 have a
+// sparse formulation (ISVD0/ISVD1 need full SVDs of dense endpoints);
+// strategies 0–1 abort.
+IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
+                   const IsvdOptions& options = {});
+
+}  // namespace ivmf
+
+#endif  // IVMF_CORE_SPARSE_ISVD_H_

@@ -5,7 +5,7 @@
 
 namespace ivmf {
 
-RatingsData GenerateRatings(const RatingsConfig& config) {
+SparseRatingsData GenerateSparseRatings(const RatingsConfig& config) {
   IVMF_CHECK(config.num_users > 0 && config.num_items > 0 &&
              config.num_genres > 0 && config.latent_rank > 0);
   Rng rng(config.seed);
@@ -21,13 +21,16 @@ RatingsData GenerateRatings(const RatingsConfig& config) {
     for (size_t k = 0; k < config.latent_rank; ++k)
       user_factors(i, k) = rng.Normal();
 
-  RatingsData data;
+  SparseRatingsData data;
+  data.num_users = config.num_users;
+  data.num_items = config.num_items;
   data.num_genres = config.num_genres;
   data.rating_min = config.rating_min;
   data.rating_max = config.rating_max;
-  data.ratings = Matrix(config.num_users, config.num_items);
-  data.mask = Matrix(config.num_users, config.num_items);
   data.item_genre.resize(config.num_items);
+  data.triplets.reserve(static_cast<size_t>(
+      config.fill * static_cast<double>(config.num_users) *
+      static_cast<double>(config.num_items)));
 
   const double mid = 0.5 * (config.rating_min + config.rating_max);
   const double half_range = 0.5 * (config.rating_max - config.rating_min);
@@ -51,11 +54,29 @@ RatingsData GenerateRatings(const RatingsConfig& config) {
       rating += 0.3 * rng.Normal();
       rating = std::round(rating);
       rating = std::clamp(rating, config.rating_min, config.rating_max);
-      data.ratings(i, j) = rating;
-      data.mask(i, j) = 1.0;
+      data.triplets.push_back({i, j, rating});
     }
   }
   return data;
+}
+
+RatingsData DensifyRatings(const SparseRatingsData& data) {
+  RatingsData dense;
+  dense.num_genres = data.num_genres;
+  dense.rating_min = data.rating_min;
+  dense.rating_max = data.rating_max;
+  dense.item_genre = data.item_genre;
+  dense.ratings = Matrix(data.num_users, data.num_items);
+  dense.mask = Matrix(data.num_users, data.num_items);
+  for (const RatingTriplet& t : data.triplets) {
+    dense.ratings(t.user, t.item) = t.rating;
+    dense.mask(t.user, t.item) = 1.0;
+  }
+  return dense;
+}
+
+RatingsData GenerateRatings(const RatingsConfig& config) {
+  return DensifyRatings(GenerateSparseRatings(config));
 }
 
 IntervalMatrix UserGenreIntervalMatrix(const RatingsData& data) {
@@ -123,6 +144,50 @@ IntervalMatrix CfIntervalMatrix(const RatingsData& data, double alpha) {
     }
   }
   return result;
+}
+
+SparseIntervalMatrix SparseCfIntervalMatrix(const SparseRatingsData& data,
+                                            double alpha) {
+  const size_t n = data.num_users;
+  const size_t m = data.num_items;
+
+  // Row-major order reproduces the dense CfIntervalMatrix's accumulation
+  // order exactly, so the two constructions agree bit-for-bit.
+  std::vector<RatingTriplet> sorted = data.triplets;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const RatingTriplet& a, const RatingTriplet& b) {
+              return a.user != b.user ? a.user < b.user : a.item < b.item;
+            });
+
+  std::vector<double> row_sum(n, 0.0), row_sumsq(n, 0.0);
+  std::vector<double> col_sum(m, 0.0), col_sumsq(m, 0.0);
+  std::vector<size_t> row_count(n, 0), col_count(m, 0);
+  for (const RatingTriplet& t : sorted) {
+    const double x = t.rating;
+    row_sum[t.user] += x;
+    row_sumsq[t.user] += x * x;
+    ++row_count[t.user];
+    col_sum[t.item] += x;
+    col_sumsq[t.item] += x * x;
+    ++col_count[t.item];
+  }
+
+  std::vector<IntervalTriplet> cells;
+  cells.reserve(sorted.size());
+  for (const RatingTriplet& t : sorted) {
+    const double x = t.rating;
+    // S_ij = row i ∪ column j observations; the shared entry (i, j) is
+    // counted once.
+    const double count =
+        static_cast<double>(row_count[t.user] + col_count[t.item] - 1);
+    const double sum = row_sum[t.user] + col_sum[t.item] - x;
+    const double sumsq = row_sumsq[t.user] + col_sumsq[t.item] - x * x;
+    const double mean = sum / count;
+    const double var = std::max(0.0, sumsq / count - mean * mean);
+    const double delta = alpha * std::sqrt(var);
+    cells.push_back({t.user, t.item, Interval(x - delta, x + delta)});
+  }
+  return SparseIntervalMatrix::FromTriplets(n, m, std::move(cells));
 }
 
 CfSplit SplitRatings(const RatingsData& data, double test_fraction, Rng& rng) {

@@ -17,6 +17,7 @@
 #include "base/rng.h"
 #include "interval/interval_matrix.h"
 #include "linalg/matrix.h"
+#include "sparse/sparse_interval_matrix.h"
 
 namespace ivmf {
 
@@ -40,7 +41,36 @@ struct RatingsData {
   double rating_max = 5.0;
 };
 
+// One observed rating (0-based user / item indices).
+struct RatingTriplet {
+  size_t user = 0;
+  size_t item = 0;
+  double rating = 0.0;
+};
+
+// Triplet-form rating data: only the observed entries are stored, so
+// generation scales to sizes whose dense n x m matrices would not fit (the
+// production-scale recommender sweeps in bench/fig10_sparse_scale.cc).
+struct SparseRatingsData {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  std::vector<RatingTriplet> triplets;  // unordered (generation order)
+  std::vector<int> item_genre;          // genre id per item
+  size_t num_genres = 0;
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+};
+
+// Generates observed ratings as triplets from the latent-factor model.
+// Draws the exact same random sequence as GenerateRatings, so for the same
+// config the two agree entry-for-entry.
+SparseRatingsData GenerateSparseRatings(const RatingsConfig& config);
+
+// Materializes the dense ratings + mask pair from triplet data.
+RatingsData DensifyRatings(const SparseRatingsData& data);
+
 // Generates a sparse integer-rating matrix from the latent-factor model.
+// (Implemented as GenerateSparseRatings + DensifyRatings.)
 RatingsData GenerateRatings(const RatingsConfig& config);
 
 // User-genre interval matrix (F.2 eq. 4): cell (u, g) spans the min..max of
@@ -53,6 +83,13 @@ IntervalMatrix UserGenreIntervalMatrix(const RatingsData& data);
 // S_ij being all observed ratings in row i or column j. Unobserved cells
 // stay [0, 0]; use the mask to ignore them.
 IntervalMatrix CfIntervalMatrix(const RatingsData& data, double alpha);
+
+// Sparse form of the same construction, built in O(nnz) straight from the
+// triplets: observed cells become the [X - δ, X + δ] intervals, unobserved
+// cells are absent (the CSR zero interval). For identical rating data the
+// result densifies to exactly CfIntervalMatrix's output.
+SparseIntervalMatrix SparseCfIntervalMatrix(const SparseRatingsData& data,
+                                            double alpha);
 
 // Random split of the observed entries into train / test masks.
 struct CfSplit {

@@ -1,13 +1,17 @@
 #include "io/csv.h"
 
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "io/file_util.h"
+
 namespace ivmf {
 namespace {
+
+using io_internal::FormatDouble;
+using io_internal::ReadFileToString;
+using io_internal::WriteStringToFile;
 
 // Splits a line into trimmed comma-separated cells.
 std::vector<std::string> SplitCells(const std::string& line) {
@@ -68,27 +72,6 @@ std::vector<std::string> Lines(const std::string& text) {
     if (content != std::string::npos) lines.push_back(current);
   }
   return lines;
-}
-
-std::string FormatDouble(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-  return buf;
-}
-
-std::optional<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-bool WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -155,22 +138,22 @@ std::optional<IntervalMatrix> IntervalMatrixFromCsv(const std::string& text) {
 }
 
 bool SaveMatrixCsv(const std::string& path, const Matrix& m, int precision) {
-  return WriteFile(path, MatrixToCsv(m, precision));
+  return WriteStringToFile(path, MatrixToCsv(m, precision));
 }
 
 bool SaveIntervalMatrixCsv(const std::string& path, const IntervalMatrix& m,
                            int precision) {
-  return WriteFile(path, IntervalMatrixToCsv(m, precision));
+  return WriteStringToFile(path, IntervalMatrixToCsv(m, precision));
 }
 
 std::optional<Matrix> LoadMatrixCsv(const std::string& path) {
-  const std::optional<std::string> text = ReadFile(path);
+  const std::optional<std::string> text = ReadFileToString(path);
   if (!text) return std::nullopt;
   return MatrixFromCsv(*text);
 }
 
 std::optional<IntervalMatrix> LoadIntervalMatrixCsv(const std::string& path) {
-  const std::optional<std::string> text = ReadFile(path);
+  const std::optional<std::string> text = ReadFileToString(path);
   if (!text) return std::nullopt;
   return IntervalMatrixFromCsv(*text);
 }

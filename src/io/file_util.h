@@ -1,0 +1,40 @@
+// Small file / formatting helpers shared by the io/ serializers (and the
+// command-line tools): whole-file reads and writes, and the %g double
+// rendering every text format in this library uses.
+
+#ifndef IVMF_IO_FILE_UTIL_H_
+#define IVMF_IO_FILE_UTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace ivmf::io_internal {
+
+inline std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+inline std::optional<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+inline bool WriteStringToFile(const std::string& path,
+                              const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace ivmf::io_internal
+
+#endif  // IVMF_IO_FILE_UTIL_H_

@@ -1,0 +1,98 @@
+#include "io/triplets.h"
+
+#include <sstream>
+#include <vector>
+
+#include "io/file_util.h"
+
+namespace ivmf {
+
+using io_internal::FormatDouble;
+using io_internal::ReadFileToString;
+using io_internal::WriteStringToFile;
+
+std::string SparseIntervalMatrixToTriplets(const SparseIntervalMatrix& m,
+                                           int precision) {
+  std::string out = kTripletHeader;
+  out += "\n";
+  out += std::to_string(m.rows()) + " " + std::to_string(m.cols()) + " " +
+         std::to_string(m.nnz()) + "\n";
+  const std::vector<size_t>& row_ptr = m.row_ptr();
+  const std::vector<size_t>& col_idx = m.col_idx();
+  const std::vector<double>& lo = m.lower_values();
+  const std::vector<double>& hi = m.upper_values();
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      out += std::to_string(i + 1);
+      out += " ";
+      out += std::to_string(col_idx[k] + 1);
+      out += " ";
+      out += FormatDouble(lo[k], precision);
+      out += " ";
+      out += FormatDouble(hi[k], precision);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  // Header line.
+  if (!std::getline(in, line)) return std::nullopt;
+  if (!LooksLikeTriplets(line)) return std::nullopt;
+
+  // Size line (after any comment lines).
+  size_t rows = 0, cols = 0, nnz = 0;
+  bool have_sizes = false;
+  while (std::getline(in, line)) {
+    const size_t content = line.find_first_not_of(" \t\r");
+    if (content == std::string::npos || line[content] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz)) return std::nullopt;
+    have_sizes = true;
+    break;
+  }
+  if (!have_sizes) return std::nullopt;
+
+  std::vector<IntervalTriplet> triplets;
+  triplets.reserve(nnz);
+  while (std::getline(in, line)) {
+    const size_t content = line.find_first_not_of(" \t\r");
+    if (content == std::string::npos || line[content] == '%') continue;
+    std::istringstream entry(line);
+    size_t i = 0, j = 0;
+    double lo = 0.0, hi = 0.0;
+    if (!(entry >> i >> j >> lo >> hi)) return std::nullopt;
+    std::string rest;
+    if (entry >> rest) return std::nullopt;  // trailing tokens
+    if (i < 1 || i > rows || j < 1 || j > cols) return std::nullopt;
+    if (lo > hi) return std::nullopt;
+    triplets.push_back({i - 1, j - 1, Interval(lo, hi)});
+  }
+  if (triplets.size() != nnz) return std::nullopt;
+  return SparseIntervalMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+bool LooksLikeTriplets(const std::string& text) {
+  const size_t start = text.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) return false;
+  return text.compare(start, sizeof(kTripletHeader) - 1, kTripletHeader) == 0;
+}
+
+bool SaveSparseIntervalTriplets(const std::string& path,
+                                const SparseIntervalMatrix& m, int precision) {
+  return WriteStringToFile(path, SparseIntervalMatrixToTriplets(m, precision));
+}
+
+std::optional<SparseIntervalMatrix> LoadSparseIntervalTriplets(
+    const std::string& path) {
+  const std::optional<std::string> text = ReadFileToString(path);
+  if (!text) return std::nullopt;
+  return SparseIntervalMatrixFromTriplets(*text);
+}
+
+}  // namespace ivmf

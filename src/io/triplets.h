@@ -1,0 +1,56 @@
+// Triplet (coordinate) serialization for sparse interval matrices — a
+// MatrixMarket-style text format:
+//
+//   %%ivmf interval coordinate
+//   % optional comment lines
+//   rows cols nnz
+//   i j lo hi
+//   ...
+//
+// Entries use 1-based indices like MatrixMarket; `lo hi` are the interval
+// endpoints (write lo == hi for scalar entries). Lines starting with '%'
+// are comments; entry order is arbitrary and duplicates merge to the
+// interval hull on load. This is the on-disk form for recommender-scale
+// matrices whose dense CSV would be dominated by "0:0" cells.
+
+#ifndef IVMF_IO_TRIPLETS_H_
+#define IVMF_IO_TRIPLETS_H_
+
+#include <optional>
+#include <string>
+
+#include "sparse/sparse_interval_matrix.h"
+
+namespace ivmf {
+
+// Magic header expected on the first line of a triplet stream.
+inline constexpr char kTripletHeader[] = "%%ivmf interval coordinate";
+
+// -- In-memory (string) forms ------------------------------------------------
+
+// Renders the matrix in the coordinate format above.
+std::string SparseIntervalMatrixToTriplets(const SparseIntervalMatrix& m,
+                                           int precision = 12);
+
+// Parses coordinate text. Returns std::nullopt on malformed input (missing
+// header or size line, unparsable entries, out-of-range indices, misordered
+// intervals, wrong entry count).
+std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
+    const std::string& text);
+
+// True when `text` starts with the triplet header (leading whitespace
+// allowed) — the cheap sniff ivmf_decompose uses to tell triplet files from
+// dense interval CSV.
+bool LooksLikeTriplets(const std::string& text);
+
+// -- File forms --------------------------------------------------------------
+
+bool SaveSparseIntervalTriplets(const std::string& path,
+                                const SparseIntervalMatrix& m,
+                                int precision = 12);
+std::optional<SparseIntervalMatrix> LoadSparseIntervalTriplets(
+    const std::string& path);
+
+}  // namespace ivmf
+
+#endif  // IVMF_IO_TRIPLETS_H_

@@ -78,7 +78,26 @@ EigResult ComputeSymmetricEig(const Matrix& a, size_t rank,
     result.eigenvalues[j] = lambda[src];
     for (size_t i = 0; i < n; ++i) result.eigenvectors(i, j) = v(i, src);
   }
+  CanonicalizeEigenvectorSigns(result.eigenvectors);
   return result;
+}
+
+void CanonicalizeEigenvectorSigns(Matrix& eigenvectors) {
+  for (size_t j = 0; j < eigenvectors.cols(); ++j) {
+    size_t pivot = 0;
+    double best = 0.0;
+    for (size_t i = 0; i < eigenvectors.rows(); ++i) {
+      const double mag = std::abs(eigenvectors(i, j));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (eigenvectors(pivot, j) < 0.0) {
+      for (size_t i = 0; i < eigenvectors.rows(); ++i)
+        eigenvectors(i, j) = -eigenvectors(i, j);
+    }
+  }
 }
 
 }  // namespace ivmf

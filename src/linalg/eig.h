@@ -35,6 +35,14 @@ struct EigOptions {
 EigResult ComputeSymmetricEig(const Matrix& a, size_t rank = 0,
                               const EigOptions& options = {});
 
+// Fixes the sign freedom of eigenvector columns: each column is flipped so
+// its entry of largest absolute value (first such index on ties) is
+// positive. Every symmetric eigensolver in the library applies this, so
+// Jacobi and (matrix-free) Lanczos produce identical vectors whenever they
+// agree up to sign — which the interval-valued decomposition target a
+// depends on, since its factor intervals are not sign-invariant.
+void CanonicalizeEigenvectorSigns(Matrix& eigenvectors);
+
 }  // namespace ivmf
 
 #endif  // IVMF_LINALG_EIG_H_

@@ -10,18 +10,6 @@
 namespace ivmf {
 namespace {
 
-// y = A x for symmetric dense A.
-void SymMatVec(const Matrix& a, const std::vector<double>& x,
-               std::vector<double>& y) {
-  const size_t n = a.rows();
-  for (size_t i = 0; i < n; ++i) {
-    const double* row = a.RowPtr(i);
-    double sum = 0.0;
-    for (size_t j = 0; j < n; ++j) sum += row[j] * x[j];
-    y[i] = sum;
-  }
-}
-
 double SignOf(double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); }
 
 }  // namespace
@@ -102,17 +90,16 @@ bool TridiagonalQL(std::vector<double>& diag, std::vector<double>& off,
   return true;
 }
 
-EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
+EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
                             const LanczosOptions& options) {
-  IVMF_CHECK_MSG(a.rows() == a.cols(), "Lanczos needs a square matrix");
-  const size_t n = a.rows();
-  if (rank == 0 || rank >= n) {
-    return ComputeSymmetricEig(a, rank);
-  }
+  const size_t n = op.Dim();
+  // rank == 0 (or an over-ask) means the full spectrum: grow the Krylov
+  // basis to the whole space.
+  const size_t effective_rank = (rank == 0 || rank > n) ? n : rank;
 
   // Krylov dimension.
   const size_t m = std::min(
-      n, static_cast<size_t>(options.subspace_factor * rank) +
+      n, static_cast<size_t>(options.subspace_factor * effective_rank) +
              options.subspace_extra);
 
   // Lanczos basis Q (n x m) with full reorthogonalization.
@@ -129,7 +116,7 @@ EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
   for (size_t j = 0; j < m; ++j) {
     built = j + 1;
     for (size_t i = 0; i < n; ++i) v[i] = q(i, j);
-    SymMatVec(a, v, w);
+    op.Apply(v, w);
     if (j > 0) {
       for (size_t i = 0; i < n; ++i) w[i] -= beta[j - 1] * q(i, j - 1);
     }
@@ -152,8 +139,33 @@ EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
     if (j + 1 < m) {
       beta[j] = wnorm;
       if (wnorm <= options.tolerance) {
-        // Invariant subspace found early; the Krylov space is exhausted.
-        break;
+        // Invariant subspace found. With enough vectors for the requested
+        // count, stop early; otherwise restart with a fresh random
+        // direction orthogonal to the basis (beta stays 0, so the
+        // tridiagonal problem block-decouples) — the caller is still owed
+        // `effective_rank` pairs. A rank-deficient operator (e.g. the Gram
+        // of an all-zero endpoint) would otherwise deliver fewer eigenpairs
+        // than its sibling endpoint and crash the ISVD pairing downstream.
+        if (built >= effective_rank) break;
+        beta[j] = 0.0;
+        bool restarted = false;
+        for (int attempt = 0; attempt < 3 && !restarted; ++attempt) {
+          for (double& x : w) x = rng.Normal();
+          for (int pass = 0; pass < 2; ++pass) {
+            for (size_t k = 0; k <= j; ++k) {
+              double proj = 0.0;
+              for (size_t i = 0; i < n; ++i) proj += w[i] * q(i, k);
+              for (size_t i = 0; i < n; ++i) w[i] -= proj * q(i, k);
+            }
+          }
+          const double rnorm = Norm2(w);
+          if (rnorm > 1e-8) {
+            for (size_t i = 0; i < n; ++i) q(i, j + 1) = w[i] / rnorm;
+            restarted = true;
+          }
+        }
+        if (!restarted) break;  // space truly exhausted (j + 1 == n)
+        continue;
       }
       for (size_t i = 0; i < n; ++i) q(i, j + 1) = w[i] / wnorm;
     }
@@ -167,7 +179,7 @@ EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
   IVMF_CHECK_MSG(TridiagonalQL(diag, off, &z), "tridiagonal QL failed");
 
   // Take the top-`rank` (largest) Ritz pairs; TridiagonalQL sorts ascending.
-  const size_t keep = std::min(rank, built);
+  const size_t keep = std::min(effective_rank, built);
   EigResult result;
   result.eigenvalues.resize(keep);
   result.eigenvectors = Matrix(n, keep);
@@ -181,7 +193,19 @@ EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
       result.eigenvectors(i, out) = sum;
     }
   }
+  CanonicalizeEigenvectorSigns(result.eigenvectors);
   return result;
+}
+
+EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
+                            const LanczosOptions& options) {
+  IVMF_CHECK_MSG(a.rows() == a.cols(), "Lanczos needs a square matrix");
+  // The dense entry point keeps its historical contract: full-spectrum
+  // requests go to the (exact) Jacobi solver.
+  if (rank == 0 || rank >= a.rows()) {
+    return ComputeSymmetricEig(a, rank);
+  }
+  return ComputeLanczosEig(DenseSymmetricOperator(a), rank, options);
 }
 
 }  // namespace ivmf

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "linalg/eig.h"
+#include "linalg/linear_operator.h"
 #include "linalg/matrix.h"
 
 namespace ivmf {
@@ -36,6 +37,14 @@ struct LanczosOptions {
 // Results use the same conventions as ComputeSymmetricEig: eigenvalues
 // descending, orthonormal eigenvector columns.
 EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
+                            const LanczosOptions& options = {});
+
+// Matrix-free variant: the operator is touched only through y = A x, so the
+// symmetric matrix never needs to be materialized (e.g. the sparse Gram
+// operator M†ᵀ(M† x)). There is no Jacobi fallback here — rank == 0 or
+// rank >= Dim() grows the Krylov basis to the full dimension instead, which
+// still returns the complete spectrum.
+EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
                             const LanczosOptions& options = {});
 
 // Eigenvalues (ascending) and optionally eigenvectors of a symmetric

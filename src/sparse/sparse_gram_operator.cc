@@ -1,0 +1,29 @@
+#include "sparse/sparse_gram_operator.h"
+
+namespace ivmf {
+
+Matrix SparseGramOperator::DenseGram(const SparseIntervalMatrix& m,
+                                     SparseIntervalMatrix::Endpoint endpoint) {
+  const std::vector<double>& v = m.values(endpoint);
+  const std::vector<size_t>& row_ptr = m.row_ptr();
+  const std::vector<size_t>& col_idx = m.col_idx();
+  Matrix gram(m.cols(), m.cols());
+  // C += rowᵀ row for every sparse row: each row contributes the outer
+  // product of its nonzeros. Only the upper triangle is accumulated, then
+  // mirrored.
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t a = row_ptr[i]; a < row_ptr[i + 1]; ++a) {
+      const size_t ja = col_idx[a];
+      const double va = v[a];
+      for (size_t b = a; b < row_ptr[i + 1]; ++b) {
+        gram(ja, col_idx[b]) += va * v[b];
+      }
+    }
+  }
+  for (size_t i = 0; i < gram.rows(); ++i) {
+    for (size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+  return gram;
+}
+
+}  // namespace ivmf

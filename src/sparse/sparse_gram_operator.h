@@ -1,0 +1,60 @@
+// Matrix-free Gram operators over sparse interval matrices.
+//
+// ISVD2–ISVD4 eigendecompose the endpoint matrices of the interval Gram
+// A† = M†ᵀ M†. For entrywise non-negative M† those endpoints are exactly
+// M_*ᵀ M_* and M^*ᵀ M^* (Algorithm 1's four endpoint products collapse),
+// so the Lanczos solver never needs the m x m Gram matrix: each step
+// applies y = M_eᵀ (M_e x) in O(nnz) through two CSR passes. The transpose
+// is materialized once (it shares the sparsity pattern between endpoints)
+// so both passes stream rows in order.
+
+#ifndef IVMF_SPARSE_SPARSE_GRAM_OPERATOR_H_
+#define IVMF_SPARSE_SPARSE_GRAM_OPERATOR_H_
+
+#include <vector>
+
+#include "linalg/linear_operator.h"
+#include "sparse/sparse_interval_matrix.h"
+
+namespace ivmf {
+
+// The symmetric operator x -> M_eᵀ (M_e x) of dimension m.cols().
+//
+// Holds `m` and `mt` (the precomputed m.Transpose()) by reference; both must
+// outlive the operator. Two operators (one per endpoint) can share the same
+// pair and be applied concurrently — Apply only touches per-instance
+// scratch.
+class SparseGramOperator final : public LinearOperator {
+ public:
+  SparseGramOperator(const SparseIntervalMatrix& m,
+                     const SparseIntervalMatrix& mt,
+                     SparseIntervalMatrix::Endpoint endpoint)
+      : m_(m), mt_(mt), endpoint_(endpoint) {
+    IVMF_CHECK_MSG(mt.rows() == m.cols() && mt.cols() == m.rows(),
+                   "mt must be the transpose of m");
+  }
+
+  size_t Dim() const override { return m_.cols(); }
+
+  void Apply(const std::vector<double>& x,
+             std::vector<double>& y) const override {
+    m_.Multiply(endpoint_, x, scratch_);     // scratch = M_e x   (n)
+    mt_.Multiply(endpoint_, scratch_, y);    // y = M_eᵀ scratch  (m)
+  }
+
+  // The dense endpoint Gram matrix M_eᵀ M_e, accumulated row-by-row from the
+  // sparse pattern in O(sum of row_nnz²) — the bridge to the exact Jacobi
+  // solver for small Gram dimensions.
+  static Matrix DenseGram(const SparseIntervalMatrix& m,
+                          SparseIntervalMatrix::Endpoint endpoint);
+
+ private:
+  const SparseIntervalMatrix& m_;
+  const SparseIntervalMatrix& mt_;
+  SparseIntervalMatrix::Endpoint endpoint_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace ivmf
+
+#endif  // IVMF_SPARSE_SPARSE_GRAM_OPERATOR_H_

@@ -1,0 +1,232 @@
+#include "sparse/sparse_interval_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+#include "base/parallel.h"
+
+namespace ivmf {
+
+SparseIntervalMatrix SparseIntervalMatrix::FromTriplets(
+    size_t rows, size_t cols, std::vector<IntervalTriplet> triplets) {
+  for (const IntervalTriplet& t : triplets) {
+    IVMF_CHECK_MSG(t.row < rows && t.col < cols,
+                   "triplet index outside the matrix shape");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const IntervalTriplet& a, const IntervalTriplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseIntervalMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.lo_.reserve(triplets.size());
+  m.hi_.reserve(triplets.size());
+
+  for (size_t k = 0; k < triplets.size(); ++k) {
+    const IntervalTriplet& t = triplets[k];
+    if (!m.col_idx_.empty() && k > 0 && triplets[k - 1].row == t.row &&
+        triplets[k - 1].col == t.col) {
+      // Duplicate coordinate: merge to the interval hull.
+      m.lo_.back() = std::min(m.lo_.back(), t.value.lo);
+      m.hi_.back() = std::max(m.hi_.back(), t.value.hi);
+      continue;
+    }
+    m.col_idx_.push_back(t.col);
+    m.lo_.push_back(t.value.lo);
+    m.hi_.push_back(t.value.hi);
+    ++m.row_ptr_[t.row + 1];
+  }
+  for (size_t i = 0; i < rows; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  return m;
+}
+
+SparseIntervalMatrix SparseIntervalMatrix::FromDense(
+    const IntervalMatrix& dense, double tol) {
+  SparseIntervalMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  for (size_t i = 0; i < m.rows_; ++i) {
+    for (size_t j = 0; j < m.cols_; ++j) {
+      const double lo = dense.lower()(i, j);
+      const double hi = dense.upper()(i, j);
+      if (std::abs(lo) <= tol && std::abs(hi) <= tol) continue;
+      m.col_idx_.push_back(j);
+      m.lo_.push_back(lo);
+      m.hi_.push_back(hi);
+      ++m.row_ptr_[i + 1];
+    }
+  }
+  for (size_t i = 0; i < m.rows_; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  return m;
+}
+
+double SparseIntervalMatrix::FillFraction() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+Interval SparseIntervalMatrix::At(size_t i, size_t j) const {
+  IVMF_DCHECK(i < rows_ && j < cols_);
+  const auto begin = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_idx_.begin() + static_cast<ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, j);
+  if (it == end || *it != j) return Interval();
+  const size_t k = static_cast<size_t>(it - col_idx_.begin());
+  return Interval(lo_[k], hi_[k]);
+}
+
+IntervalMatrix SparseIntervalMatrix::ToDense() const {
+  IntervalMatrix dense(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      dense.Set(i, col_idx_[k], Interval(lo_[k], hi_[k]));
+    }
+  }
+  return dense;
+}
+
+std::vector<IntervalTriplet> SparseIntervalMatrix::ToTriplets() const {
+  std::vector<IntervalTriplet> triplets;
+  triplets.reserve(nnz());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      triplets.push_back({i, col_idx_[k], Interval(lo_[k], hi_[k])});
+    }
+  }
+  return triplets;
+}
+
+SparseIntervalMatrix SparseIntervalMatrix::Transpose() const {
+  SparseIntervalMatrix t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  t.col_idx_.resize(nnz());
+  t.lo_.resize(nnz());
+  t.hi_.resize(nnz());
+
+  // Counting sort by column: histogram, prefix-sum, scatter.
+  for (size_t k = 0; k < col_idx_.size(); ++k) ++t.row_ptr_[col_idx_[k] + 1];
+  for (size_t j = 0; j < cols_; ++j) t.row_ptr_[j + 1] += t.row_ptr_[j];
+  std::vector<size_t> next(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const size_t dst = next[col_idx_[k]]++;
+      t.col_idx_[dst] = i;
+      t.lo_[dst] = lo_[k];
+      t.hi_[dst] = hi_[k];
+    }
+  }
+  return t;
+}
+
+bool SparseIntervalMatrix::IsProper() const {
+  for (size_t k = 0; k < lo_.size(); ++k) {
+    if (lo_[k] > hi_[k]) return false;
+  }
+  return true;
+}
+
+bool SparseIntervalMatrix::IsNonNegative(double tol) const {
+  for (const double lo : lo_) {
+    if (lo < -tol) return false;
+  }
+  return true;
+}
+
+void SparseIntervalMatrix::Multiply(Endpoint e, const std::vector<double>& x,
+                                    std::vector<double>& y) const {
+  IVMF_CHECK(x.size() == cols_);
+  const std::vector<double>& v = values(e);
+  y.resize(rows_);
+  ParallelFor(
+      0, rows_,
+      [&](size_t i) {
+        double sum = 0.0;
+        for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          sum += v[k] * x[col_idx_[k]];
+        }
+        y[i] = sum;
+      },
+      /*max_threads=*/0, /*min_items_per_thread=*/512);
+}
+
+void SparseIntervalMatrix::MultiplyTranspose(Endpoint e,
+                                             const std::vector<double>& x,
+                                             std::vector<double>& y) const {
+  IVMF_CHECK(x.size() == rows_);
+  const std::vector<double>& v = values(e);
+  y.assign(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      y[col_idx_[k]] += v[k] * xi;
+    }
+  }
+}
+
+Matrix SparseIntervalMatrix::MultiplyDense(Endpoint e, const Matrix& b) const {
+  IVMF_CHECK_MSG(b.rows() == cols_, "sparse x dense dimension mismatch");
+  const std::vector<double>& v = values(e);
+  Matrix c(rows_, b.cols());
+  ParallelFor(
+      0, rows_,
+      [&](size_t i) {
+        double* out = c.RowPtr(i);
+        for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          const double* brow = b.RowPtr(col_idx_[k]);
+          const double value = v[k];
+          for (size_t j = 0; j < b.cols(); ++j) out[j] += value * brow[j];
+        }
+      },
+      /*max_threads=*/0, /*min_items_per_thread=*/64);
+  return c;
+}
+
+IntervalMatrix SparseIntervalMatrix::IntervalMultiplyDense(
+    const Matrix& b) const {
+  // Same construction as the dense IntervalMatMul(A†, scalar B): elementwise
+  // min / max over the two full endpoint products.
+  const Matrix p_lo = MultiplyDense(Endpoint::kLower, b);
+  const Matrix p_hi = MultiplyDense(Endpoint::kUpper, b);
+  Matrix lo(p_lo.rows(), p_lo.cols());
+  Matrix hi(p_lo.rows(), p_lo.cols());
+  for (size_t i = 0; i < lo.rows(); ++i) {
+    for (size_t j = 0; j < lo.cols(); ++j) {
+      lo(i, j) = std::min(p_lo(i, j), p_hi(i, j));
+      hi(i, j) = std::max(p_lo(i, j), p_hi(i, j));
+    }
+  }
+  return IntervalMatrix(std::move(lo), std::move(hi));
+}
+
+std::vector<double> SparseIntervalMatrix::RowNorms(Endpoint e) const {
+  const std::vector<double>& v = values(e);
+  std::vector<double> norms(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) sum += v[k] * v[k];
+    norms[i] = std::sqrt(sum);
+  }
+  return norms;
+}
+
+std::vector<double> SparseIntervalMatrix::ColNorms(Endpoint e) const {
+  const std::vector<double>& v = values(e);
+  std::vector<double> sums(cols_, 0.0);
+  for (size_t k = 0; k < col_idx_.size(); ++k) {
+    sums[col_idx_[k]] += v[k] * v[k];
+  }
+  for (double& s : sums) s = std::sqrt(s);
+  return sums;
+}
+
+}  // namespace ivmf

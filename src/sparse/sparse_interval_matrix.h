@@ -1,0 +1,127 @@
+// CSR-backed sparse interval-valued matrices.
+//
+// The paper's recommender workloads (Section 6.1.3, Figure 10) operate on
+// rating matrices that are ~85% empty; the dense IntervalMatrix pair wastes
+// both memory and flops there. SparseIntervalMatrix stores one compressed
+// sparsity pattern shared by the two endpoint value arrays — structurally
+// a CSR matrix whose values are [lo, hi] pairs — plus the endpoint kernels
+// (sparse x vector, sparse x dense, row/column norms) the matrix-free ISVD
+// path is built from. All absent entries are the scalar zero interval
+// [0, 0], exactly like the unobserved cells of the dense constructions.
+
+#ifndef IVMF_SPARSE_SPARSE_INTERVAL_MATRIX_H_
+#define IVMF_SPARSE_SPARSE_INTERVAL_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "interval/interval.h"
+#include "interval/interval_matrix.h"
+#include "linalg/matrix.h"
+
+namespace ivmf {
+
+// One explicit entry of a sparse interval matrix (0-based indices).
+struct IntervalTriplet {
+  size_t row = 0;
+  size_t col = 0;
+  Interval value;
+};
+
+class SparseIntervalMatrix {
+ public:
+  // Which endpoint value array a kernel reads: M_* (lower) or M^* (upper).
+  enum class Endpoint { kLower, kUpper };
+
+  // An empty 0 x 0 matrix.
+  SparseIntervalMatrix() = default;
+
+  // Builds a rows x cols matrix from explicit entries. Triplets may arrive
+  // in any order; duplicates at the same (row, col) are merged to their
+  // interval hull. Indices must lie inside the shape.
+  static SparseIntervalMatrix FromTriplets(size_t rows, size_t cols,
+                                           std::vector<IntervalTriplet> triplets);
+
+  // Compresses a dense interval matrix, dropping entries whose endpoints are
+  // both within `tol` of zero.
+  static SparseIntervalMatrix FromDense(const IntervalMatrix& dense,
+                                        double tol = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return col_idx_.size(); }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  // nnz / (rows * cols); 0 for an empty shape.
+  double FillFraction() const;
+
+  // Entry lookup by binary search within the row: O(log row_nnz). Absent
+  // entries are the scalar zero interval.
+  Interval At(size_t i, size_t j) const;
+
+  // Materializes the dense endpoint pair (absent entries become [0, 0]).
+  IntervalMatrix ToDense() const;
+
+  // Explicit entries in row-major order.
+  std::vector<IntervalTriplet> ToTriplets() const;
+
+  // CSR of the transpose. O(nnz); the two endpoint arrays share the single
+  // transposed pattern, like the forward matrix.
+  SparseIntervalMatrix Transpose() const;
+
+  // True when every stored entry satisfies lo <= hi.
+  bool IsProper() const;
+
+  // True when every stored lower endpoint is >= -tol. Entrywise
+  // non-negativity is the precondition under which the Algorithm-1 interval
+  // Gram endpoints coincide with M_*ᵀM_* and M^*ᵀM^* (see
+  // IntervalMatMulExact's doc) — the matrix-free ISVD path relies on it.
+  bool IsNonNegative(double tol = 0.0) const;
+
+  // -- Kernels ---------------------------------------------------------------
+  // All kernels are deterministic: parallel execution partitions output rows,
+  // each computed exactly as in the serial loop.
+
+  // y = A_e x (y resized to rows()). Parallelized over rows.
+  void Multiply(Endpoint e, const std::vector<double>& x,
+                std::vector<double>& y) const;
+
+  // y = A_eᵀ x (y resized to cols()). Serial scatter; prefer holding a
+  // Transpose() and calling Multiply on it inside iterative solvers.
+  void MultiplyTranspose(Endpoint e, const std::vector<double>& x,
+                         std::vector<double>& y) const;
+
+  // C = A_e * B for dense B (cols() x k). Parallelized over rows.
+  Matrix MultiplyDense(Endpoint e, const Matrix& b) const;
+
+  // C† = A† * B for a dense scalar B, matching the dense mixed-operand
+  // IntervalMatMul exactly: C_lo / C_hi are the elementwise min / max of the
+  // two full endpoint products A_* B and A^* B.
+  IntervalMatrix IntervalMultiplyDense(const Matrix& b) const;
+
+  // Euclidean norms of the rows / columns of the endpoint matrix A_e.
+  std::vector<double> RowNorms(Endpoint e) const;
+  std::vector<double> ColNorms(Endpoint e) const;
+
+  // -- Raw CSR access (pattern shared by both endpoint arrays) ---------------
+
+  const std::vector<size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& lower_values() const { return lo_; }
+  const std::vector<double>& upper_values() const { return hi_; }
+  const std::vector<double>& values(Endpoint e) const {
+    return e == Endpoint::kLower ? lo_ : hi_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_ptr_;  // rows() + 1 offsets into col_idx_/lo_/hi_
+  std::vector<size_t> col_idx_;  // nnz column indices, ascending per row
+  std::vector<double> lo_;       // nnz lower endpoints
+  std::vector<double> hi_;       // nnz upper endpoints
+};
+
+}  // namespace ivmf
+
+#endif  // IVMF_SPARSE_SPARSE_INTERVAL_MATRIX_H_

@@ -1,8 +1,13 @@
 // ivmf_decompose — command-line interval SVD.
 //
-// Reads an interval matrix from a CSV file (cells `lo:hi`, bare numbers are
-// scalars), runs the selected ISVD strategy / decomposition target, prints
-// the Θ_HM reconstruction accuracy, and optionally writes the factors.
+// Reads an interval matrix from a file and auto-detects the format: dense
+// interval CSV (cells `lo:hi`, bare numbers are scalars) or the sparse
+// triplet format of io/triplets.h (first line `%%ivmf interval coordinate`).
+// Runs the selected ISVD strategy / decomposition target, prints the Θ_HM
+// reconstruction accuracy, and optionally writes the factors. Triplet input
+// is decomposed through the matrix-free sparse path (strategies 2–4 only);
+// accuracy and the dense reconstruction output are skipped when the dense
+// shape would be unreasonably large.
 //
 // Usage:
 //   ivmf_decompose --input=m.csv [--rank=10] [--strategy=4] [--target=b]
@@ -14,11 +19,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/accuracy.h"
 #include "core/isvd.h"
+#include "core/sparse_isvd.h"
 #include "io/csv.h"
+#include "io/file_util.h"
+#include "io/triplets.h"
 
 namespace {
 
@@ -56,16 +65,49 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  const auto m = LoadIntervalMatrixCsv(input);
-  if (!m) {
-    std::fprintf(stderr, "error: cannot parse interval CSV '%s'\n",
-                 input.c_str());
+
+  const std::optional<std::string> loaded =
+      io_internal::ReadFileToString(input);
+  if (!loaded) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", input.c_str());
     return 1;
+  }
+  const std::string& text = *loaded;
+
+  // Format auto-detection: triplet files announce themselves on line 1.
+  const bool sparse_input = LooksLikeTriplets(text);
+  std::optional<SparseIntervalMatrix> sparse;
+  std::optional<IntervalMatrix> m;
+  if (sparse_input) {
+    sparse = SparseIntervalMatrixFromTriplets(text);
+    if (!sparse) {
+      std::fprintf(stderr, "error: cannot parse interval triplets '%s'\n",
+                   input.c_str());
+      return 1;
+    }
+    // Densify small matrices so accuracy / reconstruction still work.
+    constexpr size_t kDensifyLimit = 4u << 20;  // dense cells
+    if (sparse->rows() * sparse->cols() <= kDensifyLimit) {
+      m = sparse->ToDense();
+    }
+  } else {
+    m = IntervalMatrixFromCsv(text);
+    if (!m) {
+      std::fprintf(stderr, "error: cannot parse interval CSV '%s'\n",
+                   input.c_str());
+      return 1;
+    }
   }
 
   const int strategy = IntFlag(argc, argv, "strategy", 4);
   if (strategy < 0 || strategy > 4) {
     Usage();
+    return 2;
+  }
+  if (sparse_input && strategy < 2) {
+    std::fprintf(stderr,
+                 "error: triplet input runs through the sparse path, which "
+                 "supports strategies 2..4 only\n");
     return 2;
   }
   const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 0));
@@ -91,20 +133,46 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
-  if (StringFlag(argc, argv, "eig", "jacobi") == "lanczos") {
+  // Dense input keeps the exact-by-default Jacobi solver; triplet input
+  // defaults to the matrix-free Lanczos route (the reason to use triplets).
+  const std::string eig = StringFlag(argc, argv, "eig", "");
+  if (eig == "lanczos") {
+    options.eig_solver = EigSolver::kLanczos;
+  } else if (eig == "jacobi") {
+    options.eig_solver = EigSolver::kJacobi;
+  } else if (!eig.empty()) {
+    Usage();
+    return 2;
+  } else if (sparse_input) {
     options.eig_solver = EigSolver::kLanczos;
   }
   options.gram_side = GramSide::kAuto;
 
-  std::printf("input: %zu x %zu interval matrix from %s\n", m->rows(),
-              m->cols(), input.c_str());
-  const IsvdResult result = RunIsvd(strategy, *m, rank, options);
-  const IntervalMatrix recon = result.Reconstruct();
-  const AccuracyReport report = DecompositionAccuracy(*m, recon);
+  IsvdResult result;
+  if (sparse_input) {
+    std::printf("input: %zu x %zu sparse interval matrix (%zu nnz, fill "
+                "%.4f) from %s\n",
+                sparse->rows(), sparse->cols(), sparse->nnz(),
+                sparse->FillFraction(), input.c_str());
+    result = RunIsvd(strategy, *sparse, rank, options);
+  } else {
+    std::printf("input: %zu x %zu interval matrix from %s\n", m->rows(),
+                m->cols(), input.c_str());
+    result = RunIsvd(strategy, *m, rank, options);
+  }
 
-  std::printf("%s, rank %zu: Θ(min)=%.4f Θ(max)=%.4f Θ_HM=%.4f\n",
-              IsvdName(strategy, options.target).c_str(), result.rank(),
-              report.theta_min, report.theta_max, report.harmonic_mean);
+  IntervalMatrix recon;
+  if (m.has_value()) {
+    recon = result.Reconstruct();
+    const AccuracyReport report = DecompositionAccuracy(*m, recon);
+    std::printf("%s, rank %zu: Θ(min)=%.4f Θ(max)=%.4f Θ_HM=%.4f\n",
+                IsvdName(strategy, options.target).c_str(), result.rank(),
+                report.theta_min, report.theta_max, report.harmonic_mean);
+  } else {
+    std::printf("%s, rank %zu (dense shape too large: accuracy / "
+                "reconstruction skipped)\n",
+                IsvdName(strategy, options.target).c_str(), result.rank());
+  }
   const PhaseTimings& t = result.timings;
   std::printf("time: total %.4fs (preproc %.4f, decomp %.4f, align %.4f, "
               "solve %.4f, recomp %.4f, renorm %.4f)\n",
@@ -125,13 +193,16 @@ int main(int argc, char** argv) {
     for (size_t j = 0; j < result.rank(); ++j)
       sigma.Set(j, j, result.sigma[j]);
     ok &= SaveIntervalMatrixCsv(prefix + "_sigma.csv", sigma);
-    ok &= SaveIntervalMatrixCsv(prefix + "_recon.csv", recon);
+    if (m.has_value()) {
+      ok &= SaveIntervalMatrixCsv(prefix + "_recon.csv", recon);
+    }
     if (!ok) {
       std::fprintf(stderr, "error: failed writing outputs '%s_*.csv'\n",
                    prefix.c_str());
       return 1;
     }
-    std::printf("wrote %s_{u,sigma,v,recon}.csv\n", prefix.c_str());
+    std::printf("wrote %s_{u,sigma,v%s}.csv\n", prefix.c_str(),
+                m.has_value() ? ",recon" : "");
   }
   return 0;
 }

@@ -4,10 +4,18 @@
 // by ivmf_decompose (and any CSV-reading pipeline).
 //
 // Usage:
-//   ivmf_generate --kind=uniform|anonymized|faces|ratings|categories
+//   ivmf_generate --kind=uniform|anonymized|faces|ratings|categories|cf
 //                 --output=FILE.csv [--rows=40] [--cols=250] [--seed=42]
 //                 [--zero_fraction=0] [--interval_density=1]
 //                 [--interval_intensity=1] [--privacy=low|medium|high]
+//                 [--sparsity=F] [--alpha=0.3]
+//
+// With --sparsity=F (0 < F <= 1) the output is the sparse triplet format of
+// io/triplets.h instead of dense CSV. kind=cf is the collaborative-filtering
+// interval matrix (F.2 eq. 5–7) over rows users x cols items with observed
+// fill F, built entirely through the sparse path so it scales to shapes
+// whose dense CSV would be impractical; the other kinds generate their
+// dense matrix as usual and store only its nonzero cells.
 
 #include <cstdio>
 #include <cstring>
@@ -19,6 +27,8 @@
 #include "data/ratings.h"
 #include "data/synthetic.h"
 #include "io/csv.h"
+#include "io/triplets.h"
+#include "sparse/sparse_interval_matrix.h"
 
 namespace {
 
@@ -47,10 +57,12 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: ivmf_generate --kind=uniform|anonymized|faces|ratings|"
-      "categories --output=FILE.csv\n"
+      "categories|cf --output=FILE.csv\n"
       "       [--rows=40 --cols=250 --seed=42 --zero_fraction=0\n"
       "        --interval_density=1 --interval_intensity=1 "
-      "--privacy=medium]\n");
+      "--privacy=medium]\n"
+      "       [--sparsity=F --alpha=0.3]   (triplet output; required for "
+      "kind=cf)\n");
 }
 
 }  // namespace
@@ -67,6 +79,32 @@ int main(int argc, char** argv) {
   const uint64_t seed = static_cast<uint64_t>(IntFlag(argc, argv, "seed", 42));
   const size_t rows = static_cast<size_t>(IntFlag(argc, argv, "rows", 40));
   const size_t cols = static_cast<size_t>(IntFlag(argc, argv, "cols", 250));
+  const double sparsity = DoubleFlag(argc, argv, "sparsity", 0.0);
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    Usage();
+    return 2;
+  }
+
+  if (kind == "cf") {
+    // Collaborative-filtering intervals, generated sparsely end to end.
+    RatingsConfig config;
+    config.num_users = rows;
+    config.num_items = cols;
+    config.fill = sparsity > 0.0 ? sparsity : 0.05;
+    config.seed = seed;
+    const SparseRatingsData data = GenerateSparseRatings(config);
+    const SparseIntervalMatrix cf =
+        SparseCfIntervalMatrix(data, DoubleFlag(argc, argv, "alpha", 0.3));
+    if (!SaveSparseIntervalTriplets(output, cf)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu x %zu sparse interval matrix (cf, %zu nnz, fill "
+                "%.4f) to %s\n",
+                cf.rows(), cf.cols(), cf.nnz(), cf.FillFraction(),
+                output.c_str());
+    return 0;
+  }
 
   IntervalMatrix result;
   if (kind == "uniform") {
@@ -105,6 +143,18 @@ int main(int argc, char** argv) {
   } else {
     Usage();
     return 2;
+  }
+
+  if (sparsity > 0.0) {
+    const SparseIntervalMatrix sparse = SparseIntervalMatrix::FromDense(result);
+    if (!SaveSparseIntervalTriplets(output, sparse)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu x %zu sparse interval matrix (%s, %zu nnz) to %s\n",
+                sparse.rows(), sparse.cols(), kind.c_str(), sparse.nnz(),
+                output.c_str());
+    return 0;
   }
 
   if (!SaveIntervalMatrixCsv(output, result)) {
