@@ -3,15 +3,18 @@
 // touch.
 //
 // Sweeps users x items (fill <= 0.05 by default) through the sparse
-// matrix-free ISVD path — CSR CF-interval construction, Lanczos on the
-// O(nnz) Gram operator, sparse solve/recompute — and reports per-phase
-// timings. For shapes below --dense_limit cells the dense route
-// (materialized interval Gram + the same Lanczos solver) runs side by side
-// and the speedup is reported; above it the dense route is skipped and its
-// endpoint-matrix memory footprint alone is printed for scale.
+// matrix-free ISVD path — CSR CF-interval construction, the Golub–Kahan–
+// Lanczos SVD for ISVD0/ISVD1, Lanczos on the O(nnz) Gram operator for
+// ISVD2–ISVD4, sparse solve/recompute — and reports per-phase timings. By
+// default every strategy 0–4 runs on every shape (all five are matrix-free
+// on the non-negative CF data); --strategy=N restricts to one. For shapes
+// below --dense_limit cells the dense route (materialized matrices + the
+// same solvers) runs side by side and the speedup is reported; above it the
+// dense route is skipped and its endpoint-matrix memory footprint alone is
+// printed for scale.
 //
 // Usage:
-//   bench_fig10_sparse_scale [--rank=10] [--strategy=4] [--fill_pct=5]
+//   bench_fig10_sparse_scale [--rank=10] [--strategy=-1] [--fill_pct=5]
 //                            [--alpha_pct=30] [--max_cells=100000000]
 //                            [--dense_limit=1500000]
 
@@ -29,11 +32,18 @@ int main(int argc, char** argv) {
   using namespace ivmf::bench;
 
   const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 10));
-  const int strategy = IntFlag(argc, argv, "strategy", 4);
+  const int strategy_flag = IntFlag(argc, argv, "strategy", -1);
   const double fill = IntFlag(argc, argv, "fill_pct", 5) / 100.0;
   const double alpha = IntFlag(argc, argv, "alpha_pct", 30) / 100.0;
   const double max_cells = IntFlag(argc, argv, "max_cells", 100000000);
   const double dense_limit = IntFlag(argc, argv, "dense_limit", 1500000);
+
+  std::vector<int> strategies;
+  if (strategy_flag < 0) {
+    strategies = {0, 1, 2, 3, 4};
+  } else {
+    strategies = {strategy_flag};
+  }
 
   struct Shape {
     size_t users, items;
@@ -43,11 +53,12 @@ int main(int argc, char** argv) {
 
   PrintHeader("Figure 10 at scale — sparse matrix-free ISVD on CF interval "
               "matrices");
-  std::printf("strategy ISVD%d, rank %zu, fill %.2f, alpha %.2f\n\n", strategy,
-              rank, fill, alpha);
-  std::printf("%-14s %10s %7s %9s %9s %9s %9s %10s\n", "users x items", "nnz",
-              "sparse", "preproc", "decomp", "solve", "recomp", "dense/spd");
-  PrintRule(92);
+  std::printf("strategies 0-4%s, rank %zu, fill %.2f, alpha %.2f\n\n",
+              strategy_flag < 0 ? "" : " (restricted)", rank, fill, alpha);
+  std::printf("%-14s %5s %10s %7s %9s %9s %9s %9s %10s\n", "users x items",
+              "isvd", "nnz", "sparse", "preproc", "decomp", "solve", "recomp",
+              "dense/spd");
+  PrintRule(98);
 
   for (const Shape& shape : shapes) {
     const double cells =
@@ -67,37 +78,46 @@ int main(int argc, char** argv) {
     options.gram_side = GramSide::kAuto;
     options.eig_solver = EigSolver::kLanczos;
 
-    Stopwatch sw;
-    const IsvdResult sparse_result = RunIsvd(strategy, cf, rank, options);
-    const double sparse_seconds = sw.Seconds();
-    const PhaseTimings& t = sparse_result.timings;
+    // Materialized once per shape for the side-by-side dense runs.
+    IntervalMatrix dense;
+    if (cells <= dense_limit) dense = cf.ToDense();
 
-    char label[32];
-    std::snprintf(label, sizeof(label), "%zux%zu", shape.users, shape.items);
-    std::printf("%-14s %10zu %6.2fs %8.3fs %8.3fs %8.3fs %8.3fs", label,
-                cf.nnz(), sparse_seconds, t.preprocess, t.decompose, t.solve,
-                t.recompute);
+    for (const int strategy : strategies) {
+      Stopwatch sw;
+      const IsvdResult sparse_result = RunIsvd(strategy, cf, rank, options);
+      const double sparse_seconds = sw.Seconds();
+      const PhaseTimings& t = sparse_result.timings;
 
-    if (cells <= dense_limit) {
-      // Dense route: materialized endpoint matrices + interval Gram, same
-      // rank and solver.
-      const IntervalMatrix dense = cf.ToDense();
-      sw.Restart();
-      const IsvdResult dense_result = RunIsvd(strategy, dense, rank, options);
-      const double dense_seconds = sw.Seconds();
-      (void)dense_result;
-      std::printf(" %6.2fs/%4.1fx\n", dense_seconds,
-                  dense_seconds / (sparse_seconds > 0.0 ? sparse_seconds : 1.0));
-    } else {
-      // 2 endpoint matrices x 8 bytes; the interval Gram adds another
-      // 2 x min(n, m)^2 on top.
-      const double gib = 2.0 * cells * 8.0 / (1024.0 * 1024.0 * 1024.0);
-      std::printf("   (dense skipped: %.1f GiB endpoints)\n", gib);
+      char label[32];
+      std::snprintf(label, sizeof(label), "%zux%zu", shape.users, shape.items);
+      std::printf("%-14s %5d %10zu %6.2fs %8.3fs %8.3fs %8.3fs %8.3fs", label,
+                  strategy, cf.nnz(), sparse_seconds, t.preprocess,
+                  t.decompose, t.solve, t.recompute);
+
+      if (cells <= dense_limit) {
+        // Dense route: materialized endpoint matrices (+ interval Gram for
+        // strategies 2-4), same rank and solver options.
+        sw.Restart();
+        const IsvdResult dense_result =
+            RunIsvd(strategy, dense, rank, options);
+        const double dense_seconds = sw.Seconds();
+        (void)dense_result;
+        std::printf(
+            " %6.2fs/%4.1fx\n", dense_seconds,
+            dense_seconds / (sparse_seconds > 0.0 ? sparse_seconds : 1.0));
+      } else {
+        // 2 endpoint matrices x 8 bytes; the interval Gram adds another
+        // 2 x min(n, m)^2 on top for strategies 2-4.
+        const double gib = 2.0 * cells * 8.0 / (1024.0 * 1024.0 * 1024.0);
+        std::printf("   (dense skipped: %.1f GiB endpoints)\n", gib);
+      }
     }
   }
 
-  PrintRule(92);
-  std::printf("sparse path peak memory is O(nnz) + factors; the Gram matrix "
-              "is never materialized.\n");
+  PrintRule(98);
+  std::printf(
+      "sparse path peak memory is O(nnz) + factors on non-negative data: "
+      "ISVD0/1 run the\nGolub-Kahan-Lanczos SVD on the endpoint operators and "
+      "ISVD2-4 never materialize the Gram.\n");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "core/isvd_internal.h"
 #include "interval/interval_ops.h"
 #include "linalg/lanczos.h"
+#include "linalg/lanczos_svd.h"
 #include "linalg/pinv.h"
 #include "sparse/sparse_gram_operator.h"
 
@@ -92,11 +93,82 @@ SolvedLeft SolveLeftFactor(const SparseIntervalMatrix& work,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// ISVD0 — average and decompose (Section 4.1), matrix-free.
+// ---------------------------------------------------------------------------
+
+IsvdResult Isvd0(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  (void)options;  // ISVD0 has no solver/alignment knobs on the sparse path
+  const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
+  PhaseTimings timings;
+
+  Stopwatch sw;
+  const SparseIntervalMatrix mt = m.Transpose();
+  timings.preprocess = sw.Seconds();
+
+  sw.Restart();
+  const SparseEndpointMap mid(m, mt, SparseEndpointMap::Part::kMid);
+  const SvdResult svd = ComputeLanczosSvd(mid, r);
+  timings.decompose = sw.Seconds();
+
+  IsvdResult result;
+  result.target = DecompositionTarget::kC;  // ISVD0 is inherently scalar.
+  result.u = IntervalMatrix::FromScalar(svd.u);
+  result.v = IntervalMatrix::FromScalar(svd.v);
+  result.sigma.resize(svd.sigma.size());
+  for (size_t j = 0; j < svd.sigma.size(); ++j)
+    result.sigma[j] = Interval::Scalar(svd.sigma[j]);
+  result.timings = timings;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// ISVD1 — decompose and align (Section 4.2), matrix-free.
+// ---------------------------------------------------------------------------
+
+IsvdResult Isvd1(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
+  PhaseTimings timings;
+
+  Stopwatch sw;
+  const SparseIntervalMatrix mt = m.Transpose();
+  timings.preprocess = sw.Seconds();
+
+  // Independent endpoint decompositions run on two threads, sharing the
+  // transposed pattern. SparseEndpointMap consumes the endpoint values
+  // directly, so signed matrices need no special casing here.
+  sw.Restart();
+  SvdResult lo, hi;
+  ParallelFor(0, 2, [&](size_t side) {
+    const SparseEndpointMap map(m, mt,
+                                side == 0 ? SparseEndpointMap::Part::kLower
+                                          : SparseEndpointMap::Part::kUpper);
+    (side == 0 ? lo : hi) = ComputeLanczosSvd(map, r);
+  });
+  timings.decompose = sw.Seconds();
+
+  sw.Restart();
+  const IlsaResult ilsa = ComputeIlsa(lo.v, hi.v, options.ilsa);
+  Matrix u_lo = lo.u;
+  Matrix v_lo = lo.v;
+  std::vector<double> s_lo = lo.sigma;
+  AlignMinSide(ilsa, &u_lo, &v_lo, &s_lo);
+  timings.align = sw.Seconds();
+
+  return BuildResult(IntervalMatrix(std::move(u_lo), hi.u),
+                     MakeIntervalDiag(s_lo, hi.sigma),
+                     IntervalMatrix(std::move(v_lo), hi.v), options.target,
+                     timings);
+}
+
+// ---------------------------------------------------------------------------
+// Shared Gram eigendecomposition for ISVD2–ISVD4.
+// ---------------------------------------------------------------------------
+
 GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
                        const IsvdOptions& options) {
-  IVMF_CHECK_MSG(m.IsNonNegative(),
-                 "the matrix-free sparse Gram route requires an entrywise "
-                 "non-negative interval matrix");
   GramEig result;
   result.transposed = (ResolveSide(m, options.gram_side) == GramSide::kMMt);
   SparseIntervalMatrix work_storage;
@@ -107,6 +179,28 @@ GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
   bool use_lanczos = options.eig_solver != EigSolver::kJacobi;
   if (options.eig_solver == EigSolver::kAuto) {
     use_lanczos = 4 * r < work.cols();
+  }
+
+  if (!m.IsNonNegative()) {
+    // Signed route: the Algorithm-1 Gram endpoints are elementwise min/max
+    // over four products and have no operator form, so they are accumulated
+    // from the sparse rows (never densifying M†) and handed to the same
+    // solver choice the dense path makes — the results are term-for-term
+    // identical to IntervalMatMul(M†ᵀ, M†) + eig.
+    Stopwatch sw;
+    result.gram = SparseGramOperator::DenseGramEndpoints(work);
+    result.preprocess_seconds = sw.Seconds();
+
+    sw.Restart();
+    ParallelFor(0, 2, [&](size_t side) {
+      const Matrix& endpoint =
+          side == 0 ? result.gram.lower() : result.gram.upper();
+      EigResult& out = side == 0 ? result.lo : result.hi;
+      out = use_lanczos ? ComputeLanczosEig(endpoint, r)
+                        : ComputeSymmetricEig(endpoint, r, options.eig);
+    });
+    result.decompose_seconds = sw.Seconds();
+    return result;
   }
 
   if (!use_lanczos) {
@@ -240,6 +334,10 @@ IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
 IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
                    const IsvdOptions& options) {
   switch (strategy) {
+    case 0:
+      return Isvd0(m, rank, options);
+    case 1:
+      return Isvd1(m, rank, options);
     case 2:
       return Isvd2(m, rank, options);
     case 3:
@@ -247,8 +345,7 @@ IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
     case 4:
       return Isvd4(m, rank, options);
     default:
-      IVMF_CHECK_MSG(false,
-                     "sparse ISVD supports the Gram-based strategies 2..4");
+      IVMF_CHECK_MSG(false, "ISVD strategy must be 0..4");
       return {};
   }
 }

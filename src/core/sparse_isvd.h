@@ -1,29 +1,38 @@
 // Matrix-free ISVD over sparse interval matrices.
 //
-// Overloads of the ISVD2–ISVD4 pipeline (core/isvd.h) that take a CSR
-// SparseIntervalMatrix and never materialize either the dense endpoint
-// matrices or — on the Lanczos route — the m x m interval Gram matrix
-// A† = M†ᵀ M†. Instead the eigensolver touches the Gram endpoints only
-// through the operator x -> M_eᵀ(M_e x), which costs O(nnz) per step
-// (sparse/sparse_gram_operator.h). The downstream solve/align/recompute
-// phases run on the small n x r / m x r factors exactly as in the dense
-// path, with sparse x dense kernels substituted for the dense products.
+// Overloads of the full ISVD0–ISVD4 strategy family (core/isvd.h) that take
+// a CSR SparseIntervalMatrix and never materialize the dense endpoint
+// matrices:
 //
-// Precondition: the matrix must be entrywise non-negative (true for all the
-// paper's recommender constructions, whose entries are rating intervals or
-// empty cells). That is what makes the Algorithm-1 interval Gram endpoints
-// equal M_*ᵀM_* and M^*ᵀM^*, so the matrix-free route reproduces the dense
-// ComputeGramEig results. Violations abort via IVMF_CHECK.
+//  - ISVD0/ISVD1 decompose the midpoint / endpoint matrices through the
+//    Golub–Kahan–Lanczos bidiagonalization SVD (linalg/lanczos_svd.h) over
+//    SparseEndpointMap, O(nnz) per step, any sign.
+//  - ISVD2–ISVD4 eigendecompose the Algorithm-1 interval Gram endpoints.
+//    For entrywise non-negative matrices the endpoints collapse to M_*ᵀM_*
+//    and M^*ᵀM^*, and on the Lanczos route the eigensolver touches them
+//    only through x -> M_eᵀ(M_e x), O(nnz) per step — not even the m x m
+//    Gram is formed. For signed matrices the Algorithm-1 endpoints are
+//    elementwise min/max over four products and have no fixed operator
+//    form, so SparseGramOperator::DenseGramEndpoints accumulates them from
+//    the sparse rows (min(n, m)² memory, never densifying M†) before the
+//    eigensolve — exactly matching the dense IntervalMatMul route.
 //
-// Solver awareness:
-//   EigSolver::kLanczos  matrix-free (the scalable route; GramEig.gram is
-//                        left empty).
+// The downstream solve/align/recompute phases run on the small n x r /
+// m x r factors exactly as in the dense path, with sparse x dense kernels
+// substituted for the dense products.
+//
+// Solver awareness (ISVD2–ISVD4):
+//   EigSolver::kLanczos  matrix-free on non-negative input (the scalable
+//                        route; GramEig.gram is left empty). Signed input
+//                        runs Lanczos on the materialized endpoints.
 //   EigSolver::kJacobi   accumulates the dense endpoint Grams from the
 //                        sparse rows (m x m memory, exact full spectrum) —
 //                        useful for narrow matrices such as user-genre.
 //   EigSolver::kAuto     Lanczos when 4 * rank < gram dimension, else
 //                        Jacobi, mirroring the dense heuristic.
 // GramSide::kAuto picks the smaller Gram dimension, like the dense path.
+// ISVD0/ISVD1 always run the bidiagonalization SVD (it IS the sparse
+// route); eig_solver does not apply to them.
 
 #ifndef IVMF_CORE_SPARSE_ISVD_H_
 #define IVMF_CORE_SPARSE_ISVD_H_
@@ -33,10 +42,24 @@
 
 namespace ivmf {
 
+// ISVD0 (midpoint SVD) without materializing the midpoint matrix: the
+// Golub–Kahan–Lanczos solver applies ((M_* + M^*) / 2) x fused over the
+// shared CSR pattern. The result is always scalar (target c), like the
+// dense overload.
+IsvdResult Isvd0(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
+// ISVD1 (endpoint SVDs + ILSA) with both endpoint decompositions running
+// matrix-free; the alignment and target construction mirror the dense
+// overload on the small factors.
+IsvdResult Isvd1(const SparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
 // Gram eigendecomposition without forming dense endpoint matrices. On the
-// Lanczos route `GramEig.gram` stays empty (it would be the dense m x m
-// matrix this path exists to avoid); the Jacobi route fills it so rank
-// sweeps via TruncateGramEig keep working.
+// non-negative Lanczos route `GramEig.gram` stays empty (it would be the
+// dense m x m matrix this path exists to avoid); the Jacobi route and the
+// signed four-product route fill it, so rank sweeps via TruncateGramEig
+// keep working.
 GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
                        const IsvdOptions& options = {});
 
@@ -56,9 +79,8 @@ IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
 IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
                  const IsvdOptions& options = {});
 
-// Dispatch by strategy index. Only the Gram-based strategies 2–4 have a
-// sparse formulation (ISVD0/ISVD1 need full SVDs of dense endpoints);
-// strategies 0–1 abort.
+// Dispatch by strategy index 0..4 — the whole family has a sparse
+// formulation.
 IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
                    const IsvdOptions& options = {});
 

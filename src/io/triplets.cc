@@ -1,5 +1,7 @@
 #include "io/triplets.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -53,13 +55,26 @@ std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
     if (content == std::string::npos || line[content] == '%') continue;
     std::istringstream sizes(line);
     if (!(sizes >> rows >> cols >> nnz)) return std::nullopt;
+    std::string rest;
+    if (sizes >> rest) return std::nullopt;  // trailing tokens
     have_sizes = true;
     break;
   }
   if (!have_sizes) return std::nullopt;
 
+  // Sanity-bound the declared sizes BEFORE allocating anything: a corrupt
+  // (or hostile) size line must produce a parse error, not an allocation
+  // crash. nnz may not exceed rows * cols (evaluated overflow-free), and
+  // dimensions beyond 2^27 are rejected — the CSR row pointer alone would
+  // exceed a GiB; matrices that large are built through the in-memory API.
+  constexpr size_t kMaxDimension = size_t{1} << 27;
+  if (rows > kMaxDimension || cols > kMaxDimension) return std::nullopt;
+  if (nnz > 0 && (rows == 0 || cols == 0 || (nnz - 1) / rows >= cols)) {
+    return std::nullopt;
+  }
+
   std::vector<IntervalTriplet> triplets;
-  triplets.reserve(nnz);
+  triplets.reserve(std::min(nnz, size_t{1} << 20));
   while (std::getline(in, line)) {
     const size_t content = line.find_first_not_of(" \t\r");
     if (content == std::string::npos || line[content] == '%') continue;
@@ -70,11 +85,19 @@ std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
     std::string rest;
     if (entry >> rest) return std::nullopt;  // trailing tokens
     if (i < 1 || i > rows || j < 1 || j > cols) return std::nullopt;
+    if (!std::isfinite(lo) || !std::isfinite(hi)) return std::nullopt;
     if (lo > hi) return std::nullopt;
+    if (triplets.size() == nnz) return std::nullopt;  // more entries than declared
     triplets.push_back({i - 1, j - 1, Interval(lo, hi)});
   }
   if (triplets.size() != nnz) return std::nullopt;
-  return SparseIntervalMatrix::FromTriplets(rows, cols, std::move(triplets));
+  SparseIntervalMatrix m =
+      SparseIntervalMatrix::FromTriplets(rows, cols, std::move(triplets));
+  // FromTriplets hulls duplicate coordinates; a serialized stream is sorted
+  // and unique, so a shrunken entry count means the file double-declared a
+  // cell — reject it instead of guessing which value was meant.
+  if (m.nnz() != nnz) return std::nullopt;
+  return m;
 }
 
 bool LooksLikeTriplets(const std::string& text) {

@@ -9,9 +9,12 @@
 //
 // Entries use 1-based indices like MatrixMarket; `lo hi` are the interval
 // endpoints (write lo == hi for scalar entries). Lines starting with '%'
-// are comments; entry order is arbitrary and duplicates merge to the
-// interval hull on load. This is the on-disk form for recommender-scale
-// matrices whose dense CSV would be dominated by "0:0" cells.
+// are comments; entry order is arbitrary, but each (i, j) cell may appear
+// at most once — a duplicated cell is inconsistent with the declared entry
+// count and rejected (the in-memory FromTriplets API is the place for
+// hull-merging duplicate observations). This is the on-disk form for
+// recommender-scale matrices whose dense CSV would be dominated by "0:0"
+// cells.
 
 #ifndef IVMF_IO_TRIPLETS_H_
 #define IVMF_IO_TRIPLETS_H_
@@ -33,8 +36,10 @@ std::string SparseIntervalMatrixToTriplets(const SparseIntervalMatrix& m,
                                            int precision = 12);
 
 // Parses coordinate text. Returns std::nullopt on malformed input (missing
-// header or size line, unparsable entries, out-of-range indices, misordered
-// intervals, wrong entry count).
+// header or size line, unparsable or non-finite entries, out-of-range
+// indices, misordered intervals, duplicate cells, wrong entry count,
+// declared sizes beyond the parser's sanity bounds). Never aborts or
+// over-allocates on corrupt size declarations.
 std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
     const std::string& text);
 

@@ -139,14 +139,15 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
     if (j + 1 < m) {
       beta[j] = wnorm;
       if (wnorm <= options.tolerance) {
-        // Invariant subspace found. With enough vectors for the requested
-        // count, stop early; otherwise restart with a fresh random
-        // direction orthogonal to the basis (beta stays 0, so the
-        // tridiagonal problem block-decouples) — the caller is still owed
-        // `effective_rank` pairs. A rank-deficient operator (e.g. the Gram
-        // of an all-zero endpoint) would otherwise deliver fewer eigenpairs
-        // than its sibling endpoint and crash the ISVD pairing downstream.
-        if (built >= effective_rank) break;
+        // Invariant subspace found: restart with a fresh random direction
+        // orthogonal to the basis (beta stays 0, so the tridiagonal problem
+        // block-decouples) and keep building to the subspace cap. Two
+        // reasons not to stop early: a rank-deficient operator (e.g. the
+        // Gram of an all-zero endpoint) would deliver fewer eigenpairs than
+        // its sibling endpoint and crash the ISVD pairing downstream, and a
+        // single Krylov sequence sees each eigenvalue of a degenerate
+        // cluster exactly once — only the restarted blocks capture the
+        // remaining copies of duplicate eigenvalues.
         beta[j] = 0.0;
         bool restarted = false;
         for (int attempt = 0; attempt < 3 && !restarted; ++attempt) {

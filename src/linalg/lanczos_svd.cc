@@ -1,0 +1,169 @@
+#include "linalg/lanczos_svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace ivmf {
+namespace {
+
+// Removes the components of `w` along the first `count` columns of `basis`,
+// twice ("twice is enough" — the same treatment the eigensolver uses).
+void Reorthogonalize(const Matrix& basis, size_t count,
+                     std::vector<double>& w) {
+  const size_t dim = basis.rows();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t k = 0; k < count; ++k) {
+      double proj = 0.0;
+      for (size_t i = 0; i < dim; ++i) proj += w[i] * basis(i, k);
+      for (size_t i = 0; i < dim; ++i) w[i] -= proj * basis(i, k);
+    }
+  }
+}
+
+// Writes a random unit vector orthogonal to the first `count` columns of
+// `basis` into column `count`. Returns false when the space is exhausted
+// (only possible once count == dim).
+bool RestartColumn(Matrix& basis, size_t count, std::vector<double>& scratch,
+                   Rng& rng) {
+  const size_t dim = basis.rows();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    for (double& x : scratch) x = rng.Normal();
+    Reorthogonalize(basis, count, scratch);
+    const double norm = Norm2(scratch);
+    if (norm > 1e-8) {
+      for (size_t i = 0; i < dim; ++i) basis(i, count) = scratch[i] / norm;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
+                            const LanczosOptions& options) {
+  const size_t n = a.Rows();
+  const size_t m = a.Cols();
+  IVMF_CHECK_MSG(n > 0 && m > 0, "Lanczos SVD of an empty operator");
+  const size_t full = std::min(n, m);
+  const size_t effective_rank = (rank == 0 || rank > full) ? full : rank;
+
+  // Krylov steps (one per bidiagonal column).
+  const size_t steps = std::min(
+      full, static_cast<size_t>(options.subspace_factor * effective_rank) +
+                options.subspace_extra);
+
+  Matrix u(n, steps);
+  Matrix v(m, steps);
+  std::vector<double> alpha(steps, 0.0), beta(steps, 0.0);
+
+  Rng rng(options.seed);
+  std::vector<double> left(n), right(m);
+  // Start from v_0 = Aᵀ r with random r: the start vector then lies in the
+  // row space, so the Krylov sequence spends no dimension on the nullspace
+  // (a plain random v_0 on a wide or rank-deficient matrix wastes its first
+  // basis vector on a direction A cannot see, and min(n, m) steps would no
+  // longer reach the full spectrum). Falls back to a random direction when
+  // A ≈ 0 — every triplet is zero then anyway.
+  for (double& x : left) x = rng.Normal();
+  a.ApplyTranspose(left, right);
+  double start_norm = Norm2(right);
+  if (start_norm <= options.tolerance) {
+    for (double& x : right) x = rng.Normal();
+    start_norm = Norm2(right);
+  }
+  for (size_t i = 0; i < m; ++i) v(i, 0) = right[i] / start_norm;
+
+  size_t built = 0;
+  for (size_t j = 0; j < steps; ++j) {
+    built = j + 1;
+
+    // Left step: u_j = (A v_j - beta_{j-1} u_{j-1}) / alpha_j.
+    for (size_t i = 0; i < m; ++i) right[i] = v(i, j);
+    a.Apply(right, left);
+    if (j > 0) {
+      for (size_t i = 0; i < n; ++i) left[i] -= beta[j - 1] * u(i, j - 1);
+    }
+    Reorthogonalize(u, j, left);
+    const double anorm = Norm2(left);
+    if (anorm > options.tolerance) {
+      alpha[j] = anorm;
+      for (size_t i = 0; i < n; ++i) u(i, j) = left[i] / anorm;
+    } else {
+      // A v_j already lies in span(u_0..u_{j-1}): the left space stalled.
+      // alpha_j = 0 block-decouples B; continue from a fresh direction.
+      alpha[j] = 0.0;
+      if (!RestartColumn(u, j, left, rng)) {
+        built = j;
+        break;
+      }
+    }
+
+    // Right step: v_{j+1} = (A^T u_j - alpha_j v_j) / beta_j.
+    for (size_t i = 0; i < n; ++i) left[i] = u(i, j);
+    a.ApplyTranspose(left, right);
+    if (alpha[j] != 0.0) {
+      for (size_t i = 0; i < m; ++i) right[i] -= alpha[j] * v(i, j);
+    }
+    Reorthogonalize(v, j + 1, right);
+    if (j + 1 < steps) {
+      const double bnorm = Norm2(right);
+      if (bnorm > options.tolerance) {
+        beta[j] = bnorm;
+        for (size_t i = 0; i < m; ++i) v(i, j + 1) = right[i] / bnorm;
+      } else {
+        // Singular-invariant subspace pair found: restart and keep building
+        // to the subspace cap. Stopping at the requested count would both
+        // short-change rank-deficient endpoints (whose sibling endpoint
+        // delivers more triplets, crashing the ISVD pairing) and miss the
+        // second copies of duplicate singular values — one Krylov sequence
+        // sees each distinct value exactly once; only restarted blocks
+        // reach the rest of a degenerate cluster.
+        beta[j] = 0.0;
+        if (!RestartColumn(v, j + 1, right, rng)) break;
+      }
+    }
+  }
+  IVMF_CHECK_MSG(built > 0, "Lanczos SVD built an empty basis");
+
+  // SVD of the small upper-bidiagonal B (built x built): A ≈ U B V^T, so
+  // with B = P diag(s) Q^T the triplets of A are (U P, s, V Q).
+  Matrix b(built, built);
+  for (size_t i = 0; i < built; ++i) {
+    b(i, i) = alpha[i];
+    if (i + 1 < built) b(i, i + 1) = beta[i];
+  }
+  const SvdResult small = ComputeSvd(b);
+
+  const size_t keep = std::min(effective_rank, built);
+  SvdResult result;
+  result.sigma.assign(small.sigma.begin(),
+                      small.sigma.begin() + static_cast<ptrdiff_t>(keep));
+  result.u = Matrix(n, keep);
+  result.v = Matrix(m, keep);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < keep; ++c) {
+      double sum = 0.0;
+      for (size_t k = 0; k < built; ++k) sum += u(i, k) * small.u(k, c);
+      result.u(i, c) = sum;
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t c = 0; c < keep; ++c) {
+      double sum = 0.0;
+      for (size_t k = 0; k < built; ++k) sum += v(i, k) * small.v(k, c);
+      result.v(i, c) = sum;
+    }
+  }
+  CanonicalizeSingularVectorSigns(result.u, result.v);
+  return result;
+}
+
+SvdResult ComputeLanczosSvd(const Matrix& a, size_t rank,
+                            const LanczosOptions& options) {
+  return ComputeLanczosSvd(DenseLinearMap(a), rank, options);
+}
+
+}  // namespace ivmf

@@ -1,0 +1,52 @@
+// Truncated SVD via Golub–Kahan–Lanczos bidiagonalization with full
+// reorthogonalization.
+//
+// ISVD0 and ISVD1 need the top-r singular triplets of the endpoint (or
+// midpoint) matrices. The one-sided Jacobi solver (linalg/svd.h) computes
+// the full decomposition of a materialized matrix; this solver instead
+// touches the matrix only through the forward and transpose applies of a
+// LinearMap, building a pair of Krylov bases U (n x k) and V (m x k) joined
+// by a small upper-bidiagonal matrix B with A V ≈ U B. The SVD of B then
+// lifts to singular triplets of A, so the sparse ISVD path never
+// materializes an endpoint matrix — each step costs two O(nnz) operator
+// applications.
+//
+// Breakdown handling mirrors the symmetric Lanczos eigensolver
+// (linalg/lanczos.h): when a new basis vector vanishes (rank-deficient
+// operators — e.g. the all-zero lower endpoint of [0, x] interval data, or
+// exactly low-rank matrices), the corresponding bidiagonal entry is zeroed
+// and the basis restarts with a fresh random direction orthogonal to what
+// was built, continuing to the subspace cap — so the caller always receives
+// the requested triplet count, and duplicate singular values (which a
+// single Krylov sequence sees only once) are picked up by the restarted
+// blocks. The decoupling is exact: a breakdown certifies the built subspace
+// pair is singular-invariant, so restarted directions never couple back
+// into it.
+
+#ifndef IVMF_LINALG_LANCZOS_SVD_H_
+#define IVMF_LINALG_LANCZOS_SVD_H_
+
+#include "linalg/lanczos.h"
+#include "linalg/linear_operator.h"
+#include "linalg/svd.h"
+
+namespace ivmf {
+
+// Computes the `rank` largest singular triplets of the rectangular operator
+// `a` (rank == 0 or rank >= min(Rows, Cols) grows the Krylov bases to the
+// full dimension, returning the complete decomposition). Results use the
+// same conventions as ComputeSvd: sigma descending, orthonormal U/V columns,
+// singular-vector signs canonicalized by CanonicalizeSingularVectorSigns.
+// LanczosOptions carries the shared Krylov policy (subspace size as a
+// multiple of the rank, deterministic start-vector seed, breakdown
+// tolerance).
+SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
+                            const LanczosOptions& options = {});
+
+// Dense convenience overload (used by tests and small-matrix callers).
+SvdResult ComputeLanczosSvd(const Matrix& a, size_t rank,
+                            const LanczosOptions& options = {});
+
+}  // namespace ivmf
+
+#endif  // IVMF_LINALG_LANCZOS_SVD_H_

@@ -35,6 +35,67 @@ class LinearOperator {
                      std::vector<double>& y) const = 0;
 };
 
+// A general (rectangular) linear map A: R^Cols() -> R^Rows(), defined by its
+// forward and transpose actions. This is the operator the Golub–Kahan–
+// Lanczos bidiagonalization SVD (linalg/lanczos_svd.h) is programmed
+// against: ISVD0/ISVD1 decompose the endpoint (or midpoint) matrices of a
+// sparse interval matrix without ever materializing them, touching the data
+// only through y = A x and y = Aᵀ x.
+class LinearMap {
+ public:
+  virtual ~LinearMap() = default;
+
+  virtual size_t Rows() const = 0;
+  virtual size_t Cols() const = 0;
+
+  // y = A x. `x` has Cols() entries; `y` is resized to Rows().
+  virtual void Apply(const std::vector<double>& x,
+                     std::vector<double>& y) const = 0;
+
+  // y = Aᵀ x. `x` has Rows() entries; `y` is resized to Cols().
+  virtual void ApplyTranspose(const std::vector<double>& x,
+                              std::vector<double>& y) const = 0;
+};
+
+// Adapter exposing a dense Matrix as a LinearMap. Both actions stream the
+// row-major storage in row order (the transpose apply as a scatter-free
+// accumulation over rows), so no transposed copy is ever built.
+class DenseLinearMap final : public LinearMap {
+ public:
+  // Wraps `a` by reference; the matrix must outlive the map.
+  explicit DenseLinearMap(const Matrix& a) : a_(a) {}
+
+  size_t Rows() const override { return a_.rows(); }
+  size_t Cols() const override { return a_.cols(); }
+
+  void Apply(const std::vector<double>& x,
+             std::vector<double>& y) const override {
+    IVMF_CHECK(x.size() == a_.cols());
+    y.resize(a_.rows());
+    for (size_t i = 0; i < a_.rows(); ++i) {
+      const double* row = a_.RowPtr(i);
+      double sum = 0.0;
+      for (size_t j = 0; j < a_.cols(); ++j) sum += row[j] * x[j];
+      y[i] = sum;
+    }
+  }
+
+  void ApplyTranspose(const std::vector<double>& x,
+                      std::vector<double>& y) const override {
+    IVMF_CHECK(x.size() == a_.rows());
+    y.assign(a_.cols(), 0.0);
+    for (size_t i = 0; i < a_.rows(); ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      const double* row = a_.RowPtr(i);
+      for (size_t j = 0; j < a_.cols(); ++j) y[j] += row[j] * xi;
+    }
+  }
+
+ private:
+  const Matrix& a_;
+};
+
 // Adapter exposing a dense symmetric Matrix as a LinearOperator. Rows are
 // processed in parallel for large matrices; results are bit-identical to
 // the serial loop because each row writes a disjoint output entry.

@@ -63,6 +63,25 @@ void OneSidedJacobi(Matrix& w, Matrix& v, const SvdOptions& options) {
 
 }  // namespace
 
+void CanonicalizeSingularVectorSigns(Matrix& u, Matrix& v) {
+  IVMF_CHECK(u.cols() == v.cols());
+  for (size_t j = 0; j < v.cols(); ++j) {
+    size_t pivot = 0;
+    double best = 0.0;
+    for (size_t i = 0; i < v.rows(); ++i) {
+      const double mag = std::abs(v(i, j));
+      if (mag > best) {
+        best = mag;
+        pivot = i;
+      }
+    }
+    if (v(pivot, j) < 0.0) {
+      for (size_t i = 0; i < v.rows(); ++i) v(i, j) = -v(i, j);
+      for (size_t i = 0; i < u.rows(); ++i) u(i, j) = -u(i, j);
+    }
+  }
+}
+
 Matrix SvdResult::Reconstruct() const {
   Matrix us = u;  // scale columns of U by sigma, then multiply by V^T
   for (size_t i = 0; i < us.rows(); ++i)
@@ -123,6 +142,7 @@ SvdResult ComputeSvd(const Matrix& m, size_t rank, const SvdOptions& options) {
     result.v = std::move(v_out);
   }
   result.sigma = std::move(sigma_out);
+  CanonicalizeSingularVectorSigns(result.u, result.v);
   return result;
 }
 

@@ -44,6 +44,15 @@ struct SvdOptions {
 SvdResult ComputeSvd(const Matrix& m, size_t rank = 0,
                      const SvdOptions& options = {});
 
+// Fixes the joint sign freedom of singular-vector pairs: each column j is
+// flipped (in BOTH u and v, preserving u σ vᵀ) so that the entry of v(:, j)
+// with the largest absolute value (first such index on ties) is positive —
+// the same pivot rule CanonicalizeEigenvectorSigns uses. Every SVD in the
+// library (one-sided Jacobi here, Golub–Kahan–Lanczos in lanczos_svd.h)
+// applies this, so the dense and matrix-free ISVD0/ISVD1 paths produce
+// identical factors whenever they agree up to sign.
+void CanonicalizeSingularVectorSigns(Matrix& u, Matrix& v);
+
 }  // namespace ivmf
 
 #endif  // IVMF_LINALG_SVD_H_

@@ -158,19 +158,75 @@ void SparseIntervalMatrix::Multiply(Endpoint e, const std::vector<double>& x,
       /*max_threads=*/0, /*min_items_per_thread=*/512);
 }
 
+void SparseIntervalMatrix::MultiplyMid(const std::vector<double>& x,
+                                       std::vector<double>& y) const {
+  IVMF_CHECK(x.size() == cols_);
+  y.resize(rows_);
+  ParallelFor(
+      0, rows_,
+      [&](size_t i) {
+        double sum = 0.0;
+        for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          sum += 0.5 * (lo_[k] + hi_[k]) * x[col_idx_[k]];
+        }
+        y[i] = sum;
+      },
+      /*max_threads=*/0, /*min_items_per_thread=*/512);
+}
+
 void SparseIntervalMatrix::MultiplyTranspose(Endpoint e,
                                              const std::vector<double>& x,
                                              std::vector<double>& y) const {
   IVMF_CHECK(x.size() == rows_);
   const std::vector<double>& v = values(e);
-  y.assign(cols_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      y[col_idx_[k]] += v[k] * xi;
+
+  // Each worker scatters its block of rows into a private accumulator, then
+  // the accumulators reduce column-parallel in fixed block order. The
+  // partitioning depends only on the shape and hardware concurrency, so
+  // repeated calls are bit-identical.
+  constexpr size_t kMinRowsPerThread = 2048;
+  size_t threads = SuggestedThreads(rows_);
+  const size_t cap = (rows_ + kMinRowsPerThread - 1) / kMinRowsPerThread;
+  if (threads > cap) threads = cap;
+  if (threads <= 1) {
+    y.assign(cols_, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        y[col_idx_[k]] += v[k] * xi;
+      }
     }
+    return;
   }
+
+  std::vector<std::vector<double>> partials(threads);
+  const size_t chunk = (rows_ + threads - 1) / threads;
+  ParallelFor(
+      0, threads,
+      [&](size_t t) {
+        std::vector<double>& part = partials[t];
+        part.assign(cols_, 0.0);
+        const size_t row_begin = t * chunk;
+        const size_t row_end = std::min(rows_, row_begin + chunk);
+        for (size_t i = row_begin; i < row_end; ++i) {
+          const double xi = x[i];
+          if (xi == 0.0) continue;
+          for (size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+            part[col_idx_[k]] += v[k] * xi;
+          }
+        }
+      },
+      /*max_threads=*/threads);
+  y.resize(cols_);
+  ParallelFor(
+      0, cols_,
+      [&](size_t j) {
+        double sum = 0.0;
+        for (size_t t = 0; t < partials.size(); ++t) sum += partials[t][j];
+        y[j] = sum;
+      },
+      /*max_threads=*/0, /*min_items_per_thread=*/4096);
 }
 
 Matrix SparseIntervalMatrix::MultiplyDense(Endpoint e, const Matrix& b) const {

@@ -79,15 +79,28 @@ class SparseIntervalMatrix {
   bool IsNonNegative(double tol = 0.0) const;
 
   // -- Kernels ---------------------------------------------------------------
-  // All kernels are deterministic: parallel execution partitions output rows,
-  // each computed exactly as in the serial loop.
+  // All kernels are deterministic for a fixed machine. Row-partitioned
+  // kernels (Multiply, MultiplyDense, MultiplyMid) compute every output
+  // entry exactly as in the serial loop; MultiplyTranspose reduces
+  // per-thread partial accumulators, so its summation order differs from the
+  // serial scatter by a fixed blocking (bit-stable across calls, equal to
+  // the serial result up to roundoff).
 
   // y = A_e x (y resized to rows()). Parallelized over rows.
   void Multiply(Endpoint e, const std::vector<double>& x,
                 std::vector<double>& y) const;
 
-  // y = A_eᵀ x (y resized to cols()). Serial scatter; prefer holding a
-  // Transpose() and calling Multiply on it inside iterative solvers.
+  // y = ((A_* + A^*) / 2) x — the midpoint-matrix action fused over the
+  // shared pattern (y resized to rows()). Parallelized over rows. Backs the
+  // matrix-free sparse ISVD0, which decomposes the midpoint matrix without
+  // materializing it.
+  void MultiplyMid(const std::vector<double>& x, std::vector<double>& y) const;
+
+  // y = A_eᵀ x (y resized to cols()). Parallelized with per-thread partial
+  // accumulators over row blocks followed by a column-parallel reduction;
+  // iterative solvers that apply the transpose many times may still prefer
+  // holding a Transpose() and calling Multiply on it (streaming reads beat
+  // the scatter).
   void MultiplyTranspose(Endpoint e, const std::vector<double>& x,
                          std::vector<double>& y) const;
 

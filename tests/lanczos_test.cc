@@ -150,6 +150,50 @@ TEST(LanczosTest, LowRankMatrixTerminatesEarly) {
     EXPECT_NEAR(result.eigenvalues[j], jacobi.eigenvalues[j], 1e-7);
 }
 
+TEST(LanczosTest, BreakdownRestartDeliversRequestedCountBeyondRank) {
+  // Regression guard for the Krylov-breakdown restart path introduced in
+  // PR 2: a rank-3 Gram operator asked for 6 eigenpairs exhausts its
+  // invariant subspace after ~3 steps and must restart with fresh random
+  // directions until the requested count exists — the sparse ISVD
+  // lower/upper eigenpair pairing aborts on a short answer.
+  Rng rng(71);
+  const Matrix f = RandomMatrix(20, 3, rng);
+  const Matrix a = f * f.Transpose();
+  const DenseSymmetricOperator op(a);
+  const EigResult lanczos = ComputeLanczosEig(op, 6);
+  const EigResult jacobi = ComputeSymmetricEig(a, 6);
+  ASSERT_EQ(lanczos.eigenvalues.size(), 6u);
+  ASSERT_EQ(lanczos.eigenvectors.cols(), 6u);
+  const double scale = std::abs(jacobi.eigenvalues[0]) + 1.0;
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(lanczos.eigenvalues[j] / scale, jacobi.eigenvalues[j] / scale,
+                1e-8);
+  }
+  for (size_t j = 3; j < 6; ++j)
+    EXPECT_NEAR(lanczos.eigenvalues[j] / scale, 0.0, 1e-8);
+  EXPECT_LT(OrthonormalityError(lanczos.eigenvectors), 1e-8);
+  // The genuine eigenvectors (sign-canonicalized by both solvers) agree.
+  for (size_t j = 0; j < 3; ++j) {
+    for (size_t i = 0; i < a.rows(); ++i) {
+      EXPECT_NEAR(lanczos.eigenvectors(i, j), jacobi.eigenvectors(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(LanczosTest, ZeroOperatorRestartsToFullRequestedBasis) {
+  // The extreme breakdown case (the Gram of an all-zero endpoint matrix):
+  // the very first step stalls, and every subsequent vector comes from the
+  // random restart — the caller still gets an orthonormal basis of the
+  // requested width with zero Ritz values.
+  const Matrix a(15, 15);
+  const DenseSymmetricOperator op(a);
+  const EigResult result = ComputeLanczosEig(op, 4);
+  ASSERT_EQ(result.eigenvalues.size(), 4u);
+  for (const double lambda : result.eigenvalues)
+    EXPECT_NEAR(lambda, 0.0, 1e-12);
+  EXPECT_LT(OrthonormalityError(result.eigenvectors), 1e-10);
+}
+
 class LanczosRankTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(LanczosRankTest, AgreesWithJacobiAcrossRanks) {

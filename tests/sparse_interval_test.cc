@@ -128,6 +128,59 @@ TEST(SparseIntervalMatrixTest, MultiplyTransposeMatchesDense) {
   }
 }
 
+TEST(SparseIntervalMatrixTest, ParallelMultiplyTransposeMatchesSerialScatter) {
+  // Enough rows to engage the per-thread partial accumulators (the parallel
+  // path starts at 2048 rows per worker). The parallel reduction reorders
+  // the summation by fixed row blocks, so the result must match the serial
+  // scatter to roundoff and be bit-stable across calls.
+  Rng rng(91);
+  std::vector<IntervalTriplet> triplets;
+  const size_t rows = 6000, cols = 37;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (!rng.Bernoulli(0.2)) continue;
+      const double base = rng.Uniform(-1.0, 1.0);
+      triplets.push_back({i, j, Interval(base, base + rng.Uniform(0.0, 0.5))});
+    }
+  }
+  const SparseIntervalMatrix m =
+      SparseIntervalMatrix::FromTriplets(rows, cols, std::move(triplets));
+  std::vector<double> x(rows);
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+
+  for (const Endpoint e : {Endpoint::kLower, Endpoint::kUpper}) {
+    // Serial scatter reference (the pre-parallelization algorithm).
+    std::vector<double> ref(cols, 0.0);
+    for (const IntervalTriplet& t : m.ToTriplets()) {
+      ref[t.col] += (e == Endpoint::kLower ? t.value.lo : t.value.hi) * x[t.row];
+    }
+    std::vector<double> y1, y2;
+    m.MultiplyTranspose(e, x, y1);
+    m.MultiplyTranspose(e, x, y2);
+    ASSERT_EQ(y1.size(), cols);
+    for (size_t j = 0; j < cols; ++j) {
+      EXPECT_NEAR(y1[j], ref[j], 1e-10 * (1.0 + std::abs(ref[j])));
+      // Determinism: repeated calls are bit-identical.
+      EXPECT_EQ(y1[j], y2[j]);
+    }
+  }
+}
+
+TEST(SparseIntervalMatrixTest, MultiplyMidMatchesDenseMidpoint) {
+  Rng rng(92);
+  const SparseIntervalMatrix m = RandomSparse(40, 23, 0.3, rng);
+  const Matrix mid = m.ToDense().Mid();
+  std::vector<double> x(23), y;
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  m.MultiplyMid(x, y);
+  ASSERT_EQ(y.size(), 40u);
+  for (size_t i = 0; i < y.size(); ++i) {
+    double expect = 0.0;
+    for (size_t j = 0; j < 23; ++j) expect += mid(i, j) * x[j];
+    EXPECT_NEAR(y[i], expect, 1e-12);
+  }
+}
+
 TEST(SparseIntervalMatrixTest, MultiplyDenseMatchesDenseProduct) {
   Rng rng(15);
   const SparseIntervalMatrix m = RandomSparse(18, 26, 0.3, rng);
@@ -196,6 +249,42 @@ TEST(SparseGramOperatorTest, DenseGramMatchesDenseProduct) {
 }
 
 // -- Triplet I/O -------------------------------------------------------------
+
+TEST(SparseGramOperatorTest, DenseGramEndpointsMatchAlgorithm1OnSignedData) {
+  // Signed entries: the four-product endpoints must equal the dense
+  // IntervalMatMul(M†ᵀ, M†) construction term for term.
+  Rng rng(93);
+  std::vector<IntervalTriplet> triplets;
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < 12; ++j) {
+      if (!rng.Bernoulli(0.4)) continue;
+      const double base = rng.Uniform(-1.0, 1.0);
+      triplets.push_back({i, j, Interval(base, base + rng.Uniform(0.0, 0.6))});
+    }
+  }
+  const SparseIntervalMatrix m =
+      SparseIntervalMatrix::FromTriplets(30, 12, std::move(triplets));
+  ASSERT_FALSE(m.IsNonNegative());
+
+  const IntervalMatrix dense = m.ToDense();
+  const IntervalMatrix expected = IntervalMatMul(dense.Transpose(), dense);
+  const IntervalMatrix endpoints = SparseGramOperator::DenseGramEndpoints(m);
+  EXPECT_LT(MaxAbsDiff(endpoints.lower(), expected.lower()), 1e-13);
+  EXPECT_LT(MaxAbsDiff(endpoints.upper(), expected.upper()), 1e-13);
+}
+
+TEST(SparseGramOperatorTest, DenseGramEndpointsCollapseOnNonNegativeData) {
+  Rng rng(94);
+  const SparseIntervalMatrix m = RandomSparse(25, 10, 0.4, rng);
+  ASSERT_TRUE(m.IsNonNegative());
+  const IntervalMatrix endpoints = SparseGramOperator::DenseGramEndpoints(m);
+  EXPECT_LT(MaxAbsDiff(endpoints.lower(),
+                       SparseGramOperator::DenseGram(m, Endpoint::kLower)),
+            1e-13);
+  EXPECT_LT(MaxAbsDiff(endpoints.upper(),
+                       SparseGramOperator::DenseGram(m, Endpoint::kUpper)),
+            1e-13);
+}
 
 TEST(TripletIoTest, StringRoundTrip) {
   Rng rng(20);

@@ -5,9 +5,9 @@
 // triplet format of io/triplets.h (first line `%%ivmf interval coordinate`).
 // Runs the selected ISVD strategy / decomposition target, prints the Θ_HM
 // reconstruction accuracy, and optionally writes the factors. Triplet input
-// is decomposed through the matrix-free sparse path (strategies 2–4 only);
-// accuracy and the dense reconstruction output are skipped when the dense
-// shape would be unreasonably large.
+// is decomposed through the matrix-free sparse path — all five strategies,
+// signed or non-negative; accuracy and the dense reconstruction output are
+// skipped when the dense shape would be unreasonably large.
 //
 // Usage:
 //   ivmf_decompose --input=m.csv [--rank=10] [--strategy=4] [--target=b]
@@ -102,12 +102,6 @@ int main(int argc, char** argv) {
   const int strategy = IntFlag(argc, argv, "strategy", 4);
   if (strategy < 0 || strategy > 4) {
     Usage();
-    return 2;
-  }
-  if (sparse_input && strategy < 2) {
-    std::fprintf(stderr,
-                 "error: triplet input runs through the sparse path, which "
-                 "supports strategies 2..4 only\n");
     return 2;
   }
   const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 0));

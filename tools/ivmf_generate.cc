@@ -8,7 +8,7 @@
 //                 --output=FILE.csv [--rows=40] [--cols=250] [--seed=42]
 //                 [--zero_fraction=0] [--interval_density=1]
 //                 [--interval_intensity=1] [--privacy=low|medium|high]
-//                 [--sparsity=F] [--alpha=0.3]
+//                 [--sparsity=F] [--alpha=0.3] [--shift=X]
 //
 // With --sparsity=F (0 < F <= 1) the output is the sparse triplet format of
 // io/triplets.h instead of dense CSV. kind=cf is the collaborative-filtering
@@ -16,6 +16,12 @@
 // fill F, built entirely through the sparse path so it scales to shapes
 // whose dense CSV would be impractical; the other kinds generate their
 // dense matrix as usual and store only its nonzero cells.
+//
+// --shift=X subtracts X from every stored entry (both endpoints) after
+// generation — the paper's constructions are non-negative, so this is the
+// knob for producing signed matrices that exercise the four-product
+// Algorithm-1 Gram route of the sparse ISVD path. For sparse outputs the
+// shift applies to stored cells only; absent cells stay the zero interval.
 
 #include <cstdio>
 #include <cstring>
@@ -62,7 +68,31 @@ void Usage() {
       "        --interval_density=1 --interval_intensity=1 "
       "--privacy=medium]\n"
       "       [--sparsity=F --alpha=0.3]   (triplet output; required for "
-      "kind=cf)\n");
+      "kind=cf)\n"
+      "       [--shift=X]   (subtract X from every stored entry: signed "
+      "data)\n");
+}
+
+// Subtracts `shift` from every stored entry of a sparse matrix.
+ivmf::SparseIntervalMatrix ShiftSparse(const ivmf::SparseIntervalMatrix& m,
+                                       double shift) {
+  std::vector<ivmf::IntervalTriplet> triplets = m.ToTriplets();
+  for (ivmf::IntervalTriplet& t : triplets) {
+    t.value.lo -= shift;
+    t.value.hi -= shift;
+  }
+  return ivmf::SparseIntervalMatrix::FromTriplets(m.rows(), m.cols(),
+                                                  std::move(triplets));
+}
+
+// Subtracts `shift` from every entry of a dense interval matrix.
+void ShiftDense(ivmf::IntervalMatrix& m, double shift) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      const ivmf::Interval v = m.At(i, j);
+      m.Set(i, j, ivmf::Interval(v.lo - shift, v.hi - shift));
+    }
+  }
 }
 
 }  // namespace
@@ -84,6 +114,7 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  const double shift = DoubleFlag(argc, argv, "shift", 0.0);
 
   if (kind == "cf") {
     // Collaborative-filtering intervals, generated sparsely end to end.
@@ -93,8 +124,9 @@ int main(int argc, char** argv) {
     config.fill = sparsity > 0.0 ? sparsity : 0.05;
     config.seed = seed;
     const SparseRatingsData data = GenerateSparseRatings(config);
-    const SparseIntervalMatrix cf =
+    SparseIntervalMatrix cf =
         SparseCfIntervalMatrix(data, DoubleFlag(argc, argv, "alpha", 0.3));
+    if (shift != 0.0) cf = ShiftSparse(cf, shift);
     if (!SaveSparseIntervalTriplets(output, cf)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
       return 1;
@@ -146,7 +178,10 @@ int main(int argc, char** argv) {
   }
 
   if (sparsity > 0.0) {
-    const SparseIntervalMatrix sparse = SparseIntervalMatrix::FromDense(result);
+    // Sparsify first so the shift touches stored cells only (absent cells
+    // stay the zero interval).
+    SparseIntervalMatrix sparse = SparseIntervalMatrix::FromDense(result);
+    if (shift != 0.0) sparse = ShiftSparse(sparse, shift);
     if (!SaveSparseIntervalTriplets(output, sparse)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
       return 1;
@@ -157,6 +192,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (shift != 0.0) ShiftDense(result, shift);
   if (!SaveIntervalMatrixCsv(output, result)) {
     std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
     return 1;
