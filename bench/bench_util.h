@@ -12,8 +12,11 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "base/check.h"
+#include "base/flags.h"
 #include "base/stopwatch.h"
 #include "core/accuracy.h"
 #include "core/isvd.h"
@@ -22,25 +25,106 @@
 namespace ivmf::bench {
 
 // -- Minimal flag parsing ---------------------------------------------------
+// One shared implementation (base/flags.h), re-exported so bench code keeps
+// calling the unqualified names.
 
-// Returns the integer value of "--name=V" if present, else `fallback`.
-inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atoi(argv[i] + prefix.size());
+using ivmf::BoolFlag;
+using ivmf::DoubleFlag;
+using ivmf::IntFlag;
+using ivmf::StringFlag;
+
+// -- Machine-readable results -------------------------------------------------
+//
+// Every bench accepts --json=PATH (or bare --json, defaulting to
+// BENCH_<bench>.json in the working directory) and emits one flat JSON
+// record per measured row alongside the human-readable table, so CI can
+// track the perf trajectory without scraping text.
+
+// Resolves the --json flag to an output path; "" means disabled.
+inline std::string JsonPathFlag(int argc, char** argv,
+                                const char* bench_name) {
+  const std::string explicit_path = StringFlag(argc, argv, "json", "");
+  if (!explicit_path.empty()) return explicit_path;
+  if (BoolFlag(argc, argv, "json")) {
+    return std::string("BENCH_") + bench_name + ".json";
+  }
+  return "";
+}
+
+// Collects flat records and writes them as a JSON array. Values are
+// rendered eagerly, so Field() accepts mixed types without a variant.
+class JsonWriter {
+ public:
+  // Empty path disables the writer; every call becomes a no-op.
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void BeginRecord() {
+    if (enabled()) records_.emplace_back();
+  }
+
+  void Field(const char* key, double value) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    Raw(key, buffer);
+  }
+  void Field(const char* key, size_t value) {
+    Raw(key, std::to_string(value));
+  }
+  void Field(const char* key, int value) { Raw(key, std::to_string(value)); }
+  void Field(const char* key, bool value) {
+    Raw(key, value ? "true" : "false");
+  }
+  // The literal overload matters: without it a string literal would take
+  // the bool overload through pointer decay.
+  void Field(const char* key, const char* value) {
+    Field(key, std::string(value));
+  }
+  void Field(const char* key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted.push_back('\\');
+      quoted.push_back(c);
     }
+    quoted.push_back('"');
+    Raw(key, quoted);
   }
-  return fallback;
-}
 
-inline bool BoolFlag(int argc, char** argv, const char* name) {
-  const std::string flag = std::string("--") + name;
-  for (int i = 1; i < argc; ++i) {
-    if (flag == argv[i]) return true;
+  // Writes the collected array; returns false on I/O failure (and is a
+  // successful no-op when disabled).
+  bool Finish() const {
+    if (!enabled()) return true;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) return false;
+    std::fputs("[\n", out);
+    for (size_t r = 0; r < records_.size(); ++r) {
+      std::fputs("  {", out);
+      for (size_t f = 0; f < records_[r].size(); ++f) {
+        std::fprintf(out, "%s\"%s\": %s", f == 0 ? "" : ", ",
+                     records_[r][f].first.c_str(),
+                     records_[r][f].second.c_str());
+      }
+      std::fprintf(out, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", out);
+    const bool ok = std::fclose(out) == 0;
+    if (ok) std::printf("wrote %zu records to %s\n", records_.size(),
+                        path_.c_str());
+    return ok;
   }
-  return false;
-}
+
+ private:
+  void Raw(const char* key, std::string value) {
+    if (!enabled()) return;
+    IVMF_CHECK_MSG(!records_.empty(),
+                   "JsonWriter::Field before the first BeginRecord");
+    records_.back().emplace_back(key, std::move(value));
+  }
+
+  std::string path_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
 
 // -- Strategy sweeps ----------------------------------------------------------
 

@@ -16,7 +16,10 @@
 // Usage:
 //   bench_fig10_sparse_scale [--rank=10] [--strategy=-1] [--fill_pct=5]
 //                            [--alpha_pct=30] [--max_cells=100000000]
-//                            [--dense_limit=1500000]
+//                            [--dense_limit=1500000] [--json[=PATH]]
+//
+// --json emits one record per (shape, strategy) row (see bench_util.h's
+// JsonWriter) so CI tracks the perf trajectory.
 
 #include <cstdio>
 #include <vector>
@@ -60,6 +63,8 @@ int main(int argc, char** argv) {
               "dense/spd");
   PrintRule(98);
 
+  JsonWriter json(JsonPathFlag(argc, argv, "fig10_sparse_scale"));
+
   for (const Shape& shape : shapes) {
     const double cells =
         static_cast<double>(shape.users) * static_cast<double>(shape.items);
@@ -94,6 +99,19 @@ int main(int argc, char** argv) {
                   strategy, cf.nnz(), sparse_seconds, t.preprocess,
                   t.decompose, t.solve, t.recompute);
 
+      json.BeginRecord();
+      json.Field("bench", std::string("fig10_sparse_scale"));
+      json.Field("users", shape.users);
+      json.Field("items", shape.items);
+      json.Field("nnz", cf.nnz());
+      json.Field("rank", rank);
+      json.Field("strategy", strategy);
+      json.Field("sparse_seconds", sparse_seconds);
+      json.Field("preprocess_seconds", t.preprocess);
+      json.Field("decompose_seconds", t.decompose);
+      json.Field("solve_seconds", t.solve);
+      json.Field("recompute_seconds", t.recompute);
+
       if (cells <= dense_limit) {
         // Dense route: materialized endpoint matrices (+ interval Gram for
         // strategies 2-4), same rank and solver options.
@@ -102,9 +120,11 @@ int main(int argc, char** argv) {
             RunIsvd(strategy, dense, rank, options);
         const double dense_seconds = sw.Seconds();
         (void)dense_result;
-        std::printf(
-            " %6.2fs/%4.1fx\n", dense_seconds,
-            dense_seconds / (sparse_seconds > 0.0 ? sparse_seconds : 1.0));
+        const double speedup =
+            dense_seconds / (sparse_seconds > 0.0 ? sparse_seconds : 1.0);
+        json.Field("dense_seconds", dense_seconds);
+        json.Field("speedup_vs_dense", speedup);
+        std::printf(" %6.2fs/%4.1fx\n", dense_seconds, speedup);
       } else {
         // 2 endpoint matrices x 8 bytes; the interval Gram adds another
         // 2 x min(n, m)^2 on top for strategies 2-4.
@@ -119,5 +139,9 @@ int main(int argc, char** argv) {
       "sparse path peak memory is O(nnz) + factors on non-negative data: "
       "ISVD0/1 run the\nGolub-Kahan-Lanczos SVD on the endpoint operators and "
       "ISVD2-4 never materialize the Gram.\n");
+  if (!json.Finish()) {
+    std::fprintf(stderr, "error: failed writing JSON output\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,198 @@
+// Figure 10, made streaming: per-batch incremental refresh vs full
+// recomputation on a growing CF rating matrix.
+//
+// The batch pipeline answers "how fast is one decomposition"; the serving
+// question is "how fast is the NEXT decomposition after a batch of ratings
+// arrives". This harness builds the 20k x 5k CF interval matrix, withholds
+// a slice of the observed cells as the arrival stream, and replays it in
+// batches. After each batch both routes refresh the decomposition:
+//
+//   incremental  StreamingIsvd — delta-log upserts + snapshot merge +
+//                Krylov solves warm-started from the previous Ritz basis
+//                with a convergence-based early exit
+//   recompute    the status quo ante — rebuild the CSR matrix from all
+//                triplets and run the cold decomposition
+//
+// and the per-batch speedup is reported. Strategies 0–4 all stream;
+// --strategy=N restricts the sweep.
+//
+// Honesty check: the CF spectrum is one Perron value over a flat noise
+// bulk, and PAST the signal rank every truncated Krylov route — cold
+// included — returns start-dependent O(bulk-width) Ritz approximations
+// (cold Lanczos already differs from the exact Jacobi spectrum by O(1)
+// there). So the per-batch check compares the leading (resolvable)
+// singular values tightly and only reports the full-rank deviation;
+// exact incremental-vs-recompute equivalence on resolvable spectra is
+// pinned at 1e-8 by tests/streaming_isvd_test.cc.
+//
+// Usage:
+//   bench_fig10_streaming [--users=20000] [--items=5000] [--rank=10]
+//                         [--strategy=-1] [--fill_pct=5] [--alpha_pct=30]
+//                         [--batches=3] [--batch_pct=1] [--json[=PATH]]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/stopwatch.h"
+#include "bench_util.h"
+#include "core/streaming_isvd.h"
+#include "data/ratings.h"
+#include "sparse/sparse_interval_matrix.h"
+
+int main(int argc, char** argv) {
+  using namespace ivmf;
+  using namespace ivmf::bench;
+
+  const size_t users = static_cast<size_t>(IntFlag(argc, argv, "users", 20000));
+  const size_t items = static_cast<size_t>(IntFlag(argc, argv, "items", 5000));
+  const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 10));
+  const int strategy_flag = IntFlag(argc, argv, "strategy", -1);
+  const double fill = IntFlag(argc, argv, "fill_pct", 5) / 100.0;
+  const double alpha = IntFlag(argc, argv, "alpha_pct", 30) / 100.0;
+  const int batches = IntFlag(argc, argv, "batches", 3);
+  const double batch_fraction = IntFlag(argc, argv, "batch_pct", 1) / 100.0;
+  // The honesty check compares the leading values both routes resolve: on
+  // this workload only sigma_1 towers over the noise bulk and sigma_2 sits
+  // just above its edge (measured incremental-vs-recompute deviations are
+  // ~1e-6 and ~1e-3 of sigma_1 respectively; from sigma_3 on, both routes
+  // return bulk approximations that differ at O(bulk width) from the exact
+  // spectrum too). The tolerance carries ~5x margin over the measured
+  // sigma_2 deviation — this check aborts a required CI step, so it guards
+  // against divergence, not against run-to-run Ritz jitter.
+  const size_t check_prefix = 2;
+  const double check_tol = 5e-3;  // relative to sigma_1
+
+  std::vector<int> strategies;
+  if (strategy_flag < 0) {
+    strategies = {0, 1, 2, 3, 4};
+  } else {
+    strategies = {strategy_flag};
+  }
+
+  // One CF interval matrix; a trailing slice of its cells becomes the
+  // arrival stream (the CF interval construction itself is an O(nnz)
+  // preprocessing step shared by both routes, so it stays out of the
+  // measurement).
+  RatingsConfig config;
+  config.num_users = users;
+  config.num_items = items;
+  config.fill = fill;
+  config.seed = 404;
+  const SparseRatingsData data = GenerateSparseRatings(config);
+  const SparseIntervalMatrix cf = SparseCfIntervalMatrix(data, alpha);
+  const std::vector<IntervalTriplet> all_cells = cf.ToTriplets();
+
+  const size_t batch_size = static_cast<size_t>(
+      batch_fraction * static_cast<double>(all_cells.size()));
+  const size_t stream_size = batch_size * static_cast<size_t>(batches);
+  IVMF_CHECK_MSG(batch_size > 0 && stream_size < all_cells.size(),
+                 "batch/batches too large for the generated matrix");
+  const size_t base_size = all_cells.size() - stream_size;
+
+  PrintHeader("Figure 10, streaming — incremental refresh vs full "
+              "recomputation per rating batch");
+  std::printf("%zux%zu, nnz %zu, rank %zu, %d batches of %zu arriving "
+              "cells\n\n",
+              users, items, all_cells.size(), rank, batches, batch_size);
+  std::printf("%5s %6s %9s %6s %7s %10s %10s %9s %10s\n", "isvd", "batch",
+              "cells", "warm", "iters", "increment", "recompute", "speedup",
+              "sigma diff");
+  PrintRule(82);
+
+  JsonWriter json(JsonPathFlag(argc, argv, "fig10_streaming"));
+
+  for (const int strategy : strategies) {
+    const std::vector<IntervalTriplet> base_cells(
+        all_cells.begin(),
+        all_cells.begin() + static_cast<ptrdiff_t>(base_size));
+    Stopwatch sw;
+    StreamingIsvd streaming(
+        strategy, rank,
+        SparseIntervalMatrix::FromTriplets(users, items, base_cells));
+    std::printf("%5d %6s %9zu %6s %7zu %9.3fs %10s %9s %10s\n", strategy,
+                "base", base_size, "cold", streaming.last_stats().iterations,
+                sw.Seconds(), "-", "-", "-");
+
+    std::vector<IntervalTriplet> accumulated = base_cells;
+    for (int b = 0; b < batches; ++b) {
+      const auto begin = all_cells.begin() +
+                         static_cast<ptrdiff_t>(base_size + b * batch_size);
+      const std::vector<IntervalTriplet> batch(begin,
+                                               begin + batch_size);
+
+      // Incremental route: log the arrivals, refresh warm.
+      sw.Restart();
+      streaming.ApplyBatch(batch);
+      streaming.Refresh();
+      const double incremental_seconds = sw.Seconds();
+      const StreamingRefreshStats& stats = streaming.last_stats();
+
+      // Recompute route: the pre-streaming pipeline — rebuild the CSR
+      // matrix from every triplet seen so far, decompose cold.
+      accumulated.insert(accumulated.end(), batch.begin(), batch.end());
+      sw.Restart();
+      const SparseIntervalMatrix rebuilt =
+          SparseIntervalMatrix::FromTriplets(users, items, accumulated);
+      IsvdOptions cold;
+      cold.eig_solver = EigSolver::kLanczos;
+      cold.gram_side = GramSide::kAuto;
+      const IsvdResult recompute = RunIsvd(strategy, rebuilt, rank, cold);
+      const double recompute_seconds = sw.Seconds();
+
+      const size_t shared_rank =
+          std::min(recompute.rank(), streaming.result().rank());
+      double sigma_diff = 0.0, prefix_diff = 0.0;
+      for (size_t j = 0; j < shared_rank; ++j) {
+        const double d = std::abs(recompute.sigma[j].hi -
+                                  streaming.result().sigma[j].hi);
+        sigma_diff = std::max(sigma_diff, d);
+        if (j < check_prefix) prefix_diff = std::max(prefix_diff, d);
+      }
+      const double scale =
+          recompute.sigma.empty() ? 1.0 : recompute.sigma[0].hi;
+      IVMF_CHECK_MSG(prefix_diff <= check_tol * (scale > 0.0 ? scale : 1.0),
+                     "incremental refresh diverged from full recompute on "
+                     "the resolvable leading singular values");
+
+      const double speedup =
+          recompute_seconds /
+          (incremental_seconds > 0.0 ? incremental_seconds : 1.0);
+      std::printf("%5d %6d %9zu %6s %7zu %9.3fs %9.3fs %8.1fx %10.2e\n",
+                  strategy, b + 1, stats.delta_cells,
+                  stats.warm ? "warm" : "cold", stats.iterations,
+                  incremental_seconds, recompute_seconds, speedup,
+                  sigma_diff);
+
+      json.BeginRecord();
+      json.Field("bench", std::string("fig10_streaming"));
+      json.Field("users", users);
+      json.Field("items", items);
+      json.Field("nnz", rebuilt.nnz());
+      json.Field("rank", rank);
+      json.Field("strategy", strategy);
+      json.Field("batch", b + 1);
+      json.Field("batch_cells", stats.delta_cells);
+      json.Field("warm", stats.warm);
+      json.Field("iterations", stats.iterations);
+      json.Field("incremental_seconds", incremental_seconds);
+      json.Field("recompute_seconds", recompute_seconds);
+      json.Field("speedup", speedup);
+      json.Field("sigma_diff", sigma_diff);
+    }
+  }
+
+  PrintRule(82);
+  std::printf(
+      "increment = delta-log upserts + snapshot merge + warm-started Krylov "
+      "refresh;\nrecompute = CSR rebuild from all triplets + cold "
+      "decomposition (the pre-streaming\npipeline). Routes agree on the "
+      "resolvable leading singular values (see the file\nheader); 'sigma "
+      "diff' reports the full-rank deviation, bulk-level by nature.\n");
+  if (!json.Finish()) {
+    std::fprintf(stderr, "error: failed writing JSON output\n");
+    return 1;
+  }
+  return 0;
+}

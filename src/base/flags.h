@@ -1,0 +1,65 @@
+// Minimal "--name=value" command-line flag parsing, shared by the tools in
+// tools/ and the bench harnesses (bench/bench_util.h re-exports these under
+// ivmf::bench). One copy, so flag syntax cannot drift between binaries:
+// values are everything after the first '=', bool flags are bare "--name",
+// flags may repeat (first match wins except RepeatedFlag), and unknown
+// arguments are ignored — tools validate the flags they consume.
+
+#ifndef IVMF_BASE_FLAGS_H_
+#define IVMF_BASE_FLAGS_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ivmf {
+
+// Returns the value of "--name=V" if present, else `fallback`.
+inline std::string StringFlag(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+// Every value of a repeatable "--name=V" flag, in argument order.
+inline std::vector<std::string> RepeatedFlag(int argc, char** argv,
+                                             const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  std::vector<std::string> values;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      values.emplace_back(argv[i] + prefix.size());
+    }
+  }
+  return values;
+}
+
+inline int IntFlag(int argc, char** argv, const char* name, int fallback) {
+  const std::string value = StringFlag(argc, argv, name, "");
+  return value.empty() ? fallback : std::atoi(value.c_str());
+}
+
+inline double DoubleFlag(int argc, char** argv, const char* name,
+                         double fallback) {
+  const std::string value = StringFlag(argc, argv, name, "");
+  return value.empty() ? fallback : std::atof(value.c_str());
+}
+
+// True when the bare flag "--name" appears.
+inline bool BoolFlag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace ivmf
+
+#endif  // IVMF_BASE_FLAGS_H_

@@ -266,10 +266,18 @@ GramEig ComputeGramEig(const IntervalMatrix& m, size_t rank,
   ParallelFor(0, 2, [&](size_t side) {
     const Matrix& endpoint =
         side == 0 ? result.gram.lower() : result.gram.upper();
+    LanczosOptions lanczos = options.lanczos;
+    const Matrix& warm =
+        side == 0 ? options.warm_basis_lo : options.warm_basis_hi;
+    if (warm.cols() > 0) lanczos.start_basis = warm;
     EigResult& out = side == 0 ? result.lo : result.hi;
-    out = use_lanczos ? ComputeLanczosEig(endpoint, r)
+    out = use_lanczos ? ComputeLanczosEig(endpoint, r, lanczos)
                       : ComputeSymmetricEig(endpoint, r, options.eig);
   });
+  result.iterations = result.lo.iterations + result.hi.iterations;
+  IVMF_CHECK_MSG(!result.lo.truncated && !result.hi.truncated,
+                 "Lanczos truncated a Gram endpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
   result.decompose_seconds = sw.Seconds();
   return result;
 }
@@ -280,6 +288,7 @@ GramEig TruncateGramEig(const GramEig& full, size_t rank) {
   out.transposed = full.transposed;
   out.preprocess_seconds = full.preprocess_seconds;
   out.decompose_seconds = full.decompose_seconds;
+  out.iterations = full.iterations;
   const size_t keep_lo = std::min(rank, full.lo.eigenvalues.size());
   const size_t keep_hi = std::min(rank, full.hi.eigenvalues.size());
   out.lo.eigenvalues.assign(full.lo.eigenvalues.begin(),
@@ -323,6 +332,7 @@ IsvdResult Isvd2(const IntervalMatrix& m, size_t rank, const GramEig& gram,
                                   MakeIntervalDiag(s_lo, s_hi),
                                   IntervalMatrix(std::move(v_lo), std::move(v_hi)),
                                   options.target, timings);
+  result.iterations = gram.iterations;
   if (gram.transposed) SwapFactors(result);
   return result;
 }
@@ -391,6 +401,7 @@ IsvdResult Isvd3(const IntervalMatrix& m, size_t rank, const GramEig& gram,
   IsvdResult result =
       BuildResult(std::move(solved.u), std::move(solved.sigma),
                   std::move(solved.v), options.target, solved.timings);
+  result.iterations = gram.iterations;
   if (gram.transposed) SwapFactors(result);
   return result;
 }
@@ -423,6 +434,7 @@ IsvdResult Isvd4(const IntervalMatrix& m, size_t rank, const GramEig& gram,
   IsvdResult result =
       BuildResult(std::move(solved.u), std::move(solved.sigma), v_recomputed,
                   options.target, solved.timings);
+  result.iterations = gram.iterations;
   if (gram.transposed) SwapFactors(result);
   return result;
 }

@@ -58,6 +58,18 @@ struct IsvdOptions {
   double cond_threshold = 1e8;
   SvdOptions svd;
   EigOptions eig;
+  // Krylov policy for the Lanczos solvers (the sparse matrix-free path and
+  // the dense eig_solver = kLanczos route): subspace sizing, seed,
+  // restart/convergence tolerances. `lanczos.start_basis` is overridden per
+  // endpoint by the warm bases below when they are non-empty.
+  LanczosOptions lanczos;
+  // Per-endpoint warm-start bases for streaming refreshes: the previous
+  // step's Ritz vectors of the lower / upper endpoint solve (Gram
+  // eigenvectors for ISVD2–4, right singular vectors for ISVD1; ISVD0's
+  // single midpoint solve reads the lo slot). Empty = cold start. Carried
+  // by core/streaming_isvd.h; batch callers leave them empty.
+  Matrix warm_basis_lo;
+  Matrix warm_basis_hi;
 };
 
 // Wall-clock seconds spent in each pipeline phase (Figure 6b).
@@ -87,6 +99,10 @@ struct IsvdResult {
   std::vector<Interval> sigma;  // r diagonal core entries
   IntervalMatrix v;             // m x r
   PhaseTimings timings;
+  // Krylov steps summed over the iterative solver calls that produced this
+  // result (0 on the direct Jacobi routes). Exposes warm-start savings to
+  // the streaming driver and benches.
+  size_t iterations = 0;
 
   size_t rank() const { return sigma.size(); }
 
@@ -126,6 +142,7 @@ struct GramEig {
   bool transposed = false;   // true when computed on M†ᵀ (kMMt route)
   double preprocess_seconds = 0.0;
   double decompose_seconds = 0.0;
+  size_t iterations = 0;     // Krylov steps summed over the endpoint solves
 };
 
 GramEig ComputeGramEig(const IntervalMatrix& m, size_t rank,

@@ -28,6 +28,32 @@ GramSide ResolveSide(const SparseIntervalMatrix& m, GramSide side) {
   return m.cols() <= m.rows() ? GramSide::kMtM : GramSide::kMMt;
 }
 
+// Per-endpoint Krylov options: the shared policy plus the endpoint's
+// warm-start basis (when the streaming driver carried one).
+LanczosOptions SideLanczos(const IsvdOptions& options, bool upper) {
+  LanczosOptions lanczos = options.lanczos;
+  const Matrix& warm = upper ? options.warm_basis_hi : options.warm_basis_lo;
+  if (warm.cols() > 0) lanczos.start_basis = warm;
+  return lanczos;
+}
+
+// Degenerate 0 x m / n x 0 shapes: the empty decomposition, factors shaped
+// to match. The dense path never hits this (dense constructions always have
+// cells); the sparse entry points guard it so CLI / streaming callers fed an
+// empty matrix get a well-formed rank-0 result instead of an abort.
+bool DegenerateShape(const SparseIntervalMatrix& m) {
+  return m.rows() == 0 || m.cols() == 0;
+}
+
+IsvdResult EmptyResult(const SparseIntervalMatrix& m,
+                       DecompositionTarget target) {
+  IsvdResult result;
+  result.target = target;
+  result.u = IntervalMatrix(m.rows(), 0);
+  result.v = IntervalMatrix(m.cols(), 0);
+  return result;
+}
+
 // Sparse counterpart of the SVD identity U = M V Σ⁻¹.
 Matrix RecoverLeftFactor(const SparseIntervalMatrix& m, Endpoint e,
                          const Matrix& v, const std::vector<double>& sigma) {
@@ -99,7 +125,7 @@ SolvedLeft SolveLeftFactor(const SparseIntervalMatrix& work,
 
 IsvdResult Isvd0(const SparseIntervalMatrix& m, size_t rank,
                  const IsvdOptions& options) {
-  (void)options;  // ISVD0 has no solver/alignment knobs on the sparse path
+  if (DegenerateShape(m)) return EmptyResult(m, DecompositionTarget::kC);
   const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
   PhaseTimings timings;
 
@@ -109,10 +135,15 @@ IsvdResult Isvd0(const SparseIntervalMatrix& m, size_t rank,
 
   sw.Restart();
   const SparseEndpointMap mid(m, mt, SparseEndpointMap::Part::kMid);
-  const SvdResult svd = ComputeLanczosSvd(mid, r);
+  // ISVD0's single midpoint solve reads the lo warm-basis slot.
+  const SvdResult svd = ComputeLanczosSvd(mid, r, SideLanczos(options, false));
   timings.decompose = sw.Seconds();
+  IVMF_CHECK_MSG(!svd.truncated,
+                 "Lanczos SVD truncated the midpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
 
   IsvdResult result;
+  result.iterations = svd.iterations;
   result.target = DecompositionTarget::kC;  // ISVD0 is inherently scalar.
   result.u = IntervalMatrix::FromScalar(svd.u);
   result.v = IntervalMatrix::FromScalar(svd.v);
@@ -129,6 +160,7 @@ IsvdResult Isvd0(const SparseIntervalMatrix& m, size_t rank,
 
 IsvdResult Isvd1(const SparseIntervalMatrix& m, size_t rank,
                  const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
   const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
   PhaseTimings timings;
 
@@ -145,9 +177,15 @@ IsvdResult Isvd1(const SparseIntervalMatrix& m, size_t rank,
     const SparseEndpointMap map(m, mt,
                                 side == 0 ? SparseEndpointMap::Part::kLower
                                           : SparseEndpointMap::Part::kUpper);
-    (side == 0 ? lo : hi) = ComputeLanczosSvd(map, r);
+    (side == 0 ? lo : hi) =
+        ComputeLanczosSvd(map, r, SideLanczos(options, side == 1));
   });
   timings.decompose = sw.Seconds();
+  // Truncation would break the lo/hi pairing below (mismatched triplet
+  // counts) with an opaque shape error; fail with the cause instead.
+  IVMF_CHECK_MSG(!lo.truncated && !hi.truncated,
+                 "Lanczos SVD truncated an endpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
 
   sw.Restart();
   const IlsaResult ilsa = ComputeIlsa(lo.v, hi.v, options.ilsa);
@@ -157,10 +195,12 @@ IsvdResult Isvd1(const SparseIntervalMatrix& m, size_t rank,
   AlignMinSide(ilsa, &u_lo, &v_lo, &s_lo);
   timings.align = sw.Seconds();
 
-  return BuildResult(IntervalMatrix(std::move(u_lo), hi.u),
-                     MakeIntervalDiag(s_lo, hi.sigma),
-                     IntervalMatrix(std::move(v_lo), hi.v), options.target,
-                     timings);
+  IsvdResult result = BuildResult(IntervalMatrix(std::move(u_lo), hi.u),
+                                  MakeIntervalDiag(s_lo, hi.sigma),
+                                  IntervalMatrix(std::move(v_lo), hi.v),
+                                  options.target, timings);
+  result.iterations = lo.iterations + hi.iterations;
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -170,6 +210,7 @@ IsvdResult Isvd1(const SparseIntervalMatrix& m, size_t rank,
 GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
                        const IsvdOptions& options) {
   GramEig result;
+  if (DegenerateShape(m)) return result;  // rank-0 eigendecomposition
   result.transposed = (ResolveSide(m, options.gram_side) == GramSide::kMMt);
   SparseIntervalMatrix work_storage;
   const SparseIntervalMatrix& work =
@@ -196,9 +237,14 @@ GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
       const Matrix& endpoint =
           side == 0 ? result.gram.lower() : result.gram.upper();
       EigResult& out = side == 0 ? result.lo : result.hi;
-      out = use_lanczos ? ComputeLanczosEig(endpoint, r)
-                        : ComputeSymmetricEig(endpoint, r, options.eig);
+      out = use_lanczos
+                ? ComputeLanczosEig(endpoint, r, SideLanczos(options, side == 1))
+                : ComputeSymmetricEig(endpoint, r, options.eig);
     });
+    result.iterations = result.lo.iterations + result.hi.iterations;
+    IVMF_CHECK_MSG(!result.lo.truncated && !result.hi.truncated,
+                   "Lanczos truncated a Gram endpoint spectrum "
+                   "(restart exhausted; see LanczosOptions::restart_tolerance)");
     result.decompose_seconds = sw.Seconds();
     return result;
   }
@@ -235,14 +281,19 @@ GramEig ComputeGramEig(const SparseIntervalMatrix& m, size_t rank,
     const Endpoint e = side == 0 ? Endpoint::kLower : Endpoint::kUpper;
     const SparseGramOperator op(work, work_t, e);
     EigResult& out = side == 0 ? result.lo : result.hi;
-    out = ComputeLanczosEig(op, r);
+    out = ComputeLanczosEig(op, r, SideLanczos(options, side == 1));
   });
+  result.iterations = result.lo.iterations + result.hi.iterations;
+  IVMF_CHECK_MSG(!result.lo.truncated && !result.hi.truncated,
+                 "Lanczos truncated a Gram endpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
   result.decompose_seconds = sw.Seconds();
   return result;
 }
 
 IsvdResult Isvd2(const SparseIntervalMatrix& m, size_t rank,
                  const GramEig& gram, const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
   (void)rank;  // rank is baked into `gram`
   SparseIntervalMatrix work_storage;
   const SparseIntervalMatrix& work = BindWork(m, gram.transposed, work_storage);
@@ -270,12 +321,14 @@ IsvdResult Isvd2(const SparseIntervalMatrix& m, size_t rank,
                   MakeIntervalDiag(s_lo, s_hi),
                   IntervalMatrix(std::move(v_lo), std::move(v_hi)),
                   options.target, timings);
+  result.iterations = gram.iterations;
   if (gram.transposed) SwapFactors(result);
   return result;
 }
 
 IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
                  const GramEig& gram, const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
   (void)rank;
   SparseIntervalMatrix work_storage;
   const SparseIntervalMatrix& work = BindWork(m, gram.transposed, work_storage);
@@ -283,12 +336,14 @@ IsvdResult Isvd3(const SparseIntervalMatrix& m, size_t rank,
   IsvdResult result =
       BuildResult(std::move(solved.u), std::move(solved.sigma),
                   std::move(solved.v), options.target, solved.timings);
+  result.iterations = gram.iterations;
   if (gram.transposed) SwapFactors(result);
   return result;
 }
 
 IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
                  const GramEig& gram, const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
   (void)rank;
   SparseIntervalMatrix work_storage;
   const SparseIntervalMatrix& work = BindWork(m, gram.transposed, work_storage);
@@ -312,6 +367,7 @@ IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
   IsvdResult result =
       BuildResult(std::move(solved.u), std::move(solved.sigma), v_recomputed,
                   options.target, solved.timings);
+  result.iterations = gram.iterations;
   if (gram.transposed) SwapFactors(result);
   return result;
 }

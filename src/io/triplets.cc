@@ -39,7 +39,7 @@ std::string SparseIntervalMatrixToTriplets(const SparseIntervalMatrix& m,
 }
 
 std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
-    const std::string& text) {
+    const std::string& text, DuplicatePolicy duplicates) {
   std::istringstream in(text);
   std::string line;
 
@@ -93,10 +93,14 @@ std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
   if (triplets.size() != nnz) return std::nullopt;
   SparseIntervalMatrix m =
       SparseIntervalMatrix::FromTriplets(rows, cols, std::move(triplets));
-  // FromTriplets hulls duplicate coordinates; a serialized stream is sorted
-  // and unique, so a shrunken entry count means the file double-declared a
-  // cell — reject it instead of guessing which value was meant.
-  if (m.nnz() != nnz) return std::nullopt;
+  // FromTriplets hulls duplicate coordinates. Under kReject a serialized
+  // stream is sorted and unique, so a shrunken entry count means the file
+  // double-declared a cell — reject it instead of guessing which value was
+  // meant. Under kMergeHull the hull IS the requested semantics and the
+  // declared nnz only counts entry lines.
+  if (duplicates == DuplicatePolicy::kReject && m.nnz() != nnz) {
+    return std::nullopt;
+  }
   return m;
 }
 
@@ -112,10 +116,10 @@ bool SaveSparseIntervalTriplets(const std::string& path,
 }
 
 std::optional<SparseIntervalMatrix> LoadSparseIntervalTriplets(
-    const std::string& path) {
+    const std::string& path, DuplicatePolicy duplicates) {
   const std::optional<std::string> text = ReadFileToString(path);
   if (!text) return std::nullopt;
-  return SparseIntervalMatrixFromTriplets(*text);
+  return SparseIntervalMatrixFromTriplets(*text, duplicates);
 }
 
 }  // namespace ivmf

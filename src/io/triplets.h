@@ -9,12 +9,15 @@
 //
 // Entries use 1-based indices like MatrixMarket; `lo hi` are the interval
 // endpoints (write lo == hi for scalar entries). Lines starting with '%'
-// are comments; entry order is arbitrary, but each (i, j) cell may appear
-// at most once — a duplicated cell is inconsistent with the declared entry
-// count and rejected (the in-memory FromTriplets API is the place for
-// hull-merging duplicate observations). This is the on-disk form for
-// recommender-scale matrices whose dense CSV would be dominated by "0:0"
-// cells.
+// are comments; entry order is arbitrary. Duplicate-cell semantics are
+// unified with SparseIntervalMatrix::FromTriplets through DuplicatePolicy:
+// by default each (i, j) cell may appear at most once — a serialized stream
+// is sorted and unique, so a duplicated cell is inconsistent with the
+// declared entry count and rejected — but callers ingesting raw observation
+// logs can pass DuplicatePolicy::kMergeHull to get exactly the in-memory
+// constructor's hull-merge, so the same data yields the same matrix through
+// either path. This is the on-disk form for recommender-scale matrices
+// whose dense CSV would be dominated by "0:0" cells.
 
 #ifndef IVMF_IO_TRIPLETS_H_
 #define IVMF_IO_TRIPLETS_H_
@@ -37,11 +40,15 @@ std::string SparseIntervalMatrixToTriplets(const SparseIntervalMatrix& m,
 
 // Parses coordinate text. Returns std::nullopt on malformed input (missing
 // header or size line, unparsable or non-finite entries, out-of-range
-// indices, misordered intervals, duplicate cells, wrong entry count,
-// declared sizes beyond the parser's sanity bounds). Never aborts or
-// over-allocates on corrupt size declarations.
+// indices, misordered intervals, wrong entry line count, declared sizes
+// beyond the parser's sanity bounds). Never aborts or over-allocates on
+// corrupt size declarations. Duplicate cells follow `duplicates`: kReject
+// (default) treats them as malformed, kMergeHull merges them exactly like
+// SparseIntervalMatrix::FromTriplets (the declared nnz then counts entry
+// lines; the parsed matrix may hold fewer cells).
 std::optional<SparseIntervalMatrix> SparseIntervalMatrixFromTriplets(
-    const std::string& text);
+    const std::string& text,
+    DuplicatePolicy duplicates = DuplicatePolicy::kReject);
 
 // True when `text` starts with the triplet header (leading whitespace
 // allowed) — the cheap sniff ivmf_decompose uses to tell triplet files from
@@ -54,7 +61,8 @@ bool SaveSparseIntervalTriplets(const std::string& path,
                                 const SparseIntervalMatrix& m,
                                 int precision = 12);
 std::optional<SparseIntervalMatrix> LoadSparseIntervalTriplets(
-    const std::string& path);
+    const std::string& path,
+    DuplicatePolicy duplicates = DuplicatePolicy::kReject);
 
 }  // namespace ivmf
 

@@ -21,6 +21,17 @@ namespace ivmf {
 struct EigResult {
   std::vector<double> eigenvalues;  // r values, descending.
   Matrix eigenvectors;              // n x r, orthonormal columns.
+
+  // True when an iterative solver exhausted its basis before delivering the
+  // requested pair count — the spectrum is truncated and eigenvalues.size()
+  // is smaller than asked. Always false for the exact Jacobi solver.
+  // Callers that pair two decompositions (the ISVD endpoint solves) should
+  // IVMF_CHECK this before relying on matching counts.
+  bool truncated = false;
+
+  // Krylov steps (operator applications) an iterative solver spent;
+  // 0 for direct solvers. Exposes warm-start / early-exit savings.
+  size_t iterations = 0;
 };
 
 struct EigOptions {

@@ -14,6 +14,24 @@ double SignOf(double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a)
 
 }  // namespace
 
+namespace lanczos_internal {
+
+bool WarmStartVector(const Matrix& basis, size_t dim, std::vector<double>& v) {
+  if (basis.cols() == 0 || basis.rows() != dim) return false;
+  // Sums accumulate in a scratch vector so `v` really is untouched on the
+  // degenerate-norm failure path, as the contract promises.
+  std::vector<double> sums(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t c = 0; c < basis.cols(); ++c) sums[i] += basis(i, c);
+  }
+  const double norm = Norm2(sums);
+  if (!(norm > 1e-12)) return false;
+  for (size_t i = 0; i < dim; ++i) v[i] = sums[i] / norm;
+  return true;
+}
+
+}  // namespace lanczos_internal
+
 bool TridiagonalQL(std::vector<double>& diag, std::vector<double>& off,
                    Matrix* z, int max_iterations) {
   const size_t n = diag.size();
@@ -108,10 +126,14 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
 
   Rng rng(options.seed);
   std::vector<double> v(n), w(n);
-  for (double& x : v) x = rng.Normal();
-  double norm = Norm2(v);
-  for (size_t i = 0; i < n; ++i) q(i, 0) = v[i] / norm;
+  if (!lanczos_internal::WarmStartVector(options.start_basis, n, v)) {
+    for (double& x : v) x = rng.Normal();
+    const double norm = Norm2(v);
+    for (double& x : v) x /= norm;
+  }
+  for (size_t i = 0; i < n; ++i) q(i, 0) = v[i];
 
+  bool exhausted = false;
   size_t built = 0;
   for (size_t j = 0; j < m; ++j) {
     built = j + 1;
@@ -160,15 +182,46 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
             }
           }
           const double rnorm = Norm2(w);
-          if (rnorm > 1e-8) {
+          if (rnorm > options.restart_tolerance) {
             for (size_t i = 0; i < n; ++i) q(i, j + 1) = w[i] / rnorm;
             restarted = true;
           }
         }
-        if (!restarted) break;  // space truly exhausted (j + 1 == n)
+        if (!restarted) {
+          // No acceptable direction remains: the basis cannot grow, so the
+          // spectrum delivered below may be shorter than requested. Recorded
+          // (rather than silently broken out of) so `truncated` reaches the
+          // caller.
+          exhausted = true;
+          break;
+        }
         continue;
       }
       for (size_t i = 0; i < n; ++i) q(i, j + 1) = w[i] / wnorm;
+
+      // Optional early exit: residual of Ritz pair i is |beta_j * z_last,i|,
+      // so the coupling to the unexplored space bounds every pair at once.
+      // Only meaningful once the basis can hold the requested count.
+      if (options.convergence_tol > 0.0 && built >= effective_rank &&
+          options.convergence_interval > 0 &&
+          built % options.convergence_interval == 0) {
+        std::vector<double> d(alpha.begin(),
+                              alpha.begin() + static_cast<ptrdiff_t>(built));
+        std::vector<double> e;
+        for (size_t i = 0; i + 1 < built; ++i) e.push_back(beta[i]);
+        Matrix z = Matrix::Identity(built);
+        if (TridiagonalQL(d, e, &z)) {
+          double theta_max = 0.0;
+          for (const double t : d) theta_max = std::max(theta_max, std::abs(t));
+          const double bound = options.convergence_tol * theta_max;
+          bool converged = theta_max > 0.0;
+          for (size_t i = 0; i < effective_rank && converged; ++i) {
+            const size_t src = built - 1 - i;  // largest pairs sort last
+            if (std::abs(wnorm * z(built - 1, src)) > bound) converged = false;
+          }
+          if (converged) break;
+        }
+      }
     }
   }
 
@@ -182,6 +235,8 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
   // Take the top-`rank` (largest) Ritz pairs; TridiagonalQL sorts ascending.
   const size_t keep = std::min(effective_rank, built);
   EigResult result;
+  result.truncated = exhausted && keep < effective_rank;
+  result.iterations = built;
   result.eigenvalues.resize(keep);
   result.eigenvectors = Matrix(n, keep);
   for (size_t out = 0; out < keep; ++out) {

@@ -30,7 +30,31 @@ struct LanczosOptions {
   uint64_t seed = 12345;
   // Convergence threshold on the tridiagonal off-diagonal.
   double tolerance = 1e-12;
+  // Minimum norm of a reorthogonalized random direction accepted by the
+  // invariant-subspace restart. When every restart attempt falls below it
+  // the basis cannot grow further: the solver stops and flags the result
+  // `truncated` if the requested count was not reached (previously the
+  // spectrum was silently cut short).
+  double restart_tolerance = 1e-8;
+  // Warm start: columns approximating the dominant invariant subspace —
+  // typically the previous step's Ritz vectors, carried across refreshes by
+  // the streaming ISVD driver. When non-empty and of matching dimension the
+  // Krylov start vector is the normalized column sum (equal energy in every
+  // carried direction) instead of a random draw; otherwise it is ignored.
+  Matrix start_basis;
+  // When > 0, the small projected problem is solved every
+  // `convergence_interval` steps and the iteration stops as soon as every
+  // requested Ritz pair has residual bound below convergence_tol * |theta|_max.
+  // 0 (the default) builds the basis to the subspace cap — the cold-start
+  // behavior every batch-mode caller keeps.
+  double convergence_tol = 0.0;
+  size_t convergence_interval = 8;
 };
+
+// The Golub–Kahan–Lanczos SVD (linalg/lanczos_svd.h) shares the same Krylov
+// policy knobs; `start_basis` there approximates the dominant *right*
+// singular subspace.
+using LanczosSvdOptions = LanczosOptions;
 
 // Computes the `rank` algebraically-largest eigenpairs of the symmetric
 // matrix `a` (rank == 0 or rank >= n falls back to the full Jacobi solver).
@@ -46,6 +70,18 @@ EigResult ComputeLanczosEig(const Matrix& a, size_t rank,
 // still returns the complete spectrum.
 EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
                             const LanczosOptions& options = {});
+
+namespace lanczos_internal {
+
+// Builds the Krylov start vector from a warm-start basis: the normalized
+// column sum (orthonormal columns never cancel: ||sum||² = #cols), giving
+// equal energy to every carried Ritz direction. Returns false — leaving
+// `v` untouched — when the basis is absent or does not match the
+// dimension, so the caller falls back to its random cold start. Shared by
+// the eigensolver and the Golub–Kahan–Lanczos SVD.
+bool WarmStartVector(const Matrix& basis, size_t dim, std::vector<double>& v);
+
+}  // namespace lanczos_internal
 
 // Eigenvalues (ascending) and optionally eigenvectors of a symmetric
 // tridiagonal matrix given its diagonal and sub-diagonal, via the implicit

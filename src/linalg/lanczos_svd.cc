@@ -23,16 +23,18 @@ void Reorthogonalize(const Matrix& basis, size_t count,
 }
 
 // Writes a random unit vector orthogonal to the first `count` columns of
-// `basis` into column `count`. Returns false when the space is exhausted
-// (only possible once count == dim).
+// `basis` into column `count`. Returns false when the space is exhausted —
+// no drawn direction survives reorthogonalization above `tolerance` — in
+// which case the caller must stop growing the basis and flag the result
+// truncated if the requested triplet count was not reached.
 bool RestartColumn(Matrix& basis, size_t count, std::vector<double>& scratch,
-                   Rng& rng) {
+                   Rng& rng, double tolerance) {
   const size_t dim = basis.rows();
   for (int attempt = 0; attempt < 3; ++attempt) {
     for (double& x : scratch) x = rng.Normal();
     Reorthogonalize(basis, count, scratch);
     const double norm = Norm2(scratch);
-    if (norm > 1e-8) {
+    if (norm > tolerance) {
       for (size_t i = 0; i < dim; ++i) basis(i, count) = scratch[i] / norm;
       return true;
     }
@@ -46,7 +48,14 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
                             const LanczosOptions& options) {
   const size_t n = a.Rows();
   const size_t m = a.Cols();
-  IVMF_CHECK_MSG(n > 0 && m > 0, "Lanczos SVD of an empty operator");
+  if (n == 0 || m == 0) {
+    // Degenerate shape: the empty decomposition, with factors shaped to
+    // match (rank 0). Mirrors the dense Jacobi SVD on 0-dimensional input.
+    SvdResult empty;
+    empty.u = Matrix(n, 0);
+    empty.v = Matrix(m, 0);
+    return empty;
+  }
   const size_t full = std::min(n, m);
   const size_t effective_rank = (rank == 0 || rank > full) ? full : rank;
 
@@ -61,21 +70,29 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
 
   Rng rng(options.seed);
   std::vector<double> left(n), right(m);
-  // Start from v_0 = Aᵀ r with random r: the start vector then lies in the
-  // row space, so the Krylov sequence spends no dimension on the nullspace
-  // (a plain random v_0 on a wide or rank-deficient matrix wastes its first
-  // basis vector on a direction A cannot see, and min(n, m) steps would no
-  // longer reach the full spectrum). Falls back to a random direction when
-  // A ≈ 0 — every triplet is zero then anyway.
-  for (double& x : left) x = rng.Normal();
-  a.ApplyTranspose(left, right);
-  double start_norm = Norm2(right);
-  if (start_norm <= options.tolerance) {
-    for (double& x : right) x = rng.Normal();
-    start_norm = Norm2(right);
+  // Warm start (streaming refreshes): previous right singular vectors span
+  // approximately the current dominant row subspace, so their combination
+  // makes a far better v_0 than a random row-space draw. Cold start: from
+  // v_0 = Aᵀ r with random r, so the start vector lies in the row space and
+  // the Krylov sequence spends no dimension on the nullspace (a plain
+  // random v_0 on a wide or rank-deficient matrix wastes its first basis
+  // vector on a direction A cannot see, and min(n, m) steps would no longer
+  // reach the full spectrum). Falls back to a random direction when A ≈ 0 —
+  // every triplet is zero then anyway.
+  if (lanczos_internal::WarmStartVector(options.start_basis, m, right)) {
+    for (size_t i = 0; i < m; ++i) v(i, 0) = right[i];
+  } else {
+    for (double& x : left) x = rng.Normal();
+    a.ApplyTranspose(left, right);
+    double start_norm = Norm2(right);
+    if (start_norm <= options.tolerance) {
+      for (double& x : right) x = rng.Normal();
+      start_norm = Norm2(right);
+    }
+    for (size_t i = 0; i < m; ++i) v(i, 0) = right[i] / start_norm;
   }
-  for (size_t i = 0; i < m; ++i) v(i, 0) = right[i] / start_norm;
 
+  bool exhausted = false;
   size_t built = 0;
   for (size_t j = 0; j < steps; ++j) {
     built = j + 1;
@@ -95,8 +112,9 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
       // A v_j already lies in span(u_0..u_{j-1}): the left space stalled.
       // alpha_j = 0 block-decouples B; continue from a fresh direction.
       alpha[j] = 0.0;
-      if (!RestartColumn(u, j, left, rng)) {
+      if (!RestartColumn(u, j, left, rng, options.restart_tolerance)) {
         built = j;
+        exhausted = true;
         break;
       }
     }
@@ -113,6 +131,31 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
       if (bnorm > options.tolerance) {
         beta[j] = bnorm;
         for (size_t i = 0; i < m; ++i) v(i, j + 1) = right[i] / bnorm;
+
+        // Optional early exit, mirroring the eigensolver: the residual of
+        // Ritz triplet i is |beta_j * p_last,i| with p_i the left singular
+        // vectors of the small bidiagonal B (A v̂ = σ û exactly; only the
+        // Aᵀ û relation carries the coupling to the unexplored space).
+        if (options.convergence_tol > 0.0 && built >= effective_rank &&
+            options.convergence_interval > 0 &&
+            built % options.convergence_interval == 0) {
+          Matrix b_small(built, built);
+          for (size_t i = 0; i < built; ++i) {
+            b_small(i, i) = alpha[i];
+            if (i + 1 < built) b_small(i, i + 1) = beta[i];
+          }
+          const SvdResult projected = ComputeSvd(b_small);
+          const double sigma_max =
+              projected.sigma.empty() ? 0.0 : projected.sigma[0];
+          const double bound = options.convergence_tol * sigma_max;
+          bool converged = sigma_max > 0.0;
+          for (size_t i = 0; i < effective_rank && converged; ++i) {
+            if (std::abs(bnorm * projected.u(built - 1, i)) > bound) {
+              converged = false;
+            }
+          }
+          if (converged) break;
+        }
       } else {
         // Singular-invariant subspace pair found: restart and keep building
         // to the subspace cap. Stopping at the requested count would both
@@ -122,7 +165,11 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
         // sees each distinct value exactly once; only restarted blocks
         // reach the rest of a degenerate cluster.
         beta[j] = 0.0;
-        if (!RestartColumn(v, j + 1, right, rng)) break;
+        if (!RestartColumn(v, j + 1, right, rng,
+                           options.restart_tolerance)) {
+          exhausted = true;
+          break;
+        }
       }
     }
   }
@@ -139,6 +186,8 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
 
   const size_t keep = std::min(effective_rank, built);
   SvdResult result;
+  result.truncated = exhausted && keep < effective_rank;
+  result.iterations = built;
   result.sigma.assign(small.sigma.begin(),
                       small.sigma.begin() + static_cast<ptrdiff_t>(keep));
   result.u = Matrix(n, keep);

@@ -21,7 +21,14 @@
 // single Krylov sequence sees only once) are picked up by the restarted
 // blocks. The decoupling is exact: a breakdown certifies the built subspace
 // pair is singular-invariant, so restarted directions never couple back
-// into it.
+// into it. Should the restart itself fail (no acceptable direction above
+// LanczosOptions::restart_tolerance), the result is marked `truncated`
+// instead of silently delivering fewer triplets.
+//
+// Streaming refreshes pass LanczosOptions::start_basis (the previous
+// step's right singular vectors) to warm-start the bidiagonalization and
+// convergence_tol to stop as soon as the requested triplets' residuals are
+// below tolerance; see core/streaming_isvd.h for the driver.
 
 #ifndef IVMF_LINALG_LANCZOS_SVD_H_
 #define IVMF_LINALG_LANCZOS_SVD_H_

@@ -29,6 +29,15 @@ struct SvdResult {
 
   // Reconstruction U * diag(sigma) * V^T.
   Matrix Reconstruct() const;
+
+  // True when an iterative solver exhausted its basis before delivering the
+  // requested triplet count (see EigResult::truncated). Always false for
+  // the exact Jacobi solver.
+  bool truncated = false;
+
+  // Bidiagonalization steps an iterative solver spent (two operator
+  // applications each); 0 for direct solvers.
+  size_t iterations = 0;
 };
 
 struct SvdOptions {

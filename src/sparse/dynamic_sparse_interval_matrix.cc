@@ -1,0 +1,121 @@
+#include "sparse/dynamic_sparse_interval_matrix.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace ivmf {
+
+DynamicSparseIntervalMatrix::DynamicSparseIntervalMatrix(size_t rows,
+                                                         size_t cols)
+    : base_(SparseIntervalMatrix::FromTriplets(rows, cols, {})) {}
+
+DynamicSparseIntervalMatrix::DynamicSparseIntervalMatrix(
+    SparseIntervalMatrix base)
+    : base_(std::move(base)) {}
+
+double DynamicSparseIntervalMatrix::DeltaFraction() const {
+  if (delta_.empty()) return 0.0;
+  if (base_.nnz() == 0) return 1.0;
+  return static_cast<double>(delta_.size()) /
+         static_cast<double>(base_.nnz());
+}
+
+Interval DynamicSparseIntervalMatrix::At(size_t i, size_t j) const {
+  IVMF_CHECK_MSG(i < rows() && j < cols(), "cell outside the matrix shape");
+  const auto it = delta_.find({i, j});
+  if (it != delta_.end()) return it->second;
+  return base_.At(i, j);
+}
+
+bool DynamicSparseIntervalMatrix::BaseHasCell(size_t i, size_t j) const {
+  const std::vector<size_t>& col_idx = base_.col_idx();
+  const auto begin =
+      col_idx.begin() + static_cast<ptrdiff_t>(base_.row_ptr()[i]);
+  const auto end =
+      col_idx.begin() + static_cast<ptrdiff_t>(base_.row_ptr()[i + 1]);
+  return std::binary_search(begin, end, j);
+}
+
+Interval DynamicSparseIntervalMatrix::Upsert(size_t i, size_t j,
+                                             Interval value) {
+  IVMF_CHECK_MSG(i < rows() && j < cols(), "cell outside the matrix shape");
+  const std::pair<size_t, size_t> key(i, j);
+  const auto it = delta_.find(key);
+  if (it != delta_.end()) {
+    // Revising a logged cell: the base overlap relation is unchanged.
+    const Interval previous = it->second;
+    it->second = value;
+    return previous;
+  }
+  const bool in_base = BaseHasCell(i, j);
+  const Interval previous = in_base ? base_.At(i, j) : Interval();
+  delta_.emplace(key, value);
+  if (in_base) ++overlap_;
+  return previous;
+}
+
+void DynamicSparseIntervalMatrix::ApplyBatch(
+    const std::vector<IntervalTriplet>& batch) {
+  for (const IntervalTriplet& t : batch) Upsert(t.row, t.col, t.value);
+}
+
+SparseIntervalMatrix DynamicSparseIntervalMatrix::Snapshot() const {
+  if (delta_.empty()) return base_;
+
+  const size_t n = rows();
+  std::vector<size_t> row_ptr(n + 1, 0);
+  std::vector<size_t> col_idx;
+  std::vector<double> lo, hi;
+  col_idx.reserve(nnz());
+  lo.reserve(nnz());
+  hi.reserve(nnz());
+
+  const std::vector<size_t>& b_ptr = base_.row_ptr();
+  const std::vector<size_t>& b_col = base_.col_idx();
+  const std::vector<double>& b_lo = base_.lower_values();
+  const std::vector<double>& b_hi = base_.upper_values();
+
+  auto d_it = delta_.begin();
+  for (size_t i = 0; i < n; ++i) {
+    size_t k = b_ptr[i];
+    const size_t k_end = b_ptr[i + 1];
+    // Two-pointer merge of the base row and the log's row range; the log
+    // wins on a shared column.
+    while (k < k_end || (d_it != delta_.end() && d_it->first.first == i)) {
+      const bool have_delta =
+          d_it != delta_.end() && d_it->first.first == i;
+      if (!have_delta || (k < k_end && b_col[k] < d_it->first.second)) {
+        col_idx.push_back(b_col[k]);
+        lo.push_back(b_lo[k]);
+        hi.push_back(b_hi[k]);
+        ++k;
+      } else {
+        if (k < k_end && b_col[k] == d_it->first.second) ++k;  // shadowed
+        col_idx.push_back(d_it->first.second);
+        lo.push_back(d_it->second.lo);
+        hi.push_back(d_it->second.hi);
+        ++d_it;
+      }
+    }
+    row_ptr[i + 1] = col_idx.size();
+  }
+  return SparseIntervalMatrix::FromCsr(n, cols(), std::move(row_ptr),
+                                       std::move(col_idx), std::move(lo),
+                                       std::move(hi));
+}
+
+void DynamicSparseIntervalMatrix::Compact() {
+  base_ = Snapshot();
+  delta_.clear();
+  overlap_ = 0;
+}
+
+bool DynamicSparseIntervalMatrix::MaybeCompact(double max_delta_fraction) {
+  if (delta_.empty()) return false;
+  if (DeltaFraction() <= max_delta_fraction) return false;
+  Compact();
+  return true;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,100 @@
+// Delta-log-plus-compaction storage for growing sparse interval matrices.
+//
+// The paper's recommender workloads (Section 6.1.3, Figure 10) model rating
+// matrices that grow continuously as users rate items. Rebuilding the CSR
+// matrix from triplets on every change costs O(nnz log nnz) per rating;
+// DynamicSparseIntervalMatrix instead keeps an immutable compacted CSR base
+// plus a sorted delta log of arriving / updated cells (the LSM-style
+// delta-over-base layout of write-optimized KV stores), so an upsert is
+// O(log delta) and the full matrix is only re-materialized when a consumer
+// asks for a Snapshot — a single linear merge. When the log grows past a
+// threshold relative to the base it is compacted into a fresh base, keeping
+// both the merge cost and the log memory bounded.
+//
+// The shape is fixed at construction: streaming adds and revises cells, it
+// does not grow the user/item universe (allocate headroom up front for
+// that). Cell semantics are last-write-wins — an upsert replaces the cell's
+// interval outright, matching a user revising their rating; callers that
+// want hull-merge semantics for repeated observations build the hull before
+// upserting (see DuplicatePolicy in sparse_interval_matrix.h for where each
+// convention applies).
+
+#ifndef IVMF_SPARSE_DYNAMIC_SPARSE_INTERVAL_MATRIX_H_
+#define IVMF_SPARSE_DYNAMIC_SPARSE_INTERVAL_MATRIX_H_
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sparse/sparse_interval_matrix.h"
+
+namespace ivmf {
+
+class DynamicSparseIntervalMatrix {
+ public:
+  // An empty 0 x 0 matrix (no cell can ever be upserted).
+  DynamicSparseIntervalMatrix() = default;
+
+  // An empty rows x cols matrix awaiting arrivals.
+  DynamicSparseIntervalMatrix(size_t rows, size_t cols);
+
+  // Starts from an existing compacted matrix (e.g. the historical ratings
+  // loaded from triplets) with an empty delta log.
+  explicit DynamicSparseIntervalMatrix(SparseIntervalMatrix base);
+
+  size_t rows() const { return base_.rows(); }
+  size_t cols() const { return base_.cols(); }
+
+  size_t base_nnz() const { return base_.nnz(); }
+  size_t delta_size() const { return delta_.size(); }
+  // Distinct explicit cells across base and log (overlaps counted once).
+  size_t nnz() const { return base_.nnz() + delta_.size() - overlap_; }
+
+  // Log size relative to the base, the compaction trigger quantity: an
+  // empty base with a non-empty log counts as fraction 1.
+  double DeltaFraction() const;
+
+  // Effective value of cell (i, j): the log wins over the base; absent
+  // cells are the scalar zero interval, as in the compacted form.
+  Interval At(size_t i, size_t j) const;
+
+  // Sets cell (i, j) to `value` (insert or in-place revision), returning
+  // the previous effective value. O(log delta) plus one O(log row_nnz)
+  // base probe for cells not yet in the log.
+  Interval Upsert(size_t i, size_t j, Interval value);
+
+  // Upserts every triplet in order (so a duplicated cell inside the batch
+  // resolves to the last occurrence, consistent with Upsert).
+  void ApplyBatch(const std::vector<IntervalTriplet>& batch);
+
+  // The compacted base (no log entries applied).
+  const SparseIntervalMatrix& base() const { return base_; }
+
+  // Materializes the full current matrix: one linear merge of the base rows
+  // with the row-major log, O(nnz + delta). The result is a standalone CSR
+  // matrix — the decomposition input.
+  SparseIntervalMatrix Snapshot() const;
+
+  // Folds the log into the base (base becomes Snapshot(), log empties).
+  void Compact();
+
+  // Compacts when the log exceeds `max_delta_fraction` of the base nnz
+  // (so the default 0.25 keeps merge overhead within ~25% of a base scan).
+  // Returns true when a compaction ran.
+  bool MaybeCompact(double max_delta_fraction);
+
+ private:
+  // Whether the base stores cell (i, j) explicitly (even as [0, 0]).
+  bool BaseHasCell(size_t i, size_t j) const;
+
+  SparseIntervalMatrix base_;
+  // Row-major-ordered log: last-write-wins per cell, merged over the base.
+  std::map<std::pair<size_t, size_t>, Interval> delta_;
+  // Log entries that shadow an explicit base cell (revisions, not arrivals).
+  size_t overlap_ = 0;
+};
+
+}  // namespace ivmf
+
+#endif  // IVMF_SPARSE_DYNAMIC_SPARSE_INTERVAL_MATRIX_H_

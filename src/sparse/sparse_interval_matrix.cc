@@ -9,7 +9,8 @@
 namespace ivmf {
 
 SparseIntervalMatrix SparseIntervalMatrix::FromTriplets(
-    size_t rows, size_t cols, std::vector<IntervalTriplet> triplets) {
+    size_t rows, size_t cols, std::vector<IntervalTriplet> triplets,
+    DuplicatePolicy duplicates) {
   for (const IntervalTriplet& t : triplets) {
     IVMF_CHECK_MSG(t.row < rows && t.col < cols,
                    "triplet index outside the matrix shape");
@@ -31,6 +32,8 @@ SparseIntervalMatrix SparseIntervalMatrix::FromTriplets(
     const IntervalTriplet& t = triplets[k];
     if (!m.col_idx_.empty() && k > 0 && triplets[k - 1].row == t.row &&
         triplets[k - 1].col == t.col) {
+      IVMF_CHECK_MSG(duplicates == DuplicatePolicy::kMergeHull,
+                     "duplicate cell in triplets (DuplicatePolicy::kReject)");
       // Duplicate coordinate: merge to the interval hull.
       m.lo_.back() = std::min(m.lo_.back(), t.value.lo);
       m.hi_.back() = std::max(m.hi_.back(), t.value.hi);
@@ -42,6 +45,33 @@ SparseIntervalMatrix SparseIntervalMatrix::FromTriplets(
     ++m.row_ptr_[t.row + 1];
   }
   for (size_t i = 0; i < rows; ++i) m.row_ptr_[i + 1] += m.row_ptr_[i];
+  return m;
+}
+
+SparseIntervalMatrix SparseIntervalMatrix::FromCsr(
+    size_t rows, size_t cols, std::vector<size_t> row_ptr,
+    std::vector<size_t> col_idx, std::vector<double> lo,
+    std::vector<double> hi) {
+  IVMF_CHECK_MSG(row_ptr.size() == rows + 1, "row_ptr must have rows + 1 offsets");
+  IVMF_CHECK_MSG(row_ptr.front() == 0 && row_ptr.back() == col_idx.size(),
+                 "row_ptr must span exactly the entry arrays");
+  IVMF_CHECK_MSG(lo.size() == col_idx.size() && hi.size() == col_idx.size(),
+                 "endpoint arrays must match the pattern size");
+  for (size_t i = 0; i < rows; ++i) {
+    IVMF_CHECK_MSG(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
+    for (size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      IVMF_CHECK_MSG(col_idx[k] < cols, "column index outside the shape");
+      IVMF_CHECK_MSG(k == row_ptr[i] || col_idx[k - 1] < col_idx[k],
+                     "columns must be ascending and unique within a row");
+    }
+  }
+  SparseIntervalMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.lo_ = std::move(lo);
+  m.hi_ = std::move(hi);
   return m;
 }
 

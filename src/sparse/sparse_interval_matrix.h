@@ -28,6 +28,21 @@ struct IntervalTriplet {
   Interval value;
 };
 
+// What to do when two triplets name the same (row, col) cell.
+//
+// The library-wide convention (decided with the streaming subsystem, which
+// made the question unavoidable): *in-memory* construction merges duplicate
+// observations to their interval hull — the natural semantics when several
+// measurements of one quantity arrive as intervals — while the *serialized*
+// triplet format treats a duplicated cell as corruption, because a written
+// stream is sorted and unique, so a duplicate always means the file lied
+// about its entry count. Both entry points take this enum so either side
+// can opt into the other behavior; io/triplets.h documents the reader side.
+enum class DuplicatePolicy {
+  kMergeHull,  // duplicates collapse to [min lo, max hi]
+  kReject,     // duplicates are a precondition violation
+};
+
 class SparseIntervalMatrix {
  public:
   // Which endpoint value array a kernel reads: M_* (lower) or M^* (upper).
@@ -37,15 +52,31 @@ class SparseIntervalMatrix {
   SparseIntervalMatrix() = default;
 
   // Builds a rows x cols matrix from explicit entries. Triplets may arrive
-  // in any order; duplicates at the same (row, col) are merged to their
-  // interval hull. Indices must lie inside the shape.
-  static SparseIntervalMatrix FromTriplets(size_t rows, size_t cols,
-                                           std::vector<IntervalTriplet> triplets);
+  // in any order; duplicates at the same (row, col) follow `duplicates` —
+  // by default they merge to their interval hull (see DuplicatePolicy for
+  // the rationale), while kReject makes a duplicated cell a checked
+  // precondition violation, matching the strict triplet reader. Indices
+  // must lie inside the shape.
+  static SparseIntervalMatrix FromTriplets(
+      size_t rows, size_t cols, std::vector<IntervalTriplet> triplets,
+      DuplicatePolicy duplicates = DuplicatePolicy::kMergeHull);
 
   // Compresses a dense interval matrix, dropping entries whose endpoints are
   // both within `tol` of zero.
   static SparseIntervalMatrix FromDense(const IntervalMatrix& dense,
                                         double tol = 0.0);
+
+  // Adopts prebuilt CSR arrays without the FromTriplets sort: `row_ptr` has
+  // rows + 1 monotone offsets, `col_idx` ascending unique columns per row,
+  // `lo`/`hi` the endpoint values. The O(nnz) structural invariants are
+  // checked. This is the fast path for producers that already emit
+  // row-major order (DynamicSparseIntervalMatrix::Snapshot's delta-log
+  // merge).
+  static SparseIntervalMatrix FromCsr(size_t rows, size_t cols,
+                                      std::vector<size_t> row_ptr,
+                                      std::vector<size_t> col_idx,
+                                      std::vector<double> lo,
+                                      std::vector<double> hi);
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }

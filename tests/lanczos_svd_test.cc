@@ -165,5 +165,56 @@ TEST(LanczosSvdTest, DeterministicForSeed) {
   EXPECT_EQ(0.0, MaxAbsDiff(first.v, second.v));
 }
 
+TEST(LanczosSvdTest, RestartExhaustionIsSurfacedAsTruncation) {
+  // Same regression as the eigensolver's (see lanczos_test.cc): breakdown
+  // on an exactly rank-2 matrix with an unsatisfiable restart threshold
+  // used to silently shorten the returned triplet list.
+  Rng rng(400);
+  const Matrix left = RandomMatrix(14, 2, rng);
+  const Matrix right = RandomMatrix(9, 2, rng);
+  const Matrix a = left * right.Transpose();  // rank 2, 14 x 9
+
+  LanczosOptions strict;
+  strict.restart_tolerance = 1e9;
+  const SvdResult truncated = ComputeLanczosSvd(a, 5, strict);
+  EXPECT_TRUE(truncated.truncated);
+  EXPECT_LT(truncated.sigma.size(), 5u);
+  const SvdResult exact = ComputeSvd(a, 2);
+  ASSERT_GE(truncated.sigma.size(), 2u);
+  EXPECT_NEAR(truncated.sigma[0], exact.sigma[0], 1e-8);
+  EXPECT_NEAR(truncated.sigma[1], exact.sigma[1], 1e-8);
+
+  const SvdResult full = ComputeLanczosSvd(a, 5);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.sigma.size(), 5u);
+}
+
+TEST(LanczosSvdTest, WarmStartFromRightBasisConvergesNoSlower) {
+  Rng rng(401);
+  const Matrix left = RandomMatrix(50, 5, rng);
+  const Matrix right = RandomMatrix(30, 5, rng);
+  Matrix a = left * right.Transpose();
+
+  LanczosOptions cold;
+  cold.convergence_tol = 1e-10;
+  const SvdResult first = ComputeLanczosSvd(a, 3, cold);
+  ASSERT_EQ(first.sigma.size(), 3u);
+
+  Rng perturb(402);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) a(i, j) += perturb.Uniform(0.0, 1e-3);
+
+  const SvdResult recold = ComputeLanczosSvd(a, 3, cold);
+  LanczosOptions warm = cold;
+  warm.start_basis = first.v;  // previous right singular vectors
+  const SvdResult rewarm = ComputeLanczosSvd(a, 3, warm);
+
+  EXPECT_LE(rewarm.iterations, recold.iterations);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(rewarm.sigma[j], recold.sigma[j],
+                1e-8 * (recold.sigma[0] + 1.0));
+  }
+}
+
 }  // namespace
 }  // namespace ivmf

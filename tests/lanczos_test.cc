@@ -213,5 +213,83 @@ TEST_P(LanczosRankTest, AgreesWithJacobiAcrossRanks) {
 INSTANTIATE_TEST_SUITE_P(Ranks, LanczosRankTest,
                          ::testing::Values(1, 2, 4, 8, 12));
 
+TEST(LanczosTest, RestartExhaustionIsSurfacedAsTruncation) {
+  // Regression for the silent invariant-subspace restart failure: the loop
+  // used to `break` after three failed random-direction attempts with no
+  // signal, so a rank-deficient operator could deliver fewer eigenpairs
+  // than requested and crash the ISVD endpoint pairing downstream with an
+  // opaque shape error. Provoked here by making the restart acceptance
+  // threshold unsatisfiable: on a rank-2 Gram, the first breakdown then
+  // exhausts the restart attempts and the basis stops growing.
+  Rng rng(300);
+  const Matrix base = RandomMatrix(12, 2, rng);
+  const Matrix a = base * base.Transpose();  // rank 2, 12 x 12
+
+  LanczosOptions strict;
+  strict.restart_tolerance = 1e9;  // no random unit direction passes
+  const EigResult truncated = ComputeLanczosEig(DenseSymmetricOperator(a), 6,
+                                                strict);
+  EXPECT_TRUE(truncated.truncated);
+  EXPECT_LT(truncated.eigenvalues.size(), 6u);
+  EXPECT_GT(truncated.iterations, 0u);
+  // What was delivered is still correct: the leading eigenvalues match.
+  const EigResult jacobi = ComputeSymmetricEig(a, 2);
+  ASSERT_GE(truncated.eigenvalues.size(), 2u);
+  EXPECT_NEAR(truncated.eigenvalues[0], jacobi.eigenvalues[0], 1e-8);
+  EXPECT_NEAR(truncated.eigenvalues[1], jacobi.eigenvalues[1], 1e-8);
+
+  // Default options on the same operator restart fine: full count, no flag.
+  const EigResult full = ComputeLanczosEig(DenseSymmetricOperator(a), 6);
+  EXPECT_FALSE(full.truncated);
+  EXPECT_EQ(full.eigenvalues.size(), 6u);
+}
+
+TEST(LanczosTest, WarmStartFromRitzBasisConvergesNoSlower) {
+  // With the convergence-based early exit on, starting from the previous
+  // Ritz basis must never need more steps than the random cold start — the
+  // warm-start contract the streaming ISVD driver relies on.
+  Rng rng(301);
+  const Matrix base = RandomMatrix(60, 6, rng);
+  Matrix a = base * base.Transpose();
+
+  LanczosOptions cold;
+  cold.convergence_tol = 1e-10;
+  const EigResult first = ComputeLanczosEig(DenseSymmetricOperator(a), 4, cold);
+  ASSERT_EQ(first.eigenvalues.size(), 4u);
+
+  // Perturb the operator slightly (a streaming-style small change).
+  Rng perturb(302);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double d = perturb.Uniform(0.0, 1e-3);
+    a(i, i) += d;
+  }
+  const EigResult recold = ComputeLanczosEig(DenseSymmetricOperator(a), 4, cold);
+  LanczosOptions warm = cold;
+  warm.start_basis = first.eigenvectors;
+  const EigResult rewarm = ComputeLanczosEig(DenseSymmetricOperator(a), 4, warm);
+
+  EXPECT_LE(rewarm.iterations, recold.iterations);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(rewarm.eigenvalues[j], recold.eigenvalues[j],
+                1e-8 * (std::abs(recold.eigenvalues[0]) + 1.0));
+  }
+}
+
+TEST(LanczosTest, ConvergenceExitMatchesFullCapRun) {
+  Rng rng(303);
+  const Matrix base = RandomMatrix(80, 8, rng);
+  const Matrix a = base * base.Transpose();
+
+  const EigResult cap = ComputeLanczosEig(DenseSymmetricOperator(a), 3);
+  LanczosOptions early;
+  early.convergence_tol = 1e-11;
+  const EigResult exited = ComputeLanczosEig(DenseSymmetricOperator(a), 3, early);
+  EXPECT_LE(exited.iterations, cap.iterations);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(exited.eigenvalues[j], cap.eigenvalues[j],
+                1e-8 * (std::abs(cap.eigenvalues[0]) + 1.0));
+  }
+}
+
 }  // namespace
 }  // namespace ivmf

@@ -72,6 +72,41 @@ TEST(SparseIntervalMatrixTest, DuplicateTripletsMergeToHull) {
   EXPECT_EQ(m.At(0, 0), Interval(0.5, 2.5));
 }
 
+TEST(SparseIntervalMatrixTest, DuplicateTripletsRejectedUnderRejectPolicy) {
+  // The strict policy matches the hardened triplet reader's default: a
+  // duplicated cell is a precondition violation, not a merge.
+  std::vector<IntervalTriplet> triplets{
+      {0, 0, Interval(1.0, 2.0)},
+      {0, 0, Interval(0.5, 1.5)},
+  };
+  EXPECT_DEATH(SparseIntervalMatrix::FromTriplets(1, 1, triplets,
+                                                  DuplicatePolicy::kReject),
+               "duplicate cell");
+  // Unique triplets pass under either policy.
+  const SparseIntervalMatrix m = SparseIntervalMatrix::FromTriplets(
+      2, 2, {{0, 0, Interval(1.0, 2.0)}, {1, 1, Interval(0.5, 1.5)}},
+      DuplicatePolicy::kReject);
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(SparseIntervalMatrixTest, FromCsrAdoptsArraysAndChecksInvariants) {
+  const SparseIntervalMatrix m = SparseIntervalMatrix::FromCsr(
+      2, 3, {0, 2, 3}, {0, 2, 1}, {1.0, -2.0, 3.0}, {1.5, -1.0, 3.0});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.At(0, 0), Interval(1.0, 1.5));
+  EXPECT_EQ(m.At(0, 2), Interval(-2.0, -1.0));
+  EXPECT_EQ(m.At(1, 1), Interval(3.0, 3.0));
+  EXPECT_EQ(m.At(1, 0), Interval());
+
+  EXPECT_DEATH(SparseIntervalMatrix::FromCsr(2, 3, {0, 2, 3}, {2, 0, 1},
+                                             {1.0, -2.0, 3.0},
+                                             {1.5, -1.0, 3.0}),
+               "ascending");
+  EXPECT_DEATH(
+      SparseIntervalMatrix::FromCsr(1, 2, {0, 1}, {5}, {1.0}, {1.0}),
+      "outside the shape");
+}
+
 TEST(SparseIntervalMatrixTest, DenseRoundTrip) {
   Rng rng(11);
   const SparseIntervalMatrix m = RandomSparse(17, 23, 0.3, rng);

@@ -96,6 +96,60 @@ TEST(TripletsFuzzTest, ValidEdgeShapesParse) {
   EXPECT_FALSE(full->IsNonNegative());
 }
 
+TEST(TripletsFuzzTest, DuplicateCellSemanticsMatchFromTripletsUnderMergeMode) {
+  // The unified duplicate-cell contract: the same observation stream must
+  // yield the same matrix whether it enters through the in-memory
+  // constructor (hull merge) or the reader in kMergeHull mode. The default
+  // strict reader keeps rejecting the stream.
+  const std::vector<IntervalTriplet> observations{
+      {0, 0, Interval(1.0, 2.0)},
+      {1, 2, Interval(0.5, 0.5)},
+      {0, 0, Interval(0.25, 1.5)},   // duplicate of (0, 0)
+      {1, 2, Interval(-1.0, 0.0)},   // duplicate of (1, 2)
+  };
+  std::string text = "%%ivmf interval coordinate\n2 3 4\n";
+  for (const IntervalTriplet& t : observations) {
+    text += std::to_string(t.row + 1) + " " + std::to_string(t.col + 1) + " " +
+            std::to_string(t.value.lo) + " " + std::to_string(t.value.hi) +
+            "\n";
+  }
+
+  EXPECT_FALSE(SparseIntervalMatrixFromTriplets(text).has_value());
+  EXPECT_FALSE(
+      SparseIntervalMatrixFromTriplets(text, DuplicatePolicy::kReject)
+          .has_value());
+
+  const auto merged =
+      SparseIntervalMatrixFromTriplets(text, DuplicatePolicy::kMergeHull);
+  ASSERT_TRUE(merged.has_value());
+  const SparseIntervalMatrix direct =
+      SparseIntervalMatrix::FromTriplets(2, 3, observations);
+  ASSERT_EQ(merged->nnz(), direct.nnz());
+  EXPECT_EQ(merged->row_ptr(), direct.row_ptr());
+  EXPECT_EQ(merged->col_idx(), direct.col_idx());
+  EXPECT_EQ(merged->lower_values(), direct.lower_values());
+  EXPECT_EQ(merged->upper_values(), direct.upper_values());
+  EXPECT_EQ(merged->At(0, 0), Interval(0.25, 2.0));
+  EXPECT_EQ(merged->At(1, 2), Interval(-1.0, 0.5));
+}
+
+TEST(TripletsFuzzTest, MergeModeStillRejectsStructurallyMalformedInput) {
+  // kMergeHull only relaxes the duplicate-cell rule; every other rejection
+  // (wrong line count, bad indices, misordered intervals) stays intact.
+  const char* const malformed[] = {
+      "%%ivmf interval coordinate\n2 2 2\n1 1 0 1\n",           // missing line
+      "%%ivmf interval coordinate\n2 2 1\n3 1 0 1\n",           // row range
+      "%%ivmf interval coordinate\n2 2 1\n1 1 2 1\n",           // lo > hi
+      "%%ivmf interval coordinate\n2 2 1\n1 1 0 1\n1 2 0 1\n",  // extra line
+  };
+  for (const char* text : malformed) {
+    EXPECT_FALSE(
+        SparseIntervalMatrixFromTriplets(text, DuplicatePolicy::kMergeHull)
+            .has_value())
+        << text;
+  }
+}
+
 TEST(TripletsFuzzTest, RoundTripPreservesEveryMatrix) {
   Rng rng(2024);
   for (int trial = 0; trial < 30; ++trial) {

@@ -22,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "base/flags.h"
 #include "core/accuracy.h"
 #include "core/isvd.h"
 #include "core/sparse_isvd.h"
@@ -31,21 +32,8 @@
 
 namespace {
 
-std::string StringFlag(int argc, char** argv, const char* name,
-                       const std::string& fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
-
-int IntFlag(int argc, char** argv, const char* name, int fallback) {
-  const std::string value = StringFlag(argc, argv, name, "");
-  return value.empty() ? fallback : std::atoi(value.c_str());
-}
+using ivmf::IntFlag;
+using ivmf::StringFlag;
 
 void Usage() {
   std::fprintf(stderr,

@@ -27,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "base/flags.h"
 #include "base/rng.h"
 #include "data/anonymize.h"
 #include "data/faces.h"
@@ -38,26 +39,9 @@
 
 namespace {
 
-std::string StringFlag(int argc, char** argv, const char* name,
-                       const std::string& fallback) {
-  const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::string(argv[i] + prefix.size());
-    }
-  }
-  return fallback;
-}
-
-double DoubleFlag(int argc, char** argv, const char* name, double fallback) {
-  const std::string value = StringFlag(argc, argv, name, "");
-  return value.empty() ? fallback : std::atof(value.c_str());
-}
-
-int IntFlag(int argc, char** argv, const char* name, int fallback) {
-  const std::string value = StringFlag(argc, argv, name, "");
-  return value.empty() ? fallback : std::atoi(value.c_str());
-}
+using ivmf::DoubleFlag;
+using ivmf::IntFlag;
+using ivmf::StringFlag;
 
 void Usage() {
   std::fprintf(
