@@ -1,0 +1,177 @@
+// Figure 11 (beyond the paper): concurrent serving of the interval
+// decomposition under a YCSB-style workload.
+//
+// The paper's recommender evaluation (Section 6.1.3) measures how fast one
+// decomposition runs; this harness measures how the decomposition SERVES —
+// the "millions of users, heavy traffic" scenario made concrete. A
+// ServingEngine holds a StreamingIsvd behind an epoch-published snapshot
+// registry; N reader threads issue a configurable mix of point predictions
+// (read), top-k ranking scans (scan), and rating updates (write) against
+// zipfian- or uniform-popular users while the engine's single writer thread
+// coalesces the arriving ratings into warm-started refreshes and atomically
+// swaps in fresh snapshots. Reported: per-op-type p50/p95/p99 latency and
+// aggregate throughput, plus how many epochs the run published.
+//
+// Readers never block on the refresh: a read costs one atomic shared_ptr
+// acquire plus O(rank) arithmetic (O(items x rank) for top-k), so read
+// latency stays flat regardless of how busy the writer is — the property
+// every later scale item (sharding, SIMD kernels, per-event refresh) must
+// preserve.
+//
+// Usage:
+//   bench_fig11_serving [--users=10000] [--items=2000] [--rank=10]
+//                       [--strategy=2] [--fill_pct=5] [--alpha_pct=30]
+//                       [--readers=4] [--duration_ms=2000] [--read_pct=90]
+//                       [--topk_pct=5] [--topk=10] [--theta_pct=99]
+//                       [--uniform] [--seed=1234] [--json[=PATH]]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/ratings.h"
+#include "serve/serving_engine.h"
+#include "serve/workload.h"
+#include "sparse/sparse_interval_matrix.h"
+
+namespace {
+
+void PrintOpRow(const char* op, size_t ops, const ivmf::LatencyRecorder& lat,
+                double seconds) {
+  if (ops == 0) {
+    std::printf("%-8s %10s\n", op, "-");
+    return;
+  }
+  std::printf("%-8s %10zu %10.0f %9.1f %9.1f %9.1f %9.1f\n", op, ops,
+              static_cast<double>(ops) / seconds, lat.Percentile(50) * 1e6,
+              lat.Percentile(95) * 1e6, lat.Percentile(99) * 1e6,
+              lat.Percentile(100) * 1e6);
+}
+
+void JsonOpRecord(ivmf::bench::JsonWriter& json, const char* op, size_t ops,
+                  const ivmf::LatencyRecorder& lat,
+                  const ivmf::ServingWorkloadReport& report,
+                  size_t users, size_t items, size_t rank, int strategy,
+                  size_t readers, const char* distribution, double theta) {
+  json.BeginRecord();
+  json.Field("bench", "fig11_serving");
+  json.Field("op", op);
+  json.Field("users", users);
+  json.Field("items", items);
+  json.Field("rank", rank);
+  json.Field("strategy", strategy);
+  json.Field("readers", readers);
+  json.Field("distribution", distribution);
+  json.Field("theta", theta);
+  json.Field("seconds", report.seconds);
+  json.Field("ops", ops);
+  json.Field("ops_per_second",
+             report.seconds > 0.0 ? static_cast<double>(ops) / report.seconds
+                                  : 0.0);
+  json.Field("p50_us", lat.Percentile(50) * 1e6);
+  json.Field("p95_us", lat.Percentile(95) * 1e6);
+  json.Field("p99_us", lat.Percentile(99) * 1e6);
+  json.Field("max_us", lat.Percentile(100) * 1e6);
+  json.Field("total_throughput", report.throughput());
+  json.Field("snapshots_published", report.snapshots_published);
+  json.Field("first_epoch", static_cast<size_t>(report.first_epoch));
+  json.Field("last_epoch", static_cast<size_t>(report.last_epoch));
+  json.Field("epoch_regressions", report.epoch_regressions);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ivmf;
+  using namespace ivmf::bench;
+
+  const size_t users = static_cast<size_t>(IntFlag(argc, argv, "users", 10000));
+  const size_t items = static_cast<size_t>(IntFlag(argc, argv, "items", 2000));
+  const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 10));
+  const int strategy = IntFlag(argc, argv, "strategy", 2);
+  const double fill = IntFlag(argc, argv, "fill_pct", 5) / 100.0;
+  const double alpha = IntFlag(argc, argv, "alpha_pct", 30) / 100.0;
+
+  ServingWorkloadOptions workload;
+  workload.readers = static_cast<size_t>(IntFlag(argc, argv, "readers", 4));
+  workload.duration_seconds =
+      IntFlag(argc, argv, "duration_ms", 2000) / 1000.0;
+  workload.read_fraction = IntFlag(argc, argv, "read_pct", 90) / 100.0;
+  workload.topk_fraction = IntFlag(argc, argv, "topk_pct", 5) / 100.0;
+  workload.top_k = static_cast<size_t>(IntFlag(argc, argv, "topk", 10));
+  workload.zipf_theta = IntFlag(argc, argv, "theta_pct", 99) / 100.0;
+  workload.user_distribution = BoolFlag(argc, argv, "uniform")
+                                   ? KeyDistribution::kUniform
+                                   : KeyDistribution::kZipfian;
+  workload.seed = static_cast<uint64_t>(IntFlag(argc, argv, "seed", 1234));
+
+  // Base matrix: the synthetic CF interval construction at the configured
+  // fill, exactly like the fig10 harnesses.
+  RatingsConfig config;
+  config.num_users = users;
+  config.num_items = items;
+  config.fill = fill;
+  config.seed = 404;
+  const SparseRatingsData data = GenerateSparseRatings(config);
+  SparseIntervalMatrix base = SparseCfIntervalMatrix(data, alpha);
+  const size_t base_nnz = base.nnz();
+
+  PrintHeader("Figure 11 — YCSB-style serving: concurrent reads over "
+              "epoch-published snapshots");
+  std::printf(
+      "%zux%zu CF matrix, nnz %zu, ISVD%d rank %zu | %zu readers, %.1fs, "
+      "%s users (theta %.2f)\nmix: %.0f%% predict / %.0f%% top-%zu / "
+      "%.0f%% update\n\n",
+      users, items, base_nnz, strategy, rank, workload.readers,
+      workload.duration_seconds,
+      workload.user_distribution == KeyDistribution::kZipfian ? "zipfian"
+                                                              : "uniform",
+      workload.zipf_theta, workload.read_fraction * 100.0,
+      workload.topk_fraction * 100.0, workload.top_k,
+      (1.0 - workload.read_fraction - workload.topk_fraction) * 100.0);
+
+  ServingEngine engine(strategy, rank, std::move(base));
+  const ServingWorkloadReport report = RunServingWorkload(engine, workload);
+
+  std::printf("%-8s %10s %10s %9s %9s %9s %9s\n", "op", "ops", "ops/s",
+              "p50 us", "p95 us", "p99 us", "max us");
+  PrintRule(70);
+  PrintOpRow("predict", report.predict_ops, report.predict_latency,
+             report.seconds);
+  PrintOpRow("topk", report.topk_ops, report.topk_latency, report.seconds);
+  PrintOpRow("update", report.update_ops, report.update_latency,
+             report.seconds);
+  PrintRule(70);
+  std::printf(
+      "total %zu ops, %.0f ops/s | epochs %llu -> %llu (%llu published), "
+      "%zu epoch regressions\n",
+      report.total_ops(), report.throughput(),
+      static_cast<unsigned long long>(report.first_epoch),
+      static_cast<unsigned long long>(report.last_epoch),
+      static_cast<unsigned long long>(report.snapshots_published),
+      report.epoch_regressions);
+
+  // A regression here means a reader saw time move backwards — the
+  // publication contract is broken. Fail the bench loudly; CI runs this.
+  IVMF_CHECK_MSG(report.epoch_regressions == 0,
+                 "readers observed non-monotonic epochs");
+
+  JsonWriter json(JsonPathFlag(argc, argv, "fig11_serving"));
+  const char* distribution =
+      workload.user_distribution == KeyDistribution::kZipfian ? "zipfian"
+                                                              : "uniform";
+  JsonOpRecord(json, "predict", report.predict_ops, report.predict_latency,
+               report, users, items, rank, strategy, workload.readers,
+               distribution, workload.zipf_theta);
+  JsonOpRecord(json, "topk", report.topk_ops, report.topk_latency, report,
+               users, items, rank, strategy, workload.readers, distribution,
+               workload.zipf_theta);
+  JsonOpRecord(json, "update", report.update_ops, report.update_latency,
+               report, users, items, rank, strategy, workload.readers,
+               distribution, workload.zipf_theta);
+  if (!json.Finish()) {
+    std::fprintf(stderr, "error: failed writing JSON output\n");
+    return 1;
+  }
+  return 0;
+}

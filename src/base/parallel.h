@@ -16,13 +16,30 @@
 
 namespace ivmf {
 
+// Number of worker threads to use for a range of `n` items given the
+// hardware concurrency `hw` (0 = unknown, as hardware_concurrency() is
+// allowed to report): at least 1, never more threads than items, and capped
+// by min(max_threads, hw) where each is known. When hw is unknown an
+// explicit max_threads is trusted as-is — clamping it to the hw fallback of
+// 1 would silently serialize a caller that asked for parallelism — and only
+// the no-preference case (max_threads == 0) degrades to a single thread.
+// Split out from SuggestedThreads so the hw == 0 edge is unit-testable.
+inline size_t SuggestedThreadsWithHardware(size_t n, size_t max_threads,
+                                           size_t hw) {
+  if (n == 0) return 1;
+  if (max_threads == 0) {
+    max_threads = hw == 0 ? 1 : hw;
+  } else if (hw != 0 && max_threads > hw) {
+    max_threads = hw;
+  }
+  return n < max_threads ? n : max_threads;
+}
+
 // Number of worker threads to use for a range of `n` items: at least 1,
 // at most hardware concurrency, and never more threads than items.
 inline size_t SuggestedThreads(size_t n, size_t max_threads = 0) {
-  size_t hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 1;
-  if (max_threads == 0 || max_threads > hw) max_threads = hw;
-  return n < max_threads ? (n == 0 ? 1 : n) : max_threads;
+  return SuggestedThreadsWithHardware(n, max_threads,
+                                      std::thread::hardware_concurrency());
 }
 
 // Applies fn(i) for every i in [begin, end), possibly concurrently.

@@ -85,13 +85,12 @@ const IsvdResult& StreamingIsvd::Refresh() {
   Stopwatch sw;
   const bool warm = WarmEligible();
   matrix_.MaybeCompact(options_.compact_threshold);
-  // With an empty log (fresh construction, or a refresh that just
-  // compacted) the base IS the current matrix — decompose it in place
-  // rather than paying Snapshot's O(nnz) copy on top of the merge.
-  SparseIntervalMatrix snapshot_storage;
-  if (matrix_.delta_size() > 0) snapshot_storage = matrix_.Snapshot();
-  const SparseIntervalMatrix& snapshot =
-      matrix_.delta_size() > 0 ? snapshot_storage : matrix_.base();
+  // Decompose the shared frozen view. The merge (or, with an empty log, the
+  // base copy) is paid once per mutation epoch; holding the view in
+  // snapshot_ keeps (matrix_snapshot(), result()) a consistent pair for the
+  // serving layer even while later ApplyBatch calls mutate matrix_.
+  snapshot_ = matrix_.SharedSnapshot();
+  const SparseIntervalMatrix& snapshot = *snapshot_;
 
   IsvdOptions isvd_options = options_.isvd;
   if (warm) {
@@ -103,6 +102,7 @@ const IsvdResult& StreamingIsvd::Refresh() {
   }
   result_ = RunIsvd(strategy_, snapshot, rank_, isvd_options);
   have_result_ = true;
+  ++refresh_count_;
   CaptureWarmBases();
 
   stats_.warm = warm;

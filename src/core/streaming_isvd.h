@@ -26,6 +26,8 @@
 #define IVMF_CORE_STREAMING_ISVD_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/isvd.h"
@@ -109,6 +111,20 @@ class StreamingIsvd {
   const IsvdResult& result() const { return result_; }
   const StreamingRefreshStats& last_stats() const { return stats_; }
 
+  // Snapshot export hook for the serving layer: the immutable shared CSR
+  // view that result() was computed from — the exact matrix object the last
+  // Refresh() decomposed, so (matrix_snapshot(), result()) is always an
+  // internally consistent pair regardless of ApplyBatch calls made since.
+  // The view is safe to read from any thread; the accessor itself follows
+  // the class's single-writer contract (Refresh replaces it).
+  const std::shared_ptr<const SparseIntervalMatrix>& matrix_snapshot() const {
+    return snapshot_;
+  }
+
+  // Refreshes completed so far (>= 1: construction runs the first one).
+  // The serving layer stamps this as the published epoch.
+  uint64_t refresh_count() const { return refresh_count_; }
+
  private:
   bool WarmEligible() const;
   void CaptureWarmBases();
@@ -118,6 +134,8 @@ class StreamingIsvd {
   StreamingIsvdOptions options_;
   DynamicSparseIntervalMatrix matrix_;
   IsvdResult result_;
+  std::shared_ptr<const SparseIntervalMatrix> snapshot_;
+  uint64_t refresh_count_ = 0;
   StreamingRefreshStats stats_;
   // Previous refresh's Ritz bases for the lower / upper endpoint solves.
   Matrix warm_lo_;

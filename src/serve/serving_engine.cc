@@ -1,0 +1,111 @@
+#include "serve/serving_engine.h"
+
+#include <utility>
+
+#include "base/check.h"
+
+namespace ivmf {
+
+ServingEngine::ServingEngine(int strategy, size_t rank,
+                             SparseIntervalMatrix base,
+                             ServingEngineOptions options)
+    : options_(std::move(options)),
+      streaming_(strategy, rank, std::move(base), options_.streaming) {
+  PublishCurrent();  // epoch 1: the construction-time cold decomposition
+}
+
+ServingEngine::~ServingEngine() {
+  if (writer_running()) StopWriter();
+}
+
+void ServingEngine::PublishCurrent() {
+  auto snapshot = std::make_shared<const ServingSnapshot>(
+      streaming_.refresh_count(), streaming_.result(),
+      streaming_.matrix_snapshot());
+  registry_.Publish(snapshot);
+  epoch_.store(snapshot->epoch(), std::memory_order_release);
+  if (options_.on_publish) options_.on_publish(snapshot);
+}
+
+void ServingEngine::Submit(std::vector<IntervalTriplet> batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_cells_ += batch.size();
+    pending_.push_back(std::move(batch));
+  }
+  cv_.notify_one();
+}
+
+size_t ServingEngine::pending_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_cells_;
+}
+
+std::vector<std::vector<IntervalTriplet>> ServingEngine::Drain() {
+  std::vector<std::vector<IntervalTriplet>> drained;
+  std::lock_guard<std::mutex> lock(mu_);
+  drained.swap(pending_);
+  pending_cells_ = 0;
+  return drained;
+}
+
+size_t ServingEngine::Step() {
+  const std::vector<std::vector<IntervalTriplet>> drained = Drain();
+  size_t cells = 0;
+  for (const std::vector<IntervalTriplet>& batch : drained) {
+    streaming_.ApplyBatch(batch);
+    cells += batch.size();
+  }
+  if (cells == 0) return 0;  // nothing new: keep the current epoch
+
+  streaming_.Refresh();
+  PublishCurrent();
+  cells_applied_.fetch_add(cells, std::memory_order_relaxed);
+  return cells;
+}
+
+void ServingEngine::StartWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IVMF_CHECK_MSG(!running_, "writer thread already running");
+    running_ = true;
+    stop_ = false;
+  }
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+void ServingEngine::StopWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    IVMF_CHECK_MSG(running_, "no writer thread to stop");
+    stop_ = true;
+  }
+  cv_.notify_one();
+  writer_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  Step();  // flush anything submitted during shutdown
+}
+
+bool ServingEngine::writer_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void ServingEngine::WriterLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_) return;  // StopWriter flushes the remainder
+    }
+    // Drain + refresh + publish outside the lock: submitters never wait on
+    // the decomposition.
+    Step();
+  }
+}
+
+}  // namespace ivmf

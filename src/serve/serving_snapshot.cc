@@ -1,0 +1,108 @@
+#include "serve/serving_snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.h"
+
+namespace ivmf {
+
+ServingSnapshot::ServingSnapshot(
+    uint64_t epoch, IsvdResult result,
+    std::shared_ptr<const SparseIntervalMatrix> matrix)
+    : epoch_(epoch), result_(std::move(result)), matrix_(std::move(matrix)) {
+  IVMF_CHECK_MSG(matrix_ != nullptr,
+                 "ServingSnapshot needs the frozen matrix view");
+  IVMF_CHECK_MSG(result_.u.rows() == matrix_->rows() &&
+                     result_.v.rows() == matrix_->cols(),
+                 "factor shapes do not match the matrix view");
+}
+
+Interval ServingSnapshot::Predict(size_t user, size_t item) const {
+  IVMF_CHECK_MSG(user < users() && item < items(),
+                 "prediction outside the matrix shape");
+  const size_t r = result_.rank();
+  switch (result_.target) {
+    case DecompositionTarget::kA: {
+      // Algorithm 12 per cell. Σ† is diagonal, so the first interval
+      // matmul collapses per-entry to u†(i,k) ⊗ σ†(k); the second follows
+      // Algorithm 1's endpoint-product rule, which takes min/max over the
+      // four FULL row-column sums (not per-term — per-term would give a
+      // different, wider interval whenever factor signs are mixed).
+      double t1 = 0.0, t2 = 0.0, t3 = 0.0, t4 = 0.0;
+      for (size_t k = 0; k < r; ++k) {
+        const Interval us = result_.u.At(user, k) * result_.sigma[k];
+        const double vlo = result_.v.lower()(item, k);
+        const double vhi = result_.v.upper()(item, k);
+        t1 += us.lo * vlo;
+        t2 += us.lo * vhi;
+        t3 += us.hi * vlo;
+        t4 += us.hi * vhi;
+      }
+      return Interval(std::min(std::min(t1, t2), std::min(t3, t4)),
+                      std::max(std::max(t1, t2), std::max(t3, t4)));
+    }
+    case DecompositionTarget::kB: {
+      // Algorithm 13 per cell: scalar factors against the two core
+      // endpoints, then average replacement of a misordered pair.
+      const Matrix& u = result_.ScalarU();
+      const Matrix& v = result_.ScalarV();
+      double lo = 0.0, hi = 0.0;
+      for (size_t k = 0; k < r; ++k) {
+        const double uv = u(user, k) * v(item, k);
+        lo += uv * result_.sigma[k].lo;
+        hi += uv * result_.sigma[k].hi;
+      }
+      if (lo > hi) {
+        const double mid = 0.5 * (lo + hi);
+        return Interval::Scalar(mid);
+      }
+      return Interval(lo, hi);
+    }
+    case DecompositionTarget::kC: {
+      // Algorithm 14 per cell: fully scalar.
+      const Matrix& u = result_.ScalarU();
+      const Matrix& v = result_.ScalarV();
+      double mid = 0.0;
+      for (size_t k = 0; k < r; ++k) {
+        mid += u(user, k) * result_.sigma[k].lo * v(item, k);
+      }
+      return Interval::Scalar(mid);
+    }
+  }
+  IVMF_CHECK_MSG(false, "unknown decomposition target");
+  return {};
+}
+
+std::vector<ServingSnapshot::ScoredItem> ServingSnapshot::TopK(
+    size_t user, size_t k, bool exclude_observed) const {
+  IVMF_CHECK_MSG(user < users(), "user outside the matrix shape");
+  const std::vector<size_t>& row_ptr = matrix_->row_ptr();
+  const std::vector<size_t>& col_idx = matrix_->col_idx();
+  const auto row_begin =
+      col_idx.begin() + static_cast<ptrdiff_t>(row_ptr[user]);
+  const auto row_end =
+      col_idx.begin() + static_cast<ptrdiff_t>(row_ptr[user + 1]);
+
+  std::vector<ScoredItem> scored;
+  scored.reserve(items());
+  for (size_t j = 0; j < items(); ++j) {
+    if (exclude_observed && std::binary_search(row_begin, row_end, j)) {
+      continue;
+    }
+    scored.push_back({j, Predict(user, j)});
+  }
+  const size_t take = std::min(k, scored.size());
+  const auto by_midpoint_desc = [](const ScoredItem& a, const ScoredItem& b) {
+    const double ma = a.score.Mid(), mb = b.score.Mid();
+    if (ma != mb) return ma > mb;
+    return a.item < b.item;
+  };
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<ptrdiff_t>(take),
+                    scored.end(), by_midpoint_desc);
+  scored.resize(take);
+  return scored;
+}
+
+}  // namespace ivmf

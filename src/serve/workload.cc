@@ -1,0 +1,129 @@
+#include "serve/workload.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "base/check.h"
+#include "base/stopwatch.h"
+
+namespace ivmf {
+
+namespace {
+
+// Per-thread outcome, merged into the report after the join — readers never
+// share mutable state with each other.
+struct ThreadOutcome {
+  size_t predict_ops = 0;
+  size_t topk_ops = 0;
+  size_t update_ops = 0;
+  LatencyRecorder predict_latency;
+  LatencyRecorder topk_latency;
+  LatencyRecorder update_latency;
+  size_t epoch_regressions = 0;
+  double checksum = 0.0;
+};
+
+}  // namespace
+
+ServingWorkloadReport RunServingWorkload(
+    ServingEngine& engine, const ServingWorkloadOptions& options) {
+  IVMF_CHECK_MSG(options.readers > 0, "workload needs at least one reader");
+  IVMF_CHECK_MSG(options.duration_seconds > 0.0,
+                 "workload duration must be positive");
+  IVMF_CHECK_MSG(options.read_fraction >= 0.0 &&
+                     options.topk_fraction >= 0.0 &&
+                     options.read_fraction + options.topk_fraction <= 1.0,
+                 "op mix fractions must be non-negative and sum to <= 1");
+  IVMF_CHECK_MSG(!engine.writer_running(),
+                 "the workload drives the engine's own writer thread");
+
+  const std::shared_ptr<const ServingSnapshot> initial = engine.Acquire();
+  const size_t users = initial->users();
+  const size_t items = initial->items();
+
+  ServingWorkloadReport report;
+  report.seconds = options.duration_seconds;
+  report.first_epoch = engine.epoch();
+  const uint64_t published_before = engine.registry().published();
+
+  std::vector<ThreadOutcome> outcomes(options.readers);
+  engine.StartWriter();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(options.readers);
+    for (size_t tid = 0; tid < options.readers; ++tid) {
+      threads.emplace_back([&, tid] {
+        ThreadOutcome& out = outcomes[tid];
+        // Independent per-thread streams: one seed stride for the op/value
+        // draws, another for key popularity.
+        const uint64_t thread_seed =
+            options.seed + 0x9E3779B97F4A7C15ULL * (tid + 1);
+        Rng rng(thread_seed);
+        ZipfianGenerator zipf(users, options.zipf_theta, thread_seed ^ 0x5A);
+        UniformKeyGenerator uniform(users, thread_seed ^ 0xA5);
+        const bool zipfian =
+            options.user_distribution == KeyDistribution::kZipfian;
+
+        uint64_t last_epoch = 0;
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(options.duration_seconds);
+        Stopwatch op_clock;
+        while (std::chrono::steady_clock::now() < deadline) {
+          const double which = rng.Uniform();
+          const size_t user = zipfian ? zipf.Next() : uniform.Next();
+
+          op_clock.Restart();
+          const std::shared_ptr<const ServingSnapshot> snapshot =
+              engine.Acquire();
+          if (snapshot->epoch() < last_epoch) ++out.epoch_regressions;
+          last_epoch = snapshot->epoch();
+
+          if (which < options.read_fraction) {
+            const size_t item = static_cast<size_t>(rng.UniformIndex(items));
+            const Interval predicted = snapshot->Predict(user, item);
+            out.checksum += predicted.lo + predicted.hi;
+            out.predict_latency.Record(op_clock.Seconds());
+            ++out.predict_ops;
+          } else if (which < options.read_fraction + options.topk_fraction) {
+            const std::vector<ServingSnapshot::ScoredItem> top =
+                snapshot->TopK(user, options.top_k);
+            if (!top.empty()) out.checksum += top.front().score.Mid();
+            out.topk_latency.Record(op_clock.Seconds());
+            ++out.topk_ops;
+          } else {
+            const size_t item = static_cast<size_t>(rng.UniformIndex(items));
+            const double mid =
+                rng.Uniform(options.rating_min, options.rating_max);
+            engine.Submit({{user, item,
+                            Interval(mid - options.rating_radius,
+                                     mid + options.rating_radius)}});
+            out.update_latency.Record(op_clock.Seconds());
+            ++out.update_ops;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  engine.StopWriter();
+
+  for (const ThreadOutcome& out : outcomes) {
+    report.predict_ops += out.predict_ops;
+    report.topk_ops += out.topk_ops;
+    report.update_ops += out.update_ops;
+    report.predict_latency.Merge(out.predict_latency);
+    report.topk_latency.Merge(out.topk_latency);
+    report.update_latency.Merge(out.update_latency);
+    report.epoch_regressions += out.epoch_regressions;
+    report.checksum += out.checksum;
+  }
+  report.last_epoch = engine.epoch();
+  report.snapshots_published =
+      engine.registry().published() - published_before;
+  return report;
+}
+
+}  // namespace ivmf

@@ -1,0 +1,195 @@
+// YCSB-style workload machinery for the serving layer: key-popularity
+// generators (zipfian / uniform), per-op latency recording with percentile
+// reporting, and the multi-threaded read/update driver the fig11 harness
+// and the ivmf_serve CLI share.
+//
+// The zipfian generator is the classic YCSB construction (Gray et al.'s
+// "Quickly generating billion-record synthetic databases" rejection-free
+// formula): key i of n is drawn with probability proportional to
+// 1/(i+1)^theta, so low indices are the hot users. Everything here draws
+// from the library Rng, so a workload is reproducible from its seed —
+// op-for-op per thread; only the interleaving across threads is scheduled
+// by the OS.
+
+#ifndef IVMF_SERVE_WORKLOAD_H_
+#define IVMF_SERVE_WORKLOAD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "serve/serving_engine.h"
+
+namespace ivmf {
+
+// -- Key generators ----------------------------------------------------------
+
+// Bounded zipfian over [0, n): P(i) = (1/(i+1)^theta) / zeta(n, theta).
+// theta in [0, 1); theta -> 0 degenerates to uniform, YCSB's default skew
+// is 0.99. Construction is O(n) (the zeta sum); Next() is O(1).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(size_t n, double theta, uint64_t seed)
+      : n_(n), theta_(theta), rng_(seed) {
+    IVMF_CHECK_MSG(n > 0, "zipfian needs a non-empty key space");
+    IVMF_CHECK_MSG(theta >= 0.0 && theta < 1.0,
+                   "zipfian theta must lie in [0, 1)");
+    zetan_ = Zeta(n_, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = Zeta(std::min<size_t>(n_, 2), theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+    if (!std::isfinite(eta_)) eta_ = 1.0;  // n == 1: every draw is key 0
+  }
+
+  // Next key in [0, n), deterministic in the seed.
+  size_t Next() {
+    const double u = rng_.Uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const size_t key = static_cast<size_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return key < n_ ? key : n_ - 1;
+  }
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // The generalized harmonic number H_{n,theta} = sum_{i=1..n} i^-theta.
+  static double Zeta(size_t n, double theta) {
+    double sum = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  // P(Next() == key) under the ideal distribution, for skew assertions.
+  double TheoreticalFrequency(size_t key) const {
+    return 1.0 / std::pow(static_cast<double>(key + 1), theta_) / zetan_;
+  }
+
+ private:
+  size_t n_;
+  double theta_;
+  double zetan_, alpha_, eta_;
+  Rng rng_;
+};
+
+// Uniform over [0, n), same interface.
+class UniformKeyGenerator {
+ public:
+  UniformKeyGenerator(size_t n, uint64_t seed) : n_(n), rng_(seed) {
+    IVMF_CHECK_MSG(n > 0, "uniform generator needs a non-empty key space");
+  }
+  size_t Next() { return static_cast<size_t>(rng_.UniformIndex(n_)); }
+  size_t n() const { return n_; }
+
+ private:
+  size_t n_;
+  Rng rng_;
+};
+
+// -- Latency recording -------------------------------------------------------
+
+// Collects per-op latencies (seconds) and reports nearest-rank percentiles:
+// Percentile(p) is the ceil(p/100 * count)-th smallest sample, the YCSB
+// convention. Recording is a vector push; aggregation sorts a copy at
+// report time. One recorder per thread, merged after the run — never shared
+// across threads.
+class LatencyRecorder {
+ public:
+  void Record(double seconds) { samples_.push_back(seconds); }
+
+  size_t count() const { return samples_.size(); }
+
+  double total() const {
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum;
+  }
+
+  // Nearest-rank percentile, p in [0, 100]; 0 with no samples. p = 0 maps
+  // to the minimum, p = 100 to the maximum.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+    if (rank < 1) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+  }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// -- The read/update driver --------------------------------------------------
+
+enum class KeyDistribution { kZipfian, kUniform };
+
+struct ServingWorkloadOptions {
+  size_t readers = 4;             // client threads issuing ops
+  double duration_seconds = 2.0;  // wall-clock run length per thread
+  // Op mix: predict + topk + update fractions; updates take the remainder
+  // (read_fraction + topk_fraction must not exceed 1).
+  double read_fraction = 0.90;  // point predictions
+  double topk_fraction = 0.05;  // top-k ranking scans
+  size_t top_k = 10;
+  KeyDistribution user_distribution = KeyDistribution::kZipfian;
+  double zipf_theta = 0.99;  // YCSB default skew
+  uint64_t seed = 1234;
+  // Updates write [x - radius, x + radius] with x uniform on the scale.
+  double rating_min = 1.0;
+  double rating_max = 5.0;
+  double rating_radius = 0.25;
+};
+
+struct ServingWorkloadReport {
+  double seconds = 0.0;  // configured duration (per-thread wall clock)
+  size_t predict_ops = 0;
+  size_t topk_ops = 0;
+  size_t update_ops = 0;
+  LatencyRecorder predict_latency;
+  LatencyRecorder topk_latency;
+  LatencyRecorder update_latency;
+  uint64_t first_epoch = 0;          // epoch current when the run started
+  uint64_t last_epoch = 0;           // epoch current when the run ended
+  uint64_t snapshots_published = 0;  // publications during the run
+  // Monotonicity violations observed by readers (a reader acquiring an
+  // epoch older than one it already saw). The publication contract makes
+  // this impossible; anything non-zero is a bug.
+  size_t epoch_regressions = 0;
+  // Fold of served predictions, so the reads cannot be optimized away.
+  double checksum = 0.0;
+
+  size_t total_ops() const { return predict_ops + topk_ops + update_ops; }
+  double throughput() const {  // ops / second, all threads combined
+    return seconds > 0.0 ? static_cast<double>(total_ops()) / seconds : 0.0;
+  }
+};
+
+// Runs the YCSB-style loop against a live engine: starts the engine's
+// background writer, spins up `readers` client threads issuing the
+// configured mix against zipfian- or uniform-popular users for the duration,
+// stops the writer, and returns the merged report. The engine must not have
+// its writer running already.
+ServingWorkloadReport RunServingWorkload(
+    ServingEngine& engine, const ServingWorkloadOptions& options);
+
+}  // namespace ivmf
+
+#endif  // IVMF_SERVE_WORKLOAD_H_

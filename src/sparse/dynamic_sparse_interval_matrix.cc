@@ -40,6 +40,7 @@ bool DynamicSparseIntervalMatrix::BaseHasCell(size_t i, size_t j) const {
 Interval DynamicSparseIntervalMatrix::Upsert(size_t i, size_t j,
                                              Interval value) {
   IVMF_CHECK_MSG(i < rows() && j < cols(), "cell outside the matrix shape");
+  frozen_.reset();  // any mutation starts a new SharedSnapshot epoch
   const std::pair<size_t, size_t> key(i, j);
   const auto it = delta_.find(key);
   if (it != delta_.end()) {
@@ -53,6 +54,14 @@ Interval DynamicSparseIntervalMatrix::Upsert(size_t i, size_t j,
   delta_.emplace(key, value);
   if (in_base) ++overlap_;
   return previous;
+}
+
+std::shared_ptr<const SparseIntervalMatrix>
+DynamicSparseIntervalMatrix::SharedSnapshot() {
+  if (frozen_ == nullptr) {
+    frozen_ = std::make_shared<const SparseIntervalMatrix>(Snapshot());
+  }
+  return frozen_;
 }
 
 void DynamicSparseIntervalMatrix::ApplyBatch(
@@ -106,7 +115,15 @@ SparseIntervalMatrix DynamicSparseIntervalMatrix::Snapshot() const {
 }
 
 void DynamicSparseIntervalMatrix::Compact() {
-  base_ = Snapshot();
+  // Compaction does not change the matrix content, so an existing frozen
+  // view stays valid — and when one exists with an empty log it already IS
+  // the compacted form, making the fold a shared-copy adoption.
+  if (delta_.empty()) return;
+  if (frozen_ != nullptr) {
+    base_ = *frozen_;
+  } else {
+    base_ = Snapshot();
+  }
   delta_.clear();
   overlap_ = 0;
 }

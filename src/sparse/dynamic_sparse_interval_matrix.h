@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -76,6 +77,16 @@ class DynamicSparseIntervalMatrix {
   // matrix — the decomposition input.
   SparseIntervalMatrix Snapshot() const;
 
+  // Frozen-view handoff for concurrent consumers (the serving layer): the
+  // current matrix as an immutable shared CSR snapshot. The merge cost is
+  // paid at most once per mutation epoch — repeated calls between mutations
+  // return the SAME shared matrix (pointer-equal), so publishing a snapshot
+  // per refresh is O(1) when nothing changed and one linear merge otherwise.
+  // Writer-side API like every other mutator-adjacent method: the returned
+  // view is safe to read from any thread, but SharedSnapshot() itself must
+  // be called from the (single) mutating thread.
+  std::shared_ptr<const SparseIntervalMatrix> SharedSnapshot();
+
   // Folds the log into the base (base becomes Snapshot(), log empties).
   void Compact();
 
@@ -93,6 +104,8 @@ class DynamicSparseIntervalMatrix {
   std::map<std::pair<size_t, size_t>, Interval> delta_;
   // Log entries that shadow an explicit base cell (revisions, not arrivals).
   size_t overlap_ = 0;
+  // SharedSnapshot cache; reset by every mutation (Upsert / Compact).
+  std::shared_ptr<const SparseIntervalMatrix> frozen_;
 };
 
 }  // namespace ivmf

@@ -65,6 +65,29 @@ TEST(SuggestedThreadsTest, HonorsMaxThreads) {
   EXPECT_LE(SuggestedThreads(1000, 4), 4u);
 }
 
+TEST(SuggestedThreadsTest, UnknownHardwareTrustsExplicitMaxThreads) {
+  // hardware_concurrency() may legitimately return 0 (unknown). An explicit
+  // max_threads must survive that — the old code clamped it to the hw
+  // fallback of 1 and silently serialized the caller.
+  EXPECT_EQ(SuggestedThreadsWithHardware(1000, 8, /*hw=*/0), 8u);
+  EXPECT_EQ(SuggestedThreadsWithHardware(5, 8, /*hw=*/0), 5u);
+}
+
+TEST(SuggestedThreadsTest, UnknownHardwareWithoutPreferenceStaysSerial) {
+  EXPECT_EQ(SuggestedThreadsWithHardware(1000, 0, /*hw=*/0), 1u);
+}
+
+TEST(SuggestedThreadsTest, KnownHardwareStillCapsExplicitMaxThreads) {
+  EXPECT_EQ(SuggestedThreadsWithHardware(1000, 8, /*hw=*/4), 4u);
+  EXPECT_EQ(SuggestedThreadsWithHardware(1000, 2, /*hw=*/4), 2u);
+  EXPECT_EQ(SuggestedThreadsWithHardware(3, 8, /*hw=*/4), 3u);
+}
+
+TEST(SuggestedThreadsTest, ZeroItemsAlwaysOneThread) {
+  EXPECT_EQ(SuggestedThreadsWithHardware(0, 8, /*hw=*/0), 1u);
+  EXPECT_EQ(SuggestedThreadsWithHardware(0, 0, /*hw=*/16), 1u);
+}
+
 TEST(ParallelMatmulTest, LargeProductMatchesSerialSemantics) {
   // The parallel threshold kicks in above ~4M flops: 200x200x200 = 8M.
   Rng rng(2);

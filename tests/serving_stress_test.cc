@@ -1,0 +1,306 @@
+// Concurrency stress tests for the serving layer, built to run under
+// ThreadSanitizer (the sanitize-thread CI job): readers race the background
+// writer through many batch/refresh/publish cycles, and every invariant the
+// publication contract promises is re-checked after the fact —
+//
+//   * epochs observed by each reader are monotone (RCU swap is ordered),
+//   * every sampled prediction is bitwise-reproducible from the retained
+//     snapshot of its epoch (snapshots are deeply immutable),
+//   * every retained snapshot matches a from-scratch decomposition of the
+//     ratings known to be applied by its epoch (snapshots are internally
+//     consistent — factors always pair with the matrix they decompose),
+//   * snapshots outlive their epoch for as long as a reader holds them
+//     (no use-after-free; ASan/TSan would flag otherwise).
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "core/sparse_isvd.h"
+#include "serve/serving_engine.h"
+#include "serve/snapshot_registry.h"
+#include "serve/serving_snapshot.h"
+
+namespace ivmf {
+namespace {
+
+using CellMap = std::map<std::pair<size_t, size_t>, Interval>;
+
+std::vector<IntervalTriplet> ToTriplets(const CellMap& cells) {
+  std::vector<IntervalTriplet> triplets;
+  triplets.reserve(cells.size());
+  for (const auto& [key, value] : cells) {
+    triplets.push_back({key.first, key.second, value});
+  }
+  return triplets;
+}
+
+CellMap RandomBaseCells(size_t n, size_t m, size_t k, double fill, Rng& rng) {
+  Matrix u(n, k), v(m, k);
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < k; ++j) u(i, j) = rng.Uniform(0.1, 1.0);
+  for (size_t i = 0; i < m; ++i)
+    for (size_t j = 0; j < k; ++j) v(i, j) = rng.Uniform(0.1, 1.0);
+  CellMap cells;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (!rng.Bernoulli(fill)) continue;
+      double base = 0.0;
+      for (size_t c = 0; c < k; ++c) base += u(i, c) * v(j, c);
+      cells[{i, j}] = Interval(base, base + rng.Uniform(0.0, 0.2));
+    }
+  }
+  return cells;
+}
+
+// One sampled read, checked against the retained snapshot after the join.
+struct Sample {
+  uint64_t epoch;
+  size_t user, item;
+  Interval predicted;
+};
+
+// Readers race the background writer through a full ingest stream. All
+// verification happens after the join so the hot loop stays an honest
+// acquire/predict race.
+TEST(ServingStressTest, ReadersRaceWriterThroughRefreshCycles) {
+  Rng rng(31);
+  const size_t n = 60, m = 30, rank = 4;
+  const int strategy = 2;
+  const size_t kReaders = 4;
+  const size_t kBatches = 12;
+  const size_t kCellsPerBatch = 5;
+
+  CellMap cells = RandomBaseCells(n, m, 4, 0.3, rng);
+  const CellMap base_cells = cells;
+  const SparseIntervalMatrix base =
+      SparseIntervalMatrix::FromTriplets(n, m, ToTriplets(cells));
+
+  // Retain every published snapshot, keyed by epoch, via the publish hook.
+  std::mutex history_mu;
+  std::map<uint64_t, std::shared_ptr<const ServingSnapshot>> history;
+  ServingEngineOptions options;
+  options.on_publish =
+      [&](const std::shared_ptr<const ServingSnapshot>& snapshot) {
+        std::lock_guard<std::mutex> lock(history_mu);
+        history[snapshot->epoch()] = snapshot;
+      };
+
+  ServingEngine engine(strategy, rank, base, options);
+  engine.StartWriter();
+
+  std::atomic<bool> done{false};
+  std::vector<size_t> regressions(kReaders, 0);
+  std::vector<std::vector<Sample>> samples(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t tid = 0; tid < kReaders; ++tid) {
+    readers.emplace_back([&, tid] {
+      Rng thread_rng(1000 + tid);
+      uint64_t last_epoch = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::shared_ptr<const ServingSnapshot> snapshot =
+            engine.Acquire();
+        if (snapshot->epoch() < last_epoch) ++regressions[tid];
+        last_epoch = snapshot->epoch();
+        const size_t user = thread_rng.UniformIndex(n);
+        const size_t item = thread_rng.UniformIndex(m);
+        const Interval predicted = snapshot->Predict(user, item);
+        if (samples[tid].size() < 2000) {
+          samples[tid].push_back({snapshot->epoch(), user, item, predicted});
+        }
+      }
+    });
+  }
+
+  // The writer-side ingest stream: batches of revisions and arrivals,
+  // recording the expected cell state after each batch.
+  std::vector<CellMap> expected_after;  // expected_after[b] = state after b+1
+  Rng batch_rng(32);
+  for (size_t b = 0; b < kBatches; ++b) {
+    std::vector<IntervalTriplet> batch;
+    for (size_t c = 0; c < kCellsPerBatch; ++c) {
+      const size_t i = batch_rng.UniformIndex(n);
+      const size_t j = batch_rng.UniformIndex(m);
+      const double lo = batch_rng.Uniform(0.5, 4.5);
+      const Interval value(lo, lo + batch_rng.Uniform(0.0, 0.5));
+      batch.push_back({i, j, value});
+      cells[{i, j}] = value;
+    }
+    expected_after.push_back(cells);
+    engine.Submit(std::move(batch));
+    // Give the writer a chance to pick distinct batches up; coalescing is
+    // legal either way, this just makes multiple epochs likely.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Wait until everything submitted has been applied and published.
+  while (engine.cells_applied() < kBatches * kCellsPerBatch) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  engine.StopWriter();
+
+  // (1) Per-reader epoch monotonicity.
+  for (size_t tid = 0; tid < kReaders; ++tid) {
+    EXPECT_EQ(regressions[tid], 0u) << "reader " << tid;
+    EXPECT_FALSE(samples[tid].empty()) << "reader " << tid << " never read";
+  }
+
+  // (2) Every sample is bitwise-reproducible from the retained snapshot of
+  // its epoch — snapshots never mutated after publication.
+  size_t checked = 0;
+  for (const std::vector<Sample>& reader_samples : samples) {
+    for (const Sample& s : reader_samples) {
+      const auto it = history.find(s.epoch);
+      ASSERT_NE(it, history.end()) << "reader saw unpublished epoch "
+                                   << s.epoch;
+      const Interval again = it->second->Predict(s.user, s.item);
+      ASSERT_EQ(again.lo, s.predicted.lo) << "epoch " << s.epoch;
+      ASSERT_EQ(again.hi, s.predicted.hi) << "epoch " << s.epoch;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // (3) The final epoch's snapshot equals the from-scratch decomposition of
+  // the fully-applied stream, cell-observations included.
+  const auto final_snapshot = engine.Acquire();
+  EXPECT_EQ(final_snapshot->epoch(), history.rbegin()->first);
+  for (const auto& [key, value] : cells) {
+    EXPECT_EQ(final_snapshot->Observed(key.first, key.second), value);
+  }
+  StreamingIsvdOptions streaming_options;
+  const IsvdResult cold = RunIsvd(
+      strategy, SparseIntervalMatrix::FromTriplets(n, m, ToTriplets(cells)),
+      rank, streaming_options.isvd);
+  ASSERT_EQ(final_snapshot->rank(), cold.rank());
+  // Warm-started refreshes agree with a cold run to the Krylov convergence
+  // tolerance, not machine precision — 1e-6 leaves margin over the ~1e-8
+  // residual while still catching any real divergence.
+  const IntervalMatrix recon = cold.Reconstruct();
+  for (size_t i = 0; i < n; i += 9) {
+    for (size_t j = 0; j < m; j += 7) {
+      const Interval predicted = final_snapshot->Predict(i, j);
+      EXPECT_NEAR(predicted.lo, recon.At(i, j).lo, 1e-6);
+      EXPECT_NEAR(predicted.hi, recon.At(i, j).hi, 1e-6);
+    }
+  }
+
+  // (4) Intermediate epochs were internally consistent: each retained
+  // snapshot observed EXACTLY the state after some number of whole batches
+  // (the writer may coalesce batches but never splits or reorders them).
+  // Compare over the union of all cells ever written; missing = zero.
+  const auto state_after = [&](size_t b) -> const CellMap& {
+    return b == 0 ? base_cells : expected_after[b - 1];
+  };
+  for (const auto& [epoch, snapshot] : history) {
+    bool matched = false;
+    for (size_t b = 0; !matched && b <= expected_after.size(); ++b) {
+      const CellMap& state = state_after(b);
+      bool all = true;
+      for (const auto& [key, value] : cells) {  // `cells` holds every key
+        const auto it = state.find(key);
+        const Interval want = it == state.end() ? Interval() : it->second;
+        if (!(snapshot->Observed(key.first, key.second) == want)) {
+          all = false;
+          break;
+        }
+      }
+      matched = all;
+    }
+    EXPECT_TRUE(matched) << "epoch " << epoch
+                         << " observed a non-prefix cell state";
+  }
+}
+
+// Registry-only tight race: one publisher swapping cheap snapshots as fast
+// as it can while several threads spin on Acquire. Maximizes the
+// acquire/store interleaving density for TSan with no refresh work in the
+// loop.
+TEST(ServingStressTest, RegistryAcquirePublishTightRace) {
+  Rng rng(33);
+  const size_t n = 6, m = 4;
+  const CellMap cells = RandomBaseCells(n, m, 2, 0.8, rng);
+  StreamingIsvd streaming(
+      2, 2, SparseIntervalMatrix::FromTriplets(n, m, ToTriplets(cells)));
+
+  SnapshotRegistry registry;
+  registry.Publish(std::make_shared<const ServingSnapshot>(
+      1, streaming.result(), streaming.matrix_snapshot()));
+
+  const size_t kSpinners = 4;
+  const uint64_t kPublications = 3000;
+  std::atomic<bool> done{false};
+  std::vector<size_t> regressions(kSpinners, 0);
+  std::vector<std::thread> spinners;
+  spinners.reserve(kSpinners);
+  for (size_t tid = 0; tid < kSpinners; ++tid) {
+    spinners.emplace_back([&, tid] {
+      uint64_t last = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::shared_ptr<const ServingSnapshot> snapshot =
+            registry.Acquire();
+        if (snapshot->epoch() < last) ++regressions[tid];
+        last = snapshot->epoch();
+        // Touch the payload so a freed snapshot cannot go unnoticed.
+        (void)snapshot->Predict(0, 0);
+      }
+    });
+  }
+
+  // All publications share the same factors and matrix; only the epoch
+  // differs. Publication cost is one make_shared plus the atomic swap.
+  for (uint64_t epoch = 2; epoch <= kPublications; ++epoch) {
+    registry.Publish(std::make_shared<const ServingSnapshot>(
+        epoch, streaming.result(), streaming.matrix_snapshot()));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : spinners) t.join();
+
+  for (size_t tid = 0; tid < kSpinners; ++tid) {
+    EXPECT_EQ(regressions[tid], 0u) << "spinner " << tid;
+  }
+  EXPECT_EQ(registry.published(), kPublications);
+  EXPECT_EQ(registry.Acquire()->epoch(), kPublications);
+}
+
+// A reader that holds a snapshot across many subsequent publications can
+// still use it: the grace period is the shared_ptr refcount, not a fixed
+// window.
+TEST(ServingStressTest, HeldSnapshotSurvivesManyPublications) {
+  Rng rng(34);
+  const size_t n = 20, m = 10;
+  CellMap cells = RandomBaseCells(n, m, 2, 0.4, rng);
+  ServingEngine engine(
+      2, 2, SparseIntervalMatrix::FromTriplets(n, m, ToTriplets(cells)));
+
+  const std::shared_ptr<const ServingSnapshot> held = engine.Acquire();
+  const Interval before = held->Predict(3, 3);
+
+  Rng batch_rng(35);
+  for (size_t b = 0; b < 8; ++b) {
+    const size_t i = batch_rng.UniformIndex(n);
+    const size_t j = batch_rng.UniformIndex(m);
+    engine.Submit({{i, j, Interval(2.0, 2.5)}});
+    engine.Step();
+  }
+  EXPECT_EQ(engine.epoch(), 9u);
+
+  // The held epoch-1 snapshot is untouched by eight newer epochs.
+  EXPECT_EQ(held->epoch(), 1u);
+  const Interval after = held->Predict(3, 3);
+  EXPECT_EQ(after.lo, before.lo);
+  EXPECT_EQ(after.hi, before.hi);
+}
+
+}  // namespace
+}  // namespace ivmf
