@@ -7,6 +7,7 @@
 #ifndef IVMF_BENCH_BENCH_UTIL_H_
 #define IVMF_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include "core/accuracy.h"
 #include "core/isvd.h"
 #include "core/lp_isvd.h"
+#include "obs/metrics.h"
 
 namespace ivmf::bench {
 
@@ -65,6 +67,12 @@ class JsonWriter {
   }
 
   void Field(const char* key, double value) {
+    // NaN / Inf have no JSON representation; "null" keeps the record
+    // parseable instead of poisoning the whole file.
+    if (!std::isfinite(value)) {
+      Raw(key, "null");
+      return;
+    }
     char buffer[48];
     std::snprintf(buffer, sizeof(buffer), "%.9g", value);
     Raw(key, buffer);
@@ -82,13 +90,7 @@ class JsonWriter {
     Field(key, std::string(value));
   }
   void Field(const char* key, const std::string& value) {
-    std::string quoted = "\"";
-    for (const char c : value) {
-      if (c == '"' || c == '\\') quoted.push_back('\\');
-      quoted.push_back(c);
-    }
-    quoted.push_back('"');
-    Raw(key, quoted);
+    Raw(key, "\"" + obs::JsonEscape(value) + "\"");
   }
 
   // Writes the collected array; returns false on I/O failure (and is a
@@ -125,6 +127,67 @@ class JsonWriter {
   std::string path_;
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+// -- Solver internals ---------------------------------------------------------
+
+// Difference of the solver-side counters between two registry snapshots:
+// what one measured phase cost in matvecs / Krylov iterations, and which
+// refresh path the streaming layer took. Benches bracket a phase with
+// Snapshot() calls and emit the delta next to the wall clock, so the
+// BENCH_*.json perf trajectory records why a number moved, not only that
+// it did.
+struct SolverCounterDeltas {
+  uint64_t matvecs = 0;        // sparse kernel invocations, all variants
+  uint64_t matvec_nnz = 0;     // nonzeros those invocations streamed
+  uint64_t iterations = 0;     // Krylov steps, eig + svd together
+  uint64_t restarts = 0;       // invariant-subspace restarts
+  uint64_t warm_refreshes = 0;
+  uint64_t cold_refreshes = 0;
+
+  SolverCounterDeltas() = default;
+  SolverCounterDeltas(const obs::MetricsSnapshot& before,
+                      const obs::MetricsSnapshot& after) {
+    const auto delta = [&](const char* prefix) {
+      return after.CounterSum(prefix) - before.CounterSum(prefix);
+    };
+    matvecs = delta("sparse.matvec.calls");
+    matvec_nnz = delta("sparse.matvec.nnz");
+    iterations =
+        delta("lanczos.eig.iterations") + delta("lanczos.svd.iterations");
+    restarts = delta("lanczos.eig.restarts") + delta("lanczos.svd.restarts");
+    warm_refreshes = delta("streaming.refresh.count{mode=warm}");
+    cold_refreshes = delta("streaming.refresh.count{mode=cold}");
+  }
+
+  double warm_hit_rate() const {
+    const uint64_t total = warm_refreshes + cold_refreshes;
+    return total > 0 ? static_cast<double>(warm_refreshes) / total : 0.0;
+  }
+
+  void WriteFields(JsonWriter& json) const {
+    json.Field("matvecs", static_cast<size_t>(matvecs));
+    json.Field("matvec_nnz", static_cast<size_t>(matvec_nnz));
+    json.Field("krylov_iterations", static_cast<size_t>(iterations));
+    json.Field("krylov_restarts", static_cast<size_t>(restarts));
+    json.Field("warm_refreshes", static_cast<size_t>(warm_refreshes));
+    json.Field("cold_refreshes", static_cast<size_t>(cold_refreshes));
+    json.Field("warm_hit_rate", warm_hit_rate());
+  }
+};
+
+// Honors an optional --metrics-json=PATH flag: dumps the full registry
+// snapshot (counters, gauges, histogram percentiles) next to the bench's
+// BENCH_*.json, in the same format ivmf_serve writes. Returns false only on
+// I/O failure with the flag set.
+inline bool MaybeWriteMetricsSnapshot(int argc, char** argv) {
+  const std::string path = StringFlag(argc, argv, "metrics-json", "");
+  if (path.empty()) return true;
+  const std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+  return (std::fclose(out) == 0) && ok;
+}
 
 // -- Strategy sweeps ----------------------------------------------------------
 

@@ -88,9 +88,13 @@ int main(int argc, char** argv) {
     if (cells <= dense_limit) dense = cf.ToDense();
 
     for (const int strategy : strategies) {
+      const obs::MetricsSnapshot counters_before =
+          obs::MetricsRegistry::Global().Snapshot();
       Stopwatch sw;
       const IsvdResult sparse_result = RunIsvd(strategy, cf, rank, options);
       const double sparse_seconds = sw.Seconds();
+      const SolverCounterDeltas solver(
+          counters_before, obs::MetricsRegistry::Global().Snapshot());
       const PhaseTimings& t = sparse_result.timings;
 
       char label[32];
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
       json.Field("decompose_seconds", t.decompose);
       json.Field("solve_seconds", t.solve);
       json.Field("recompute_seconds", t.recompute);
+      solver.WriteFields(json);
 
       if (cells <= dense_limit) {
         // Dense route: materialized endpoint matrices (+ interval Gram for

@@ -123,10 +123,14 @@ int main(int argc, char** argv) {
                                                begin + batch_size);
 
       // Incremental route: log the arrivals, refresh warm.
+      const obs::MetricsSnapshot counters_before =
+          obs::MetricsRegistry::Global().Snapshot();
       sw.Restart();
       streaming.ApplyBatch(batch);
       streaming.Refresh();
       const double incremental_seconds = sw.Seconds();
+      const SolverCounterDeltas solver(
+          counters_before, obs::MetricsRegistry::Global().Snapshot());
       const StreamingRefreshStats& stats = streaming.last_stats();
 
       // Recompute route: the pre-streaming pipeline — rebuild the CSR
@@ -180,6 +184,9 @@ int main(int argc, char** argv) {
       json.Field("recompute_seconds", recompute_seconds);
       json.Field("speedup", speedup);
       json.Field("sigma_diff", sigma_diff);
+      // Counter deltas cover the incremental refresh only (the snapshot
+      // pair brackets it); the recompute route's matvecs are excluded.
+      solver.WriteFields(json);
     }
   }
 

@@ -30,13 +30,14 @@
 
 #include "bench_util.h"
 #include "data/ratings.h"
+#include "obs/metrics.h"
 #include "serve/serving_engine.h"
 #include "serve/workload.h"
 #include "sparse/sparse_interval_matrix.h"
 
 namespace {
 
-void PrintOpRow(const char* op, size_t ops, const ivmf::LatencyRecorder& lat,
+void PrintOpRow(const char* op, size_t ops, const ivmf::obs::Histogram& lat,
                 double seconds) {
   if (ops == 0) {
     std::printf("%-8s %10s\n", op, "-");
@@ -49,8 +50,9 @@ void PrintOpRow(const char* op, size_t ops, const ivmf::LatencyRecorder& lat,
 }
 
 void JsonOpRecord(ivmf::bench::JsonWriter& json, const char* op, size_t ops,
-                  const ivmf::LatencyRecorder& lat,
+                  const ivmf::obs::Histogram& lat,
                   const ivmf::ServingWorkloadReport& report,
+                  const ivmf::bench::SolverCounterDeltas& solver,
                   size_t users, size_t items, size_t rank, int strategy,
                   size_t readers, const char* distribution, double theta) {
   json.BeginRecord();
@@ -77,6 +79,7 @@ void JsonOpRecord(ivmf::bench::JsonWriter& json, const char* op, size_t ops,
   json.Field("first_epoch", static_cast<size_t>(report.first_epoch));
   json.Field("last_epoch", static_cast<size_t>(report.last_epoch));
   json.Field("epoch_regressions", report.epoch_regressions);
+  solver.WriteFields(json);
 }
 
 }  // namespace
@@ -131,7 +134,12 @@ int main(int argc, char** argv) {
       (1.0 - workload.read_fraction - workload.topk_fraction) * 100.0);
 
   ServingEngine engine(strategy, rank, std::move(base));
+  // Solver-internals delta over the workload alone: the construction-time
+  // cold decomposition stays out of the warm-hit-rate denominator.
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
   const ServingWorkloadReport report = RunServingWorkload(engine, workload);
+  const SolverCounterDeltas solver(
+      before, obs::MetricsRegistry::Global().Snapshot());
 
   std::printf("%-8s %10s %10s %9s %9s %9s %9s\n", "op", "ops", "ops/s",
               "p50 us", "p95 us", "p99 us", "max us");
@@ -150,6 +158,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.last_epoch),
       static_cast<unsigned long long>(report.snapshots_published),
       report.epoch_regressions);
+  std::printf(
+      "solver: %llu matvecs, %llu warm / %llu cold refreshes "
+      "(%.0f%% warm)\n",
+      static_cast<unsigned long long>(solver.matvecs),
+      static_cast<unsigned long long>(solver.warm_refreshes),
+      static_cast<unsigned long long>(solver.cold_refreshes),
+      solver.warm_hit_rate() * 100.0);
 
   // A regression here means a reader saw time move backwards — the
   // publication contract is broken. Fail the bench loudly; CI runs this.
@@ -161,13 +176,13 @@ int main(int argc, char** argv) {
       workload.user_distribution == KeyDistribution::kZipfian ? "zipfian"
                                                               : "uniform";
   JsonOpRecord(json, "predict", report.predict_ops, report.predict_latency,
-               report, users, items, rank, strategy, workload.readers,
+               report, solver, users, items, rank, strategy, workload.readers,
                distribution, workload.zipf_theta);
   JsonOpRecord(json, "topk", report.topk_ops, report.topk_latency, report,
-               users, items, rank, strategy, workload.readers, distribution,
-               workload.zipf_theta);
+               solver, users, items, rank, strategy, workload.readers,
+               distribution, workload.zipf_theta);
   JsonOpRecord(json, "update", report.update_ops, report.update_latency,
-               report, users, items, rank, strategy, workload.readers,
+               report, solver, users, items, rank, strategy, workload.readers,
                distribution, workload.zipf_theta);
   if (!json.Finish()) {
     std::fprintf(stderr, "error: failed writing JSON output\n");

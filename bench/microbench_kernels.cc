@@ -1,18 +1,32 @@
 // Google-benchmark microbenchmarks for the computational kernels under the
-// ISVD pipeline: scalar/interval matrix products, one-sided Jacobi SVD,
-// symmetric Jacobi eigendecomposition, Hungarian assignment, ILSA, and a
-// full ISVD4-b decomposition.
+// ISVD pipeline: scalar/interval matrix products, sparse CSR matvec
+// variants (with the obs matvec/nnz counters surfaced per iteration),
+// one-sided Jacobi SVD, symmetric Jacobi eigendecomposition, Hungarian
+// assignment, ILSA, and a full ISVD4-b decomposition.
+//
+// Like the fig10 benches, accepts --json[=PATH] (default
+// BENCH_microbench_kernels.json) and emits one flat record per benchmark
+// run next to Google Benchmark's own console output.
 
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
 
 #include "align/assignment.h"
 #include "align/ilsa.h"
 #include "base/rng.h"
+#include "bench_util.h"
 #include "core/isvd.h"
+#include "data/ratings.h"
 #include "data/synthetic.h"
 #include "interval/interval_matrix.h"
 #include "linalg/eig.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
+#include "sparse/sparse_gram_operator.h"
+#include "sparse/sparse_interval_matrix.h"
 
 namespace ivmf {
 namespace {
@@ -113,7 +127,177 @@ void BM_Isvd4FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_Isvd4FullPipeline)->Arg(60)->Arg(120)->Arg(250);
 
+// -- Sparse CSR kernels -------------------------------------------------------
+//
+// The matvec variants under every matrix-free solve, on the same synthetic
+// CF interval construction the fig10 benches use. Each benchmark brackets
+// its timing loop with registry snapshots and reports the per-iteration
+// matvec / nnz counter deltas, so the counters the solvers log are visible
+// (and sanity-checkable) at kernel granularity.
+
+SparseIntervalMatrix CfMatrix(size_t users) {
+  RatingsConfig config;
+  config.num_users = users;
+  config.num_items = users / 4;
+  config.fill = 0.05;
+  config.seed = 404;
+  return SparseCfIntervalMatrix(GenerateSparseRatings(config), 0.3);
+}
+
+// Per-iteration counter deltas into the benchmark's user counters.
+void ReportMatvecCounters(benchmark::State& state,
+                          const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  const double iterations = static_cast<double>(state.iterations());
+  if (iterations <= 0.0) return;
+  state.counters["matvecs"] =
+      static_cast<double>(after.CounterSum("sparse.matvec.calls") -
+                          before.CounterSum("sparse.matvec.calls")) /
+      iterations;
+  state.counters["nnz_streamed"] =
+      static_cast<double>(after.CounterSum("sparse.matvec.nnz") -
+                          before.CounterSum("sparse.matvec.nnz")) /
+      iterations;
+}
+
+void BM_SparseMultiply(benchmark::State& state) {
+  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+  std::vector<double> x(m.cols(), 1.0), y;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    m.Multiply(SparseIntervalMatrix::Endpoint::kLower, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  ReportMatvecCounters(state, before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SparseMultiply)->Arg(2000)->Arg(8000)->Arg(20000);
+
+void BM_SparseMultiplyMid(benchmark::State& state) {
+  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+  std::vector<double> x(m.cols(), 1.0), y;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    m.MultiplyMid(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  ReportMatvecCounters(state, before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SparseMultiplyMid)->Arg(2000)->Arg(8000)->Arg(20000);
+
+void BM_SparseMultiplyTranspose(benchmark::State& state) {
+  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+  std::vector<double> x(m.rows(), 1.0), y;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    m.MultiplyTranspose(SparseIntervalMatrix::Endpoint::kLower, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  ReportMatvecCounters(state, before);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SparseMultiplyTranspose)->Arg(2000)->Arg(8000)->Arg(20000);
+
+void BM_SparseGramApply(benchmark::State& state) {
+  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+  const SparseIntervalMatrix mt = m.Transpose();
+  const SparseGramOperator gram(m, mt,
+                                SparseIntervalMatrix::Endpoint::kUpper);
+  std::vector<double> x(gram.Dim(), 1.0), y;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    gram.Apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  ReportMatvecCounters(state, before);
+  // One Gram apply streams the nonzeros twice (M_e x, then M_eᵀ ·).
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SparseGramApply)->Arg(2000)->Arg(8000);
+
 }  // namespace
+
+// -- JSON capture -------------------------------------------------------------
+
+// Forwards to the console reporter while capturing one flat record per run,
+// so --json output matches the fig10 benches' shape. Keyed by run name:
+// Google Benchmark may repeat a benchmark (warmup, aggregates); the last
+// report wins.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Record record;
+      record.real_time_ns = run.GetAdjustedRealTime();
+      record.cpu_time_ns = run.GetAdjustedCPUTime();
+      record.iterations = static_cast<size_t>(run.iterations);
+      for (const auto& [name, counter] : run.counters) {
+        record.counters.emplace_back(name, counter.value);
+      }
+      records_[run.benchmark_name()] = record;
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    bench::JsonWriter json(path);
+    for (const auto& [name, record] : records_) {
+      json.BeginRecord();
+      json.Field("bench", "microbench_kernels");
+      json.Field("name", name);
+      json.Field("real_time_ns", record.real_time_ns);
+      json.Field("cpu_time_ns", record.cpu_time_ns);
+      json.Field("iterations", record.iterations);
+      for (const auto& [counter, value] : record.counters) {
+        json.Field(counter.c_str(), value);
+      }
+    }
+    return json.Finish();
+  }
+
+ private:
+  struct Record {
+    double real_time_ns = 0.0;
+    double cpu_time_ns = 0.0;
+    size_t iterations = 0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::map<std::string, Record> records_;
+};
+
 }  // namespace ivmf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Resolve and strip --json[=PATH] before Google Benchmark sees the
+  // arguments (it rejects flags it does not recognize).
+  const std::string json_path =
+      ivmf::bench::JsonPathFlag(argc, argv, "microbench_kernels");
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--json", 6) == 0 &&
+        (arg[6] == '\0' || arg[6] == '=')) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  ivmf::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !reporter.WriteJson(json_path)) {
+    std::fprintf(stderr, "error: failed writing JSON output\n");
+    return 1;
+  }
+  return 0;
+}

@@ -6,8 +6,39 @@
 
 #include "base/check.h"
 #include "base/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ivmf {
+
+namespace {
+
+struct RefreshInstruments {
+  obs::Counter& warm;
+  obs::Counter& cold;
+  obs::Gauge& delta_fraction;
+  obs::Gauge& drift_ratio;
+  obs::Histogram& warm_seconds;
+  obs::Histogram& cold_seconds;
+  obs::Histogram& snapshot_seconds;
+  obs::Histogram& decompose_seconds;
+
+  static RefreshInstruments& Get() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static RefreshInstruments instruments{
+        registry.GetCounter("streaming.refresh.count", {{"mode", "warm"}}),
+        registry.GetCounter("streaming.refresh.count", {{"mode", "cold"}}),
+        registry.GetGauge("streaming.refresh.delta_fraction"),
+        registry.GetGauge("streaming.refresh.drift_ratio"),
+        registry.GetHistogram("streaming.refresh.seconds", {{"mode", "warm"}}),
+        registry.GetHistogram("streaming.refresh.seconds", {{"mode", "cold"}}),
+        registry.GetHistogram("streaming.refresh.snapshot.seconds"),
+        registry.GetHistogram("streaming.refresh.decompose.seconds")};
+    return instruments;
+  }
+};
+
+}  // namespace
 
 StreamingIsvd::StreamingIsvd(int strategy, size_t rank,
                              SparseIntervalMatrix base,
@@ -82,15 +113,34 @@ void StreamingIsvd::CaptureWarmBases() {
 }
 
 const IsvdResult& StreamingIsvd::Refresh() {
+  obs::TraceSpan span("streaming.refresh");
+  RefreshInstruments& instruments = RefreshInstruments::Get();
   Stopwatch sw;
   const bool warm = WarmEligible();
+  (warm ? instruments.warm : instruments.cold).Add(1);
+  if (obs::Enabled()) {
+    instruments.delta_fraction.Set(
+        static_cast<double>(cells_since_refresh_) /
+        static_cast<double>(std::max<size_t>(1, last_refresh_nnz_)));
+    const double sigma_1 =
+        (have_result_ && !result_.sigma.empty()) ? result_.sigma[0].hi : 0.0;
+    instruments.drift_ratio.Set(
+        sigma_1 > 0.0 ? std::sqrt(drift_sq_) / sigma_1 : 0.0);
+  }
+
+  Stopwatch phase;
   matrix_.MaybeCompact(options_.compact_threshold);
   // Decompose the shared frozen view. The merge (or, with an empty log, the
   // base copy) is paid once per mutation epoch; holding the view in
   // snapshot_ keeps (matrix_snapshot(), result()) a consistent pair for the
   // serving layer even while later ApplyBatch calls mutate matrix_.
-  snapshot_ = matrix_.SharedSnapshot();
+  {
+    obs::TraceSpan snapshot_span("streaming.snapshot");
+    snapshot_ = matrix_.SharedSnapshot();
+  }
   const SparseIntervalMatrix& snapshot = *snapshot_;
+  stats_.snapshot_seconds = phase.Seconds();
+  instruments.snapshot_seconds.Record(stats_.snapshot_seconds);
 
   IsvdOptions isvd_options = options_.isvd;
   if (warm) {
@@ -100,7 +150,13 @@ const IsvdResult& StreamingIsvd::Refresh() {
     isvd_options.warm_basis_lo = warm_lo_;
     isvd_options.warm_basis_hi = warm_hi_;
   }
-  result_ = RunIsvd(strategy_, snapshot, rank_, isvd_options);
+  phase.Restart();
+  {
+    obs::TraceSpan decompose_span("streaming.decompose");
+    result_ = RunIsvd(strategy_, snapshot, rank_, isvd_options);
+  }
+  stats_.decompose_seconds = phase.Seconds();
+  instruments.decompose_seconds.Record(stats_.decompose_seconds);
   have_result_ = true;
   ++refresh_count_;
   CaptureWarmBases();
@@ -109,6 +165,8 @@ const IsvdResult& StreamingIsvd::Refresh() {
   stats_.delta_cells = cells_since_refresh_;
   stats_.iterations = result_.iterations;
   stats_.seconds = sw.Seconds();
+  (warm ? instruments.warm_seconds : instruments.cold_seconds)
+      .Record(stats_.seconds);
   cells_since_refresh_ = 0;
   drift_sq_ = 0.0;
   last_refresh_nnz_ = snapshot.nnz();

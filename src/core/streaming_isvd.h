@@ -84,6 +84,8 @@ struct StreamingRefreshStats {
   size_t delta_cells = 0;  // upserts applied since the previous refresh
   size_t iterations = 0;   // Krylov steps spent (IsvdResult::iterations)
   double seconds = 0.0;    // wall clock of the refresh
+  double snapshot_seconds = 0.0;   // compact + frozen-view share
+  double decompose_seconds = 0.0;  // RunIsvd share
 };
 
 class StreamingIsvd {

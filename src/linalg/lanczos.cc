@@ -6,11 +6,29 @@
 #include <numeric>
 
 #include "base/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ivmf {
 namespace {
 
 double SignOf(double a, double b) { return b >= 0.0 ? std::abs(a) : -std::abs(a); }
+
+struct EigInstruments {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Counter& restarts;
+  obs::Gauge& residual;
+
+  static EigInstruments& Get() {
+    static EigInstruments instruments{
+        obs::MetricsRegistry::Global().GetCounter("lanczos.eig.solves"),
+        obs::MetricsRegistry::Global().GetCounter("lanczos.eig.iterations"),
+        obs::MetricsRegistry::Global().GetCounter("lanczos.eig.restarts"),
+        obs::MetricsRegistry::Global().GetGauge("lanczos.eig.residual_bound")};
+    return instruments;
+  }
+};
 
 }  // namespace
 
@@ -110,6 +128,9 @@ bool TridiagonalQL(std::vector<double>& diag, std::vector<double>& off,
 
 EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
                             const LanczosOptions& options) {
+  obs::TraceSpan span("lanczos.eig");
+  EigInstruments& instruments = EigInstruments::Get();
+  instruments.solves.Add(1);
   const size_t n = op.Dim();
   // rank == 0 (or an over-ask) means the full spectrum: grow the Krylov
   // basis to the whole space.
@@ -135,6 +156,7 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
 
   bool exhausted = false;
   size_t built = 0;
+  double last_wnorm = 0.0;
   for (size_t j = 0; j < m; ++j) {
     built = j + 1;
     for (size_t i = 0; i < n; ++i) v[i] = q(i, j);
@@ -158,6 +180,7 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
     }
 
     const double wnorm = Norm2(w);
+    last_wnorm = wnorm;
     if (j + 1 < m) {
       beta[j] = wnorm;
       if (wnorm <= options.tolerance) {
@@ -171,6 +194,7 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
         // cluster exactly once — only the restarted blocks capture the
         // remaining copies of duplicate eigenvalues.
         beta[j] = 0.0;
+        instruments.restarts.Add(1);
         bool restarted = false;
         for (int attempt = 0; attempt < 3 && !restarted; ++attempt) {
           for (double& x : w) x = rng.Normal();
@@ -250,6 +274,18 @@ EigResult ComputeLanczosEig(const LinearOperator& op, size_t rank,
     }
   }
   CanonicalizeEigenvectorSigns(result.eigenvectors);
+  instruments.iterations.Add(built);
+  if (obs::Enabled()) {
+    // Ritz residual bound |beta_m * z(m-1, i)|, maximized over the returned
+    // pairs — how strongly the kept spectrum still couples to the
+    // unexplored space.
+    double max_residual = 0.0;
+    for (size_t out = 0; out < keep; ++out) {
+      max_residual = std::max(
+          max_residual, std::abs(last_wnorm * z(built - 1, built - 1 - out)));
+    }
+    instruments.residual.Set(max_residual);
+  }
   return result;
 }
 

@@ -4,9 +4,29 @@
 #include <cmath>
 
 #include "base/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ivmf {
 namespace {
+
+struct SvdInstruments {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Counter& matvecs;
+  obs::Counter& restarts;
+  obs::Gauge& residual;
+
+  static SvdInstruments& Get() {
+    static SvdInstruments instruments{
+        obs::MetricsRegistry::Global().GetCounter("lanczos.svd.solves"),
+        obs::MetricsRegistry::Global().GetCounter("lanczos.svd.iterations"),
+        obs::MetricsRegistry::Global().GetCounter("lanczos.svd.matvecs"),
+        obs::MetricsRegistry::Global().GetCounter("lanczos.svd.restarts"),
+        obs::MetricsRegistry::Global().GetGauge("lanczos.svd.residual_bound")};
+    return instruments;
+  }
+};
 
 // Removes the components of `w` along the first `count` columns of `basis`,
 // twice ("twice is enough" — the same treatment the eigensolver uses).
@@ -46,6 +66,9 @@ bool RestartColumn(Matrix& basis, size_t count, std::vector<double>& scratch,
 
 SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
                             const LanczosOptions& options) {
+  obs::TraceSpan span("lanczos.svd");
+  SvdInstruments& instruments = SvdInstruments::Get();
+  instruments.solves.Add(1);
   const size_t n = a.Rows();
   const size_t m = a.Cols();
   if (n == 0 || m == 0) {
@@ -84,6 +107,7 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
   } else {
     for (double& x : left) x = rng.Normal();
     a.ApplyTranspose(left, right);
+    instruments.matvecs.Add(1);
     double start_norm = Norm2(right);
     if (start_norm <= options.tolerance) {
       for (double& x : right) x = rng.Normal();
@@ -94,12 +118,14 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
 
   bool exhausted = false;
   size_t built = 0;
+  double last_bnorm = 0.0;
   for (size_t j = 0; j < steps; ++j) {
     built = j + 1;
 
     // Left step: u_j = (A v_j - beta_{j-1} u_{j-1}) / alpha_j.
     for (size_t i = 0; i < m; ++i) right[i] = v(i, j);
     a.Apply(right, left);
+    instruments.matvecs.Add(1);
     if (j > 0) {
       for (size_t i = 0; i < n; ++i) left[i] -= beta[j - 1] * u(i, j - 1);
     }
@@ -112,6 +138,7 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
       // A v_j already lies in span(u_0..u_{j-1}): the left space stalled.
       // alpha_j = 0 block-decouples B; continue from a fresh direction.
       alpha[j] = 0.0;
+      instruments.restarts.Add(1);
       if (!RestartColumn(u, j, left, rng, options.restart_tolerance)) {
         built = j;
         exhausted = true;
@@ -122,12 +149,14 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
     // Right step: v_{j+1} = (A^T u_j - alpha_j v_j) / beta_j.
     for (size_t i = 0; i < n; ++i) left[i] = u(i, j);
     a.ApplyTranspose(left, right);
+    instruments.matvecs.Add(1);
     if (alpha[j] != 0.0) {
       for (size_t i = 0; i < m; ++i) right[i] -= alpha[j] * v(i, j);
     }
     Reorthogonalize(v, j + 1, right);
     if (j + 1 < steps) {
       const double bnorm = Norm2(right);
+      last_bnorm = bnorm;
       if (bnorm > options.tolerance) {
         beta[j] = bnorm;
         for (size_t i = 0; i < m; ++i) v(i, j + 1) = right[i] / bnorm;
@@ -165,6 +194,7 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
         // sees each distinct value exactly once; only restarted blocks
         // reach the rest of a degenerate cluster.
         beta[j] = 0.0;
+        instruments.restarts.Add(1);
         if (!RestartColumn(v, j + 1, right, rng,
                            options.restart_tolerance)) {
           exhausted = true;
@@ -207,6 +237,17 @@ SvdResult ComputeLanczosSvd(const LinearMap& a, size_t rank,
     }
   }
   CanonicalizeSingularVectorSigns(result.u, result.v);
+  instruments.iterations.Add(built);
+  if (obs::Enabled()) {
+    // Ritz residual bound |beta_m * p(m-1, i)| from the last computed
+    // off-diagonal coupling, maximized over the returned triplets.
+    double max_residual = 0.0;
+    for (size_t i = 0; i < keep; ++i) {
+      max_residual =
+          std::max(max_residual, std::abs(last_bnorm * small.u(built - 1, i)));
+    }
+    instruments.residual.Set(max_residual);
+  }
   return result;
 }
 

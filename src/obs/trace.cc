@@ -1,0 +1,211 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ivmf::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+// -- TraceRing ---------------------------------------------------------------
+
+void TraceRing::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  events_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(next_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+size_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+// -- TraceCollector ----------------------------------------------------------
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+namespace {
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+void TraceCollector::Start(size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  base_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  // Bump the epoch before flipping tracing on so threads holding a cached
+  // ring from the previous epoch re-register instead of writing into a ring
+  // the clear above already dropped.
+  epoch_.fetch_add(1, std::memory_order_release);
+  internal::g_tracing.store(true, std::memory_order_relaxed);
+}
+
+void TraceCollector::Stop() {
+  internal::g_tracing.store(false, std::memory_order_relaxed);
+}
+
+size_t TraceCollector::total_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const RegisteredRing& entry : rings_) total += entry.ring->dropped();
+  return total;
+}
+
+TraceRing& TraceCollector::ThreadRing() {
+  struct Cache {
+    uint64_t epoch = 0;
+    std::shared_ptr<TraceRing> ring;
+  };
+  thread_local Cache cache;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (cache.ring == nullptr || cache.epoch != epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache.ring = std::make_shared<TraceRing>(capacity_);
+    cache.epoch = epoch_.load(std::memory_order_relaxed);
+    rings_.push_back({static_cast<int>(rings_.size() + 1), cache.ring});
+  }
+  return *cache.ring;
+}
+
+std::string TraceCollector::ChromeTraceJson() const {
+  // Snapshot the ring set under the lock, then read each ring through its
+  // own mutex (Events()) without holding ours.
+  std::vector<RegisteredRing> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+
+  struct Span {
+    const TraceEvent* event;
+    size_t seq;
+  };
+
+  std::string out = "{\"traceEvents\":[";
+  bool first_event = true;
+  auto append_event = [&](const char* name, char phase, int tid,
+                          uint64_t ts_ns) {
+    if (!first_event) out += ',';
+    first_event = false;
+    char buf[64];
+    out += "{\"name\":\"";
+    out += JsonEscape(name == nullptr ? "" : name);
+    out += "\",\"cat\":\"ivmf\",\"ph\":\"";
+    out += phase;
+    out += "\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%d", tid);
+    out += buf;
+    out += ",\"ts\":";
+    // trace_event timestamps are microseconds; keep sub-µs detail as the
+    // fractional part.
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ts_ns) / 1000.0);
+    out += buf;
+    out += '}';
+  };
+
+  std::vector<std::vector<TraceEvent>> per_ring_events;
+  per_ring_events.reserve(rings.size());
+  for (const RegisteredRing& entry : rings) {
+    per_ring_events.push_back(entry.ring->Events());
+  }
+
+  for (size_t r = 0; r < rings.size(); ++r) {
+    const std::vector<TraceEvent>& events = per_ring_events[r];
+    const int tid = rings[r].tid;
+    std::vector<Span> spans;
+    spans.reserve(events.size());
+    for (size_t i = 0; i < events.size(); ++i) spans.push_back({&events[i], i});
+    // Nesting order: outer spans (earlier start, later end) come first; seq
+    // breaks ties so zero-duration siblings keep their recording order.
+    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      const uint64_t a_end = a.event->start_ns + a.event->duration_ns;
+      const uint64_t b_end = b.event->start_ns + b.event->duration_ns;
+      if (a.event->start_ns != b.event->start_ns) {
+        return a.event->start_ns < b.event->start_ns;
+      }
+      if (a_end != b_end) return a_end > b_end;
+      return a.seq < b.seq;
+    });
+    // Replay the call stack: before opening a span, close every open span
+    // that ended at or before its start.
+    std::vector<const TraceEvent*> stack;
+    for (const Span& span : spans) {
+      while (!stack.empty() &&
+             stack.back()->start_ns + stack.back()->duration_ns <=
+                 span.event->start_ns) {
+        append_event(stack.back()->name, 'E', tid,
+                     stack.back()->start_ns + stack.back()->duration_ns);
+        stack.pop_back();
+      }
+      append_event(span.event->name, 'B', tid, span.event->start_ns);
+      stack.push_back(span.event);
+    }
+    while (!stack.empty()) {
+      append_event(stack.back()->name, 'E', tid,
+                   stack.back()->start_ns + stack.back()->duration_ns);
+      stack.pop_back();
+    }
+  }
+
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceCollector::WriteChromeTrace(const std::string& path) const {
+  const std::string json = ChromeTraceJson();
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = written == json.size() && std::fclose(file) == 0;
+  if (!ok && written != json.size()) std::fclose(file);
+  return ok;
+}
+
+// -- TraceSpan ---------------------------------------------------------------
+
+uint64_t TraceSpan::NowNs() { return SteadyNowNs(); }
+
+void TraceSpan::Finish() {
+  const uint64_t end_ns = NowNs();
+  TraceCollector& collector = TraceCollector::Global();
+  const uint64_t base = collector.base_ns_.load(std::memory_order_relaxed);
+  // A span that straddled Start() has a pre-rebase timestamp; clamp it to
+  // the epoch origin rather than emitting a wrapped unsigned difference.
+  const uint64_t start = start_ns_ > base ? start_ns_ - base : 0;
+  const uint64_t end = end_ns > base ? end_ns - base : 0;
+  collector.ThreadRing().Record(
+      TraceEvent{name_, start, end > start ? end - start : 0});
+}
+
+}  // namespace ivmf::obs

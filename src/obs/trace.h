@@ -1,0 +1,144 @@
+// Span tracing: RAII spans recorded into per-thread ring buffers and
+// exported as Chrome trace_event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev to see where refresh time goes).
+//
+// A TraceSpan stamps the steady clock at construction and, at destruction,
+// appends one completed span (name, start, duration) to its thread's ring.
+// Rings are fixed-capacity and overwrite their oldest spans, so a long run
+// keeps the most recent window instead of growing without bound; because
+// spans on one thread nest like the call stack, any subset of them still
+// nests properly and the export below stays well-formed after wraparound.
+//
+// Collection is off by default: until TraceCollector::Start() runs, a span
+// constructor performs a single relaxed load and nothing else — the same
+// disabled-path guarantee the metrics instruments make. Rings take one
+// uncontended mutex per completed span (owner thread vs. exporter only),
+// which is noise at span granularity (refreshes, solves, drains — never
+// per-row work).
+//
+// The exported JSON uses balanced "B"/"E" (duration begin/end) event pairs
+// per thread, reconstructed from the completed spans, so the file is valid
+// for any consumer that replays stack semantics.
+
+#ifndef IVMF_OBS_TRACE_H_
+#define IVMF_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ivmf::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing;
+}  // namespace internal
+
+// True between TraceCollector::Start() and Stop(); one relaxed load.
+inline bool TracingActive() {
+  return internal::g_tracing.load(std::memory_order_relaxed);
+}
+
+// One completed span. `name` must point at storage outliving the collector
+// (string literals in practice — every in-tree span site uses one).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;  // steady clock, relative to collection start
+  uint64_t duration_ns = 0;
+};
+
+// Fixed-capacity overwrite-oldest span buffer owned by one writer thread.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity) : capacity_(capacity) {
+    events_.reserve(capacity);
+  }
+
+  void Record(const TraceEvent& event);
+
+  // Retained spans, oldest first (recording order == span-end order).
+  std::vector<TraceEvent> Events() const;
+
+  size_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;  // ring storage
+  size_t next_ = 0;                 // overwrite cursor once full
+  size_t dropped_ = 0;
+};
+
+// Process-wide collection point for every thread's ring.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  // Begins a fresh collection epoch: clears previously collected spans,
+  // re-bases timestamps at "now", and flips spans on. `ring_capacity` is
+  // per thread (spans, not bytes).
+  void Start(size_t ring_capacity = 1 << 14);
+
+  // Flips spans off. Collected spans stay readable until the next Start().
+  void Stop();
+
+  // Chrome trace_event JSON of everything collected: one "B"/"E" pair per
+  // span, per-thread, nesting-ordered. Returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+  std::string ChromeTraceJson() const;
+
+  // Spans overwritten because rings wrapped, summed over threads.
+  size_t total_dropped() const;
+
+  // The calling thread's ring for the current epoch (registering it first
+  // if needed). Span destructors use this; callers never need it directly.
+  TraceRing& ThreadRing();
+
+ private:
+  TraceCollector() = default;
+
+  struct RegisteredRing {
+    int tid;
+    std::shared_ptr<TraceRing> ring;
+  };
+
+  mutable std::mutex mu_;  // guards rings_/capacity_; epoch_ is atomic
+  std::vector<RegisteredRing> rings_;
+  size_t capacity_ = 1 << 14;
+  std::atomic<uint64_t> epoch_{0};  // bumped by Start() to invalidate caches
+  std::atomic<uint64_t> base_ns_{0};
+
+  friend class TraceSpan;
+};
+
+// RAII span. Construct with a string literal; the span covers the object's
+// lifetime. Inactive collection => one relaxed load in the constructor and
+// one in the destructor.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!TracingActive()) return;
+    name_ = name;
+    start_ns_ = NowNs();
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr || !TracingActive()) return;
+    Finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static uint64_t NowNs();
+  void Finish();
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace ivmf::obs
+
+#endif  // IVMF_OBS_TRACE_H_

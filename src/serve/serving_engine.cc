@@ -3,8 +3,33 @@
 #include <utility>
 
 #include "base/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ivmf {
+
+namespace {
+
+struct EngineInstruments {
+  obs::Gauge& queue_cells;
+  obs::Counter& epochs;
+  obs::Counter& cells;
+  obs::Histogram& batch_cells;
+  obs::Histogram& refresh_seconds;
+
+  static EngineInstruments& Get() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static EngineInstruments instruments{
+        registry.GetGauge("serving.queue.cells"),
+        registry.GetCounter("serving.epochs.published"),
+        registry.GetCounter("serving.cells.applied"),
+        registry.GetHistogram("serving.batch.cells"),
+        registry.GetHistogram("serving.refresh.seconds")};
+    return instruments;
+  }
+};
+
+}  // namespace
 
 ServingEngine::ServingEngine(int strategy, size_t rank,
                              SparseIntervalMatrix base,
@@ -24,16 +49,20 @@ void ServingEngine::PublishCurrent() {
       streaming_.matrix_snapshot());
   registry_.Publish(snapshot);
   epoch_.store(snapshot->epoch(), std::memory_order_release);
+  EngineInstruments::Get().epochs.Add(1);
   if (options_.on_publish) options_.on_publish(snapshot);
 }
 
 void ServingEngine::Submit(std::vector<IntervalTriplet> batch) {
   if (batch.empty()) return;
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_cells_ += batch.size();
+    depth = pending_cells_;
     pending_.push_back(std::move(batch));
   }
+  EngineInstruments::Get().queue_cells.Set(static_cast<double>(depth));
   cv_.notify_one();
 }
 
@@ -51,17 +80,26 @@ std::vector<std::vector<IntervalTriplet>> ServingEngine::Drain() {
 }
 
 size_t ServingEngine::Step() {
+  obs::TraceSpan span("serving.step");
+  EngineInstruments& instruments = EngineInstruments::Get();
   const std::vector<std::vector<IntervalTriplet>> drained = Drain();
+  instruments.queue_cells.Set(0.0);
   size_t cells = 0;
   for (const std::vector<IntervalTriplet>& batch : drained) {
     streaming_.ApplyBatch(batch);
     cells += batch.size();
   }
   if (cells == 0) return 0;  // nothing new: keep the current epoch
+  // Coalesced batch: how many submitted cells one refresh absorbed.
+  instruments.batch_cells.Record(static_cast<double>(cells));
 
-  streaming_.Refresh();
+  {
+    obs::ScopedTimer timer(instruments.refresh_seconds);
+    streaming_.Refresh();
+  }
   PublishCurrent();
   cells_applied_.fetch_add(cells, std::memory_order_relaxed);
+  instruments.cells.Add(cells);
   return cells;
 }
 

@@ -18,9 +18,9 @@ struct ThreadOutcome {
   size_t predict_ops = 0;
   size_t topk_ops = 0;
   size_t update_ops = 0;
-  LatencyRecorder predict_latency;
-  LatencyRecorder topk_latency;
-  LatencyRecorder update_latency;
+  obs::Histogram predict_latency;
+  obs::Histogram topk_latency;
+  obs::Histogram update_latency;
   size_t epoch_regressions = 0;
   double checksum = 0.0;
 };
@@ -47,6 +47,17 @@ ServingWorkloadReport RunServingWorkload(
   report.seconds = options.duration_seconds;
   report.first_epoch = engine.epoch();
   const uint64_t published_before = engine.registry().published();
+
+  // Op counters tick live (one relaxed fetch_add per op) so the periodic
+  // stats line sees progress during the run; the latency histograms stay
+  // thread-local and merge once after the join.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& predict_counter =
+      registry.GetCounter("serve.ops", {{"op", "predict"}});
+  obs::Counter& topk_counter =
+      registry.GetCounter("serve.ops", {{"op", "topk"}});
+  obs::Counter& update_counter =
+      registry.GetCounter("serve.ops", {{"op", "update"}});
 
   std::vector<ThreadOutcome> outcomes(options.readers);
   engine.StartWriter();
@@ -87,12 +98,14 @@ ServingWorkloadReport RunServingWorkload(
             out.checksum += predicted.lo + predicted.hi;
             out.predict_latency.Record(op_clock.Seconds());
             ++out.predict_ops;
+            predict_counter.Add(1);
           } else if (which < options.read_fraction + options.topk_fraction) {
             const std::vector<ServingSnapshot::ScoredItem> top =
                 snapshot->TopK(user, options.top_k);
             if (!top.empty()) out.checksum += top.front().score.Mid();
             out.topk_latency.Record(op_clock.Seconds());
             ++out.topk_ops;
+            topk_counter.Add(1);
           } else {
             const size_t item = static_cast<size_t>(rng.UniformIndex(items));
             const double mid =
@@ -102,6 +115,7 @@ ServingWorkloadReport RunServingWorkload(
                                      mid + options.rating_radius)}});
             out.update_latency.Record(op_clock.Seconds());
             ++out.update_ops;
+            update_counter.Add(1);
           }
         }
       });
@@ -123,6 +137,17 @@ ServingWorkloadReport RunServingWorkload(
   report.last_epoch = engine.epoch();
   report.snapshots_published =
       engine.registry().published() - published_before;
+
+  // Fold the latency distributions into the process-wide registry so
+  // --metrics-json snapshots see the same histograms the report does.
+  // Merging the quiesced per-run histograms once here keeps the per-op hot
+  // path free of histogram-bucket traffic (counters above tick live).
+  if (obs::Enabled()) {
+    registry.GetHistogram("serve.predict.seconds")
+        .Merge(report.predict_latency);
+    registry.GetHistogram("serve.topk.seconds").Merge(report.topk_latency);
+    registry.GetHistogram("serve.update.seconds").Merge(report.update_latency);
+  }
   return report;
 }
 

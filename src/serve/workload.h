@@ -1,7 +1,8 @@
 // YCSB-style workload machinery for the serving layer: key-popularity
-// generators (zipfian / uniform), per-op latency recording with percentile
-// reporting, and the multi-threaded read/update driver the fig11 harness
-// and the ivmf_serve CLI share.
+// generators (zipfian / uniform) and the multi-threaded read/update driver
+// the fig11 harness and the ivmf_serve CLI share. Per-op latencies land in
+// obs::Histogram (nearest-rank percentiles, YCSB convention) — one per
+// thread, merged into the report after the run.
 //
 // The zipfian generator is the classic YCSB construction (Gray et al.'s
 // "Quickly generating billion-record synthetic databases" rejection-free
@@ -22,6 +23,7 @@
 
 #include "base/check.h"
 #include "base/rng.h"
+#include "obs/metrics.h"
 #include "serve/serving_engine.h"
 
 namespace ivmf {
@@ -96,47 +98,6 @@ class UniformKeyGenerator {
   Rng rng_;
 };
 
-// -- Latency recording -------------------------------------------------------
-
-// Collects per-op latencies (seconds) and reports nearest-rank percentiles:
-// Percentile(p) is the ceil(p/100 * count)-th smallest sample, the YCSB
-// convention. Recording is a vector push; aggregation sorts a copy at
-// report time. One recorder per thread, merged after the run — never shared
-// across threads.
-class LatencyRecorder {
- public:
-  void Record(double seconds) { samples_.push_back(seconds); }
-
-  size_t count() const { return samples_.size(); }
-
-  double total() const {
-    double sum = 0.0;
-    for (const double s : samples_) sum += s;
-    return sum;
-  }
-
-  // Nearest-rank percentile, p in [0, 100]; 0 with no samples. p = 0 maps
-  // to the minimum, p = 100 to the maximum.
-  double Percentile(double p) const {
-    if (samples_.empty()) return 0.0;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    const double n = static_cast<double>(sorted.size());
-    size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
-    if (rank < 1) rank = 1;
-    if (rank > sorted.size()) rank = sorted.size();
-    return sorted[rank - 1];
-  }
-
-  void Merge(const LatencyRecorder& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
-  }
-
- private:
-  std::vector<double> samples_;
-};
-
 // -- The read/update driver --------------------------------------------------
 
 enum class KeyDistribution { kZipfian, kUniform };
@@ -163,9 +124,9 @@ struct ServingWorkloadReport {
   size_t predict_ops = 0;
   size_t topk_ops = 0;
   size_t update_ops = 0;
-  LatencyRecorder predict_latency;
-  LatencyRecorder topk_latency;
-  LatencyRecorder update_latency;
+  obs::Histogram predict_latency;
+  obs::Histogram topk_latency;
+  obs::Histogram update_latency;
   uint64_t first_epoch = 0;          // epoch current when the run started
   uint64_t last_epoch = 0;           // epoch current when the run ended
   uint64_t snapshots_published = 0;  // publications during the run

@@ -5,8 +5,36 @@
 
 #include "base/check.h"
 #include "base/parallel.h"
+#include "obs/metrics.h"
 
 namespace ivmf {
+
+namespace {
+
+// One counter triple per kernel variant. The references are function-local
+// statics at each call site, so the registry mutex is touched once per
+// kernel for the process lifetime; the per-call cost is three relaxed adds.
+struct KernelCounters {
+  obs::Counter& calls;
+  obs::Counter& rows;
+  obs::Counter& nnz;
+
+  explicit KernelCounters(const char* kernel)
+      : calls(obs::MetricsRegistry::Global().GetCounter(
+            "sparse.matvec.calls", {{"kernel", kernel}})),
+        rows(obs::MetricsRegistry::Global().GetCounter(
+            "sparse.matvec.rows", {{"kernel", kernel}})),
+        nnz(obs::MetricsRegistry::Global().GetCounter(
+            "sparse.matvec.nnz", {{"kernel", kernel}})) {}
+
+  void Count(size_t rows_processed, size_t nnz_processed) {
+    calls.Add(1);
+    rows.Add(rows_processed);
+    nnz.Add(nnz_processed);
+  }
+};
+
+}  // namespace
 
 SparseIntervalMatrix SparseIntervalMatrix::FromTriplets(
     size_t rows, size_t cols, std::vector<IntervalTriplet> triplets,
@@ -174,6 +202,8 @@ bool SparseIntervalMatrix::IsNonNegative(double tol) const {
 void SparseIntervalMatrix::Multiply(Endpoint e, const std::vector<double>& x,
                                     std::vector<double>& y) const {
   IVMF_CHECK(x.size() == cols_);
+  static KernelCounters counters("multiply");
+  counters.Count(rows_, nnz());
   const std::vector<double>& v = values(e);
   y.resize(rows_);
   ParallelFor(
@@ -191,6 +221,8 @@ void SparseIntervalMatrix::Multiply(Endpoint e, const std::vector<double>& x,
 void SparseIntervalMatrix::MultiplyMid(const std::vector<double>& x,
                                        std::vector<double>& y) const {
   IVMF_CHECK(x.size() == cols_);
+  static KernelCounters counters("multiply_mid");
+  counters.Count(rows_, nnz());
   y.resize(rows_);
   ParallelFor(
       0, rows_,
@@ -208,6 +240,8 @@ void SparseIntervalMatrix::MultiplyTranspose(Endpoint e,
                                              const std::vector<double>& x,
                                              std::vector<double>& y) const {
   IVMF_CHECK(x.size() == rows_);
+  static KernelCounters counters("multiply_transpose");
+  counters.Count(rows_, nnz());
   const std::vector<double>& v = values(e);
 
   // Each worker scatters its block of rows into a private accumulator, then
@@ -261,6 +295,8 @@ void SparseIntervalMatrix::MultiplyTranspose(Endpoint e,
 
 Matrix SparseIntervalMatrix::MultiplyDense(Endpoint e, const Matrix& b) const {
   IVMF_CHECK_MSG(b.rows() == cols_, "sparse x dense dimension mismatch");
+  static KernelCounters counters("multiply_dense");
+  counters.Count(rows_, nnz());
   const std::vector<double>& v = values(e);
   Matrix c(rows_, b.cols());
   ParallelFor(

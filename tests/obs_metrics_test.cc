@@ -1,0 +1,263 @@
+// Metrics-layer tests: the log-bucketed histogram must keep the
+// nearest-rank percentile contract the old LatencyRecorder pinned (exact
+// reference recorder vs. bucketed answers, within the documented relative
+// error; exact min / max at p = 0 / 100), the registry must hand back the
+// same instrument for the same name + tags forever, the disabled path must
+// be a no-op for every instrument kind, and both exporters must emit
+// well-formed output (the JSON snapshot is validated with a real parser).
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "base/rng.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace ivmf::obs {
+namespace {
+
+// The exact nearest-rank reference the Histogram approximates: the
+// ceil(p/100 * n)-th smallest sample (the deleted LatencyRecorder's exact
+// implementation, kept here as the oracle).
+double ExactNearestRank(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+// -- Histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, MatchesExactNearestRankOnLatencyFixture) {
+  // The 1..100 ms fixture the LatencyRecorder tests pinned, shuffled.
+  std::vector<double> values;
+  for (int v = 1; v <= 100; ++v) values.push_back(v * 1e-3);
+  Rng rng(55);
+  for (size_t i = values.size(); i > 1; --i) {
+    std::swap(values[i - 1], values[rng.UniformIndex(i)]);
+  }
+
+  Histogram histogram;
+  for (const double v : values) histogram.Record(v);
+
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_NEAR(histogram.total(), 5.050, 1e-12);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.max(), 0.100);
+
+  for (const double p : {1.0, 1.5, 10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = ExactNearestRank(values, p);
+    EXPECT_NEAR(histogram.Percentile(p), exact,
+                exact * Histogram::kMaxRelativeError)
+        << "p = " << p;
+  }
+  // The extremes are tracked exactly, not bucketed.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0), 0.001);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100), 0.100);
+}
+
+TEST(HistogramTest, MatchesExactNearestRankOnWideRandomRange) {
+  // Six orders of magnitude: the log bucketing must hold its relative
+  // error everywhere, not just in the millisecond band.
+  Rng rng(77);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(std::pow(10.0, rng.Uniform(-6.0, 0.0)));
+  }
+  Histogram histogram;
+  for (const double v : values) histogram.Record(v);
+
+  for (const double p : {0.5, 5.0, 25.0, 50.0, 75.0, 95.0, 99.9}) {
+    const double exact = ExactNearestRank(values, p);
+    EXPECT_NEAR(histogram.Percentile(p), exact,
+                exact * Histogram::kMaxRelativeError)
+        << "p = " << p;
+  }
+}
+
+TEST(HistogramTest, EmptyAndSingleSample) {
+  Histogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+  Histogram one;
+  one.Record(3.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.min(), 3.5);
+  EXPECT_DOUBLE_EQ(one.max(), 3.5);
+  for (const double p : {0.0, 1.0, 50.0, 100.0}) {
+    EXPECT_NEAR(one.Percentile(p), 3.5, 3.5 * Histogram::kMaxRelativeError);
+  }
+}
+
+TEST(HistogramTest, NonPositiveValuesLandInUnderflow) {
+  Histogram histogram;
+  histogram.Record(0.0);
+  histogram.Record(-1.0);
+  histogram.Record(2.0);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.min(), -1.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 2.0);
+  // p50 = 2nd smallest = 0.0: the underflow bucket answers with the
+  // tracked minimum (the bucket has no meaningful center).
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), -1.0);
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Rng rng(99);
+  Histogram a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double va = rng.Uniform(0.001, 0.1);
+    const double vb = rng.Uniform(0.05, 5.0);
+    a.Record(va);
+    b.Record(vb);
+    combined.Record(va);
+    combined.Record(vb);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.total(), combined.total(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double p : {10.0, 50.0, 95.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p)) << "p = " << p;
+  }
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram histogram;
+  histogram.Record(1.0);
+  histogram.Record(2.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.total(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50), 0.0);
+  histogram.Record(4.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.max(), 4.0);
+}
+
+// -- Counter / Gauge ----------------------------------------------------------
+
+TEST(CounterTest, AddAccumulates) {
+  Counter counter;
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.Add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+  gauge.Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), -1.0);
+}
+
+// -- Disabled path ------------------------------------------------------------
+
+TEST(DisabledTest, AllInstrumentsNoOp) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  SetEnabled(false);
+  counter.Add(7);
+  gauge.Set(7.0);
+  histogram.Record(7.0);
+  SetEnabled(true);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+
+  // And the flag round-trips.
+  counter.Add(1);
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+// -- Registry -----------------------------------------------------------------
+
+TEST(MetricKeyTest, SortsTagsAndFormats) {
+  EXPECT_EQ(MetricKey("a.b.c", {}), "a.b.c");
+  EXPECT_EQ(MetricKey("a", {{"k", "v"}}), "a{k=v}");
+  EXPECT_EQ(MetricKey("a", {{"z", "1"}, {"b", "2"}}), "a{b=2,z=1}");
+}
+
+TEST(RegistryTest, SameKeySameInstrument) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("obs_test.identity", {{"t", "x"}});
+  Counter& b = registry.GetCounter("obs_test.identity", {{"t", "x"}});
+  Counter& c = registry.GetCounter("obs_test.identity", {{"t", "y"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(RegistryTest, SnapshotSeesValuesAndPrefixSums) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.sum", {{"k", "a"}}).Add(3);
+  registry.GetCounter("obs_test.sum", {{"k", "b"}}).Add(4);
+  registry.GetGauge("obs_test.gauge").Set(1.25);
+  Histogram& histogram = registry.GetHistogram("obs_test.hist");
+  histogram.Record(0.010);
+  histogram.Record(0.020);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("obs_test.sum{k=a}"), 3u);
+  EXPECT_EQ(snapshot.CounterSum("obs_test.sum"), 7u);
+  EXPECT_EQ(snapshot.CounterValue("obs_test.absent"), 0u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("obs_test.gauge"), 1.25);
+  const HistogramStats& stats = snapshot.histograms.at("obs_test.hist");
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.min, 0.010);
+  EXPECT_DOUBLE_EQ(stats.max, 0.020);
+}
+
+TEST(RegistryTest, SnapshotJsonParses) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.json", {{"quote", "a\"b"}}).Add(1);
+  registry.GetHistogram("obs_test.json.hist").Record(0.5);
+  const std::string json = registry.Snapshot().ToJson();
+  std::string error;
+  EXPECT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error << "\n"
+                                                         << json;
+}
+
+TEST(RegistryTest, PrometheusTextHasSanitizedNames) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test.prom.calls", {{"kernel", "multiply"}}).Add(5);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("ivmf_obs_test_prom_calls{kernel=\"multiply\"}"),
+            std::string::npos)
+      << text;
+  // No raw dots survive in metric names (labels and help lines aside).
+  for (size_t pos = text.find("ivmf_"); pos != std::string::npos;
+       pos = text.find("ivmf_", pos + 1)) {
+    const size_t end = text.find_first_of("{ ", pos);
+    ASSERT_NE(end, std::string::npos);
+    EXPECT_EQ(text.substr(pos, end - pos).find('.'), std::string::npos);
+  }
+}
+
+// -- JsonEscape ---------------------------------------------------------------
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape("a\001b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace ivmf::obs

@@ -1,0 +1,196 @@
+// Trace-export round-trip tests: spans recorded through the collector must
+// come back as well-formed Chrome trace_event JSON (checked with a real
+// parser) whose "B"/"E" events replay as a balanced per-thread call stack —
+// including after ring wraparound has discarded the oldest spans — and an
+// inactive collector must record nothing at all.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace ivmf::obs {
+namespace {
+
+// One event pulled back out of the exported JSON. The exporter's format is
+// fixed ({"name":"...","cat":"ivmf","ph":"B","pid":1,"tid":N,"ts":T}), and
+// every in-tree span name is a plain literal, so a positional scan is an
+// honest decoder here; structural validity is asserted separately with
+// ValidateJson.
+struct ParsedEvent {
+  std::string name;
+  char phase = '?';
+  int tid = 0;
+  double ts_us = 0.0;
+};
+
+std::vector<ParsedEvent> ParseTraceEvents(const std::string& json) {
+  std::vector<ParsedEvent> out;
+  const std::string open = "{\"name\":\"";
+  for (size_t pos = json.find(open); pos != std::string::npos;
+       pos = json.find(open, pos + 1)) {
+    ParsedEvent event;
+    const size_t name_begin = pos + open.size();
+    const size_t name_end = json.find('"', name_begin);
+    event.name = json.substr(name_begin, name_end - name_begin);
+    const size_t ph = json.find("\"ph\":\"", name_end);
+    event.phase = json[ph + 6];
+    const size_t tid = json.find("\"tid\":", ph);
+    event.tid = std::atoi(json.c_str() + tid + 6);
+    const size_t ts = json.find("\"ts\":", tid);
+    event.ts_us = std::atof(json.c_str() + ts + 5);
+    out.push_back(event);
+  }
+  return out;
+}
+
+// Replays the events as per-thread call stacks: every "E" must close the
+// most recent unclosed "B" of the same name (at a timestamp no earlier than
+// its begin), and every stack must be empty at the end.
+void ExpectBalanced(const std::vector<ParsedEvent>& events) {
+  std::map<int, std::vector<std::pair<std::string, double>>> stacks;
+  for (const ParsedEvent& event : events) {
+    auto& stack = stacks[event.tid];
+    if (event.phase == 'B') {
+      stack.emplace_back(event.name, event.ts_us);
+    } else {
+      ASSERT_EQ(event.phase, 'E') << "unexpected phase for " << event.name;
+      ASSERT_FALSE(stack.empty()) << "E without open B: " << event.name;
+      EXPECT_EQ(stack.back().first, event.name);
+      EXPECT_GE(event.ts_us, stack.back().second);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed spans on tid " << tid;
+  }
+}
+
+size_t CountPhase(const std::vector<ParsedEvent>& events, char phase) {
+  size_t n = 0;
+  for (const ParsedEvent& event : events) n += event.phase == phase ? 1 : 0;
+  return n;
+}
+
+TEST(TraceTest, InactiveCollectorRecordsNothing) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Stop();
+  { TraceSpan span("trace_test.ignored"); }
+  // Start() clears anything older; stopping immediately leaves this epoch
+  // empty, and spans created while stopped must not register.
+  collector.Start();
+  collector.Stop();
+  { TraceSpan span("trace_test.also_ignored"); }
+
+  const std::string json = collector.ChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error;
+  EXPECT_TRUE(ParseTraceEvents(json).empty()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos) << json;
+}
+
+TEST(TraceTest, NestedAndSequentialSpansRoundTrip) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    TraceSpan outer("trace_test.outer");
+    { TraceSpan inner("trace_test.inner_a"); }
+    { TraceSpan inner("trace_test.inner_b"); }
+  }
+  { TraceSpan tail("trace_test.tail"); }
+  collector.Stop();
+
+  const std::string json = collector.ChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error << "\n"
+                                                         << json;
+  const std::vector<ParsedEvent> events = ParseTraceEvents(json);
+  EXPECT_EQ(CountPhase(events, 'B'), 4u);
+  EXPECT_EQ(CountPhase(events, 'E'), 4u);
+  ExpectBalanced(events);
+
+  // All four span names survive the round trip.
+  size_t outer_b = 0, inner_b = 0;
+  for (const ParsedEvent& event : events) {
+    if (event.phase != 'B') continue;
+    outer_b += event.name == "trace_test.outer" ? 1 : 0;
+    inner_b += event.name == "trace_test.inner_a" ||
+                       event.name == "trace_test.inner_b"
+                   ? 1
+                   : 0;
+  }
+  EXPECT_EQ(outer_b, 1u);
+  EXPECT_EQ(inner_b, 2u);
+  EXPECT_EQ(collector.total_dropped(), 0u);
+}
+
+TEST(TraceTest, RingWraparoundStaysBalanced) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start(/*ring_capacity=*/4);
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("trace_test.wrap");
+  }
+  collector.Stop();
+
+  EXPECT_EQ(collector.total_dropped(), 16u);
+  const std::string json = collector.ChromeTraceJson();
+  std::string error;
+  ASSERT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error;
+  const std::vector<ParsedEvent> events = ParseTraceEvents(json);
+  // The ring keeps the newest `capacity` spans, still properly paired.
+  EXPECT_EQ(CountPhase(events, 'B'), 4u);
+  EXPECT_EQ(CountPhase(events, 'E'), 4u);
+  ExpectBalanced(events);
+}
+
+TEST(TraceTest, RestartClearsPreviousEpoch) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  { TraceSpan span("trace_test.first_epoch"); }
+  collector.Stop();
+  collector.Start();
+  { TraceSpan span("trace_test.second_epoch"); }
+  collector.Stop();
+
+  const std::string json = collector.ChromeTraceJson();
+  EXPECT_EQ(json.find("trace_test.first_epoch"), std::string::npos) << json;
+  EXPECT_NE(json.find("trace_test.second_epoch"), std::string::npos) << json;
+}
+
+TEST(TraceTest, WriteChromeTraceProducesParseableFile) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Start();
+  {
+    TraceSpan outer("trace_test.file_outer");
+    TraceSpan inner("trace_test.file_inner");
+  }
+  collector.Stop();
+
+  const std::string path = ::testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(collector.WriteChromeTrace(path));
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(contents, collector.ChromeTraceJson());
+  std::string error;
+  EXPECT_TRUE(ivmf::testing::ValidateJson(contents, &error)) << error;
+  ExpectBalanced(ParseTraceEvents(contents));
+}
+
+}  // namespace
+}  // namespace ivmf::obs

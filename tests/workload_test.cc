@@ -1,9 +1,10 @@
 // Workload-generator tests: the zipfian and uniform key generators must be
 // seed-reproducible (a workload is rerunnable from its seed), the zipfian
 // skew must match the configured theta against the closed-form
-// distribution, and the percentile computation is pinned against a
-// hand-computed fixture so a silent off-by-one in the nearest-rank formula
-// cannot shift every reported latency.
+// distribution, and the latency histogram keeps the nearest-rank contract
+// on the same 1..100 ms fixture the old LatencyRecorder was pinned against
+// (interior ranks now carry the documented bucket tolerance; min / max stay
+// exact). The exact-vs-bucketed comparison lives in obs_metrics_test.cc.
 
 #include <algorithm>
 #include <cmath>
@@ -123,59 +124,62 @@ TEST(UniformKeyGeneratorTest, MeanNearCenter) {
 
 // -- Percentiles -------------------------------------------------------------
 
-TEST(LatencyRecorderTest, NearestRankPinnedFixture) {
+TEST(LatencyHistogramTest, NearestRankPinnedFixture) {
   // 1..100 milliseconds, recorded shuffled: nearest-rank percentile p of
-  // 100 samples is exactly the p-th smallest, so Percentile(p) == p ms.
+  // 100 samples is the p-th smallest, so Percentile(p) ~= p ms within the
+  // histogram's bucket tolerance; the extremes are tracked exactly.
   std::vector<double> values;
   for (int v = 1; v <= 100; ++v) values.push_back(v * 1e-3);
   Rng rng(55);
   for (size_t i = values.size(); i > 1; --i) {
     std::swap(values[i - 1], values[rng.UniformIndex(i)]);
   }
-  LatencyRecorder recorder;
+  obs::Histogram recorder;
   for (const double v : values) recorder.Record(v);
 
   EXPECT_EQ(recorder.count(), 100u);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(50), 0.050);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(95), 0.095);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(99), 0.099);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(100), 0.100);
-  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 0.001);   // minimum
-  EXPECT_DOUBLE_EQ(recorder.Percentile(1), 0.001);   // ceil(0.01*100) = 1
-  EXPECT_DOUBLE_EQ(recorder.Percentile(1.5), 0.002); // ceil(1.5) = 2
+  const double tol = obs::Histogram::kMaxRelativeError;
+  EXPECT_NEAR(recorder.Percentile(50), 0.050, 0.050 * tol);
+  EXPECT_NEAR(recorder.Percentile(95), 0.095, 0.095 * tol);
+  EXPECT_NEAR(recorder.Percentile(99), 0.099, 0.099 * tol);
+  EXPECT_DOUBLE_EQ(recorder.Percentile(100), 0.100);  // exact maximum
+  EXPECT_DOUBLE_EQ(recorder.Percentile(0), 0.001);    // exact minimum
+  EXPECT_NEAR(recorder.Percentile(1.5), 0.002, 0.002 * tol);  // ceil(1.5) = 2
 }
 
-TEST(LatencyRecorderTest, SmallSampleCounts) {
-  LatencyRecorder empty;
+TEST(LatencyHistogramTest, SmallSampleCounts) {
+  obs::Histogram empty;
   EXPECT_EQ(empty.count(), 0u);
   EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
   EXPECT_DOUBLE_EQ(empty.total(), 0.0);
 
-  LatencyRecorder one;
+  obs::Histogram one;
   one.Record(0.25);
+  const double tol = obs::Histogram::kMaxRelativeError;
   for (const double p : {0.0, 50.0, 99.0, 100.0}) {
-    EXPECT_DOUBLE_EQ(one.Percentile(p), 0.25);
+    EXPECT_NEAR(one.Percentile(p), 0.25, 0.25 * tol);
   }
 
   // Three samples: p50 -> rank ceil(1.5) = 2, the middle one.
-  LatencyRecorder three;
+  obs::Histogram three;
   three.Record(0.3);
   three.Record(0.1);
   three.Record(0.2);
-  EXPECT_DOUBLE_EQ(three.Percentile(50), 0.2);
+  EXPECT_NEAR(three.Percentile(50), 0.2, 0.2 * tol);
   EXPECT_DOUBLE_EQ(three.Percentile(100), 0.3);
   EXPECT_DOUBLE_EQ(three.total(), 0.6);
 }
 
-TEST(LatencyRecorderTest, MergeCombinesSamples) {
-  LatencyRecorder a, b;
+TEST(LatencyHistogramTest, MergeCombinesSamples) {
+  obs::Histogram a, b;
   a.Record(0.001);
   a.Record(0.003);
   b.Record(0.002);
   b.Record(0.004);
   a.Merge(b);
+  const double tol = obs::Histogram::kMaxRelativeError;
   EXPECT_EQ(a.count(), 4u);
-  EXPECT_DOUBLE_EQ(a.Percentile(50), 0.002);
+  EXPECT_NEAR(a.Percentile(50), 0.002, 0.002 * tol);
   EXPECT_DOUBLE_EQ(a.Percentile(100), 0.004);
   EXPECT_DOUBLE_EQ(a.total(), 0.010);
   // Merge leaves the source untouched.

@@ -8,24 +8,95 @@
 // percentiles and throughput, then a few sample queries from the final
 // epoch so the served values are visible.
 //
+// Observability: a monitor thread prints a stats line every --stats_ms
+// (epoch, ops so far, queue depth, matvecs; 0 disables), --metrics-json
+// dumps the full registry snapshot (counters, gauges, p50/p95/p99
+// histograms) to a file, and --trace records spans (refreshes, solves,
+// serving steps) to a Chrome trace_event file loadable in chrome://tracing.
+//
 // Usage:
 //   ivmf_serve [--input=BASE.trp] [--rank=10] [--strategy=2]
 //              [--readers=4] [--duration_ms=2000] [--read_pct=90]
 //              [--topk_pct=5] [--topk=10] [--theta_pct=99] [--uniform]
-//              [--seed=1234] [--probe_user=0]
+//              [--seed=1234] [--probe_user=0] [--stats_ms=1000]
+//              [--metrics-json=PATH] [--trace=PATH]
 //   or synthetic: --users=N --items=M [--fill_pct=F] [--alpha_pct=A]
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "base/flags.h"
 #include "data/ratings.h"
 #include "io/triplets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/serving_engine.h"
 #include "serve/workload.h"
+
+namespace {
+
+// Periodic one-line progress report, printed from its own thread while the
+// workload runs. Wakes on a condition variable so shutdown is immediate.
+class StatsMonitor {
+ public:
+  StatsMonitor(const ivmf::ServingEngine& engine, int interval_ms)
+      : engine_(engine), interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~StatsMonitor() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; })) {
+        return;
+      }
+      const ivmf::obs::MetricsSnapshot snapshot =
+          ivmf::obs::MetricsRegistry::Global().Snapshot();
+      std::printf(
+          "[stats] epoch %llu | ops %llu | pending %zu cells | "
+          "refreshes %llu warm / %llu cold | matvecs %llu\n",
+          static_cast<unsigned long long>(engine_.epoch()),
+          static_cast<unsigned long long>(snapshot.CounterSum("serve.ops")),
+          engine_.pending_cells(),
+          static_cast<unsigned long long>(
+              snapshot.CounterValue("streaming.refresh.count{mode=warm}")),
+          static_cast<unsigned long long>(
+              snapshot.CounterValue("streaming.refresh.count{mode=cold}")),
+          static_cast<unsigned long long>(
+              snapshot.CounterSum("sparse.matvec.calls")));
+      std::fflush(stdout);
+    }
+  }
+
+  const ivmf::ServingEngine& engine_;
+  const int interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ivmf;
@@ -36,6 +107,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 10));
+  const std::string metrics_path = StringFlag(argc, argv, "metrics-json", "");
+  const std::string trace_path = StringFlag(argc, argv, "trace", "");
+  const int stats_ms = IntFlag(argc, argv, "stats_ms", 1000);
+
+  if (!trace_path.empty()) obs::TraceCollector::Global().Start();
 
   SparseIntervalMatrix base;
   const std::string input = StringFlag(argc, argv, "input", "");
@@ -87,10 +163,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(engine.epoch()),
               workload.readers, workload.duration_seconds);
 
-  const ServingWorkloadReport report = RunServingWorkload(engine, workload);
+  ServingWorkloadReport report;
+  {
+    StatsMonitor monitor(engine, stats_ms);
+    report = RunServingWorkload(engine, workload);
+  }
 
   const auto print_op = [&](const char* op, size_t ops,
-                            const LatencyRecorder& lat) {
+                            const obs::Histogram& lat) {
     if (ops == 0) return;
     std::printf("  %-8s %9zu ops  %8.0f ops/s  p50 %7.1fus  p95 %7.1fus  "
                 "p99 %7.1fus\n",
@@ -127,6 +207,31 @@ int main(int argc, char** argv) {
       std::printf("  item %6zu  predicted [%.4f, %.4f]\n", s.item,
                   s.score.lo, s.score.hi);
     }
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string json =
+        obs::MetricsRegistry::Global().Snapshot().ToJson();
+    std::FILE* out = std::fopen(metrics_path.c_str(), "w");
+    if (out == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), out) != json.size() ||
+        std::fclose(out) != 0) {
+      std::fprintf(stderr, "error: failed writing metrics snapshot '%s'\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::TraceCollector& collector = obs::TraceCollector::Global();
+    collector.Stop();
+    if (!collector.WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "error: failed writing trace '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote chrome trace to %s (%zu spans dropped)\n",
+                trace_path.c_str(), collector.total_dropped());
   }
   return 0;
 }
