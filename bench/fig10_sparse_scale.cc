@@ -17,6 +17,11 @@
 //   bench_fig10_sparse_scale [--rank=10] [--strategy=-1] [--fill_pct=5]
 //                            [--alpha_pct=30] [--max_cells=100000000]
 //                            [--dense_limit=1500000] [--json[=PATH]]
+//                            [--kernel=auto|scalar|avx2|sell]
+//
+// --kernel pins the sparse matvec backend for the CF matrix (default: the
+// auto dispatch, i.e. whatever IVMF_SPARSE_KERNEL / cpuid resolves to);
+// every record carries the variant that actually ran as "kernel".
 //
 // --json emits one record per (shape, strategy) row (see bench_util.h's
 // JsonWriter) so CI tracks the perf trajectory.
@@ -29,6 +34,7 @@
 #include "core/sparse_isvd.h"
 #include "data/ratings.h"
 #include "sparse/sparse_interval_matrix.h"
+#include "sparse/sparse_kernels.h"
 
 int main(int argc, char** argv) {
   using namespace ivmf;
@@ -40,6 +46,15 @@ int main(int argc, char** argv) {
   const double alpha = IntFlag(argc, argv, "alpha_pct", 30) / 100.0;
   const double max_cells = IntFlag(argc, argv, "max_cells", 100000000);
   const double dense_limit = IntFlag(argc, argv, "dense_limit", 1500000);
+  const std::string kernel_flag = StringFlag(argc, argv, "kernel", "auto");
+  spk::Backend kernel = spk::Backend::kAuto;
+  if (!spk::ParseBackend(kernel_flag, &kernel)) {
+    std::fprintf(stderr, "error: unknown --kernel=%s (auto|scalar|avx2|sell)\n",
+                 kernel_flag.c_str());
+    return 1;
+  }
+  // The variant the forward matvec actually runs under this selection.
+  const char* kernel_name = spk::BackendName(spk::Resolve(kernel));
 
   std::vector<int> strategies;
   if (strategy_flag < 0) {
@@ -76,7 +91,8 @@ int main(int argc, char** argv) {
     config.fill = fill;
     config.seed = 404;
     const SparseRatingsData data = GenerateSparseRatings(config);
-    const SparseIntervalMatrix cf = SparseCfIntervalMatrix(data, alpha);
+    SparseIntervalMatrix cf = SparseCfIntervalMatrix(data, alpha);
+    cf.set_kernel(kernel);
 
     IsvdOptions options;
     options.target = DecompositionTarget::kB;
@@ -110,6 +126,7 @@ int main(int argc, char** argv) {
       json.Field("nnz", cf.nnz());
       json.Field("rank", rank);
       json.Field("strategy", strategy);
+      json.Field("kernel", std::string(kernel_name));
       json.Field("sparse_seconds", sparse_seconds);
       json.Field("preprocess_seconds", t.preprocess);
       json.Field("decompose_seconds", t.decompose);

@@ -10,6 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -27,6 +31,7 @@
 #include "obs/metrics.h"
 #include "sparse/sparse_gram_operator.h"
 #include "sparse/sparse_interval_matrix.h"
+#include "sparse/sparse_kernels.h"
 
 namespace ivmf {
 namespace {
@@ -135,13 +140,22 @@ BENCHMARK(BM_Isvd4FullPipeline)->Arg(60)->Arg(120)->Arg(250);
 // matvec / nnz counter deltas, so the counters the solvers log are visible
 // (and sanity-checkable) at kernel granularity.
 
-SparseIntervalMatrix CfMatrix(size_t users) {
+SparseIntervalMatrix CfMatrix(size_t users,
+                              spk::Backend backend = spk::Backend::kAuto) {
   RatingsConfig config;
   config.num_users = users;
   config.num_items = users / 4;
   config.fill = 0.05;
   config.seed = 404;
-  return SparseCfIntervalMatrix(GenerateSparseRatings(config), 0.3);
+  SparseIntervalMatrix m =
+      SparseCfIntervalMatrix(GenerateSparseRatings(config), 0.3);
+  m.set_kernel(backend);
+  return m;
+}
+
+// The kernel variant a matrix's forward matvec actually runs, for labels.
+std::string ResolvedName(const SparseIntervalMatrix& m) {
+  return spk::BackendName(spk::Resolve(m.kernel()));
 }
 
 // Per-iteration counter deltas into the benchmark's user counters.
@@ -160,8 +174,15 @@ void ReportMatvecCounters(benchmark::State& state,
       iterations;
 }
 
-void BM_SparseMultiply(benchmark::State& state) {
-  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+// The sparse matvec benchmarks run once per backend: the plain name is the
+// dispatched (auto) path — what every solver call site gets — and the
+// Scalar / Sell suffixes pin the portable reference and the SELL-C-sigma
+// pack so the speedup is measurable from one JSON file. Labels carry the
+// variant the auto path resolved to on this machine.
+void SparseMultiplyBench(benchmark::State& state, spk::Backend backend) {
+  const SparseIntervalMatrix m =
+      CfMatrix(static_cast<size_t>(state.range(0)), backend);
+  state.SetLabel(ResolvedName(m));
   std::vector<double> x(m.cols(), 1.0), y;
   const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
   for (auto _ : state) {
@@ -172,7 +193,18 @@ void BM_SparseMultiply(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(m.nnz()));
 }
+void BM_SparseMultiply(benchmark::State& state) {
+  SparseMultiplyBench(state, spk::Backend::kAuto);
+}
+void BM_SparseMultiplyScalar(benchmark::State& state) {
+  SparseMultiplyBench(state, spk::Backend::kScalar);
+}
+void BM_SparseMultiplySell(benchmark::State& state) {
+  SparseMultiplyBench(state, spk::Backend::kSell);
+}
 BENCHMARK(BM_SparseMultiply)->Arg(2000)->Arg(8000)->Arg(20000);
+BENCHMARK(BM_SparseMultiplyScalar)->Arg(2000)->Arg(8000)->Arg(20000);
+BENCHMARK(BM_SparseMultiplySell)->Arg(2000)->Arg(8000)->Arg(20000);
 
 void BM_SparseMultiplyMid(benchmark::State& state) {
   const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
@@ -202,8 +234,10 @@ void BM_SparseMultiplyTranspose(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseMultiplyTranspose)->Arg(2000)->Arg(8000)->Arg(20000);
 
-void BM_SparseGramApply(benchmark::State& state) {
-  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+void SparseGramApplyBench(benchmark::State& state, spk::Backend backend) {
+  const SparseIntervalMatrix m =
+      CfMatrix(static_cast<size_t>(state.range(0)), backend);
+  state.SetLabel(ResolvedName(m));
   const SparseIntervalMatrix mt = m.Transpose();
   const SparseGramOperator gram(m, mt,
                                 SparseIntervalMatrix::Endpoint::kUpper);
@@ -218,7 +252,130 @@ void BM_SparseGramApply(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
                           static_cast<int64_t>(m.nnz()));
 }
-BENCHMARK(BM_SparseGramApply)->Arg(2000)->Arg(8000);
+void BM_SparseGramApply(benchmark::State& state) {
+  SparseGramApplyBench(state, spk::Backend::kAuto);
+}
+void BM_SparseGramApplyScalar(benchmark::State& state) {
+  SparseGramApplyBench(state, spk::Backend::kScalar);
+}
+void BM_SparseGramApplySell(benchmark::State& state) {
+  SparseGramApplyBench(state, spk::Backend::kSell);
+}
+BENCHMARK(BM_SparseGramApply)->Arg(2000)->Arg(8000)->Arg(20000);
+BENCHMARK(BM_SparseGramApplyScalar)->Arg(2000)->Arg(8000)->Arg(20000);
+BENCHMARK(BM_SparseGramApplySell)->Arg(2000)->Arg(8000)->Arg(20000);
+
+// Both-endpoint Gram action (the fused refresh building block), dispatched.
+void BM_SparseGramApplyBoth(benchmark::State& state) {
+  const SparseIntervalMatrix m = CfMatrix(static_cast<size_t>(state.range(0)));
+  state.SetLabel(ResolvedName(m));
+  const SparseIntervalMatrix mt = m.Transpose();
+  const SparseGramOperator gram(m, mt,
+                                SparseIntervalMatrix::Endpoint::kUpper);
+  std::vector<double> x(gram.Dim(), 1.0), y_lo, y_hi;
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  for (auto _ : state) {
+    gram.ApplyBoth(x, y_lo, y_hi);
+    benchmark::DoNotOptimize(y_lo.data());
+    benchmark::DoNotOptimize(y_hi.data());
+  }
+  ReportMatvecCounters(state, before);
+  // Both endpoints stream the pattern twice (forward + transpose pass).
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(m.nnz()));
+}
+BENCHMARK(BM_SparseGramApplyBoth)->Arg(2000)->Arg(8000)->Arg(20000);
+
+// -- Differential self-check (--check) ---------------------------------------
+//
+// Compares every dispatched kernel entry point against the scalar reference
+// on the benchmark's own CF construction before any timing runs. A mismatch
+// fails the process, so a CI bench run cannot publish numbers from a kernel
+// that diverged. Tolerance matches the differential tests: blocked + FMA
+// summation vs left-to-right, |diff| <= 1e-12 * max(1, |ref|).
+
+bool VectorsAgree(const std::vector<double>& got,
+                  const std::vector<double>& want, const char* what) {
+  if (got.size() != want.size()) {
+    std::fprintf(stderr, "check FAILED: %s size %zu vs %zu\n", what,
+                 got.size(), want.size());
+    return false;
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double tol = 1e-12 * std::max(1.0, std::fabs(want[i]));
+    if (std::fabs(got[i] - want[i]) > tol) {
+      std::fprintf(stderr, "check FAILED: %s entry %zu: %.17g vs %.17g\n",
+                   what, i, got[i], want[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckBackendAgainstScalar(const SparseIntervalMatrix& scalar,
+                               spk::Backend backend) {
+  SparseIntervalMatrix m = scalar;
+  m.set_kernel(backend);
+  const SparseIntervalMatrix scalar_t = scalar.Transpose();
+  const SparseIntervalMatrix mt = m.Transpose();
+  const std::string label = spk::BackendName(backend);
+  Rng rng(99);
+  std::vector<double> x(m.cols()), xt(m.rows());
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+  for (double& v : xt) v = rng.Uniform(-1.0, 1.0);
+  Matrix b(m.cols(), 4);
+  for (size_t i = 0; i < b.rows(); ++i)
+    for (size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.Uniform(-1.0, 1.0);
+
+  bool ok = true;
+  std::vector<double> want, want2, got, got2;
+  const auto kLower = SparseIntervalMatrix::Endpoint::kLower;
+  const auto kUpper = SparseIntervalMatrix::Endpoint::kUpper;
+
+  scalar.Multiply(kLower, x, want);
+  m.Multiply(kLower, x, got);
+  ok &= VectorsAgree(got, want, (label + "/multiply").c_str());
+  scalar.MultiplyMid(x, want);
+  m.MultiplyMid(x, got);
+  ok &= VectorsAgree(got, want, (label + "/mid").c_str());
+  scalar.MultiplyBoth(x, want, want2);
+  m.MultiplyBoth(x, got, got2);
+  ok &= VectorsAgree(got, want, (label + "/both.lo").c_str());
+  ok &= VectorsAgree(got2, want2, (label + "/both.hi").c_str());
+  scalar.MultiplyTranspose(kUpper, xt, want);
+  m.MultiplyTranspose(kUpper, xt, got);
+  ok &= VectorsAgree(got, want, (label + "/transpose").c_str());
+  const Matrix dense_want = scalar.MultiplyDense(kUpper, b);
+  const Matrix dense_got = m.MultiplyDense(kUpper, b);
+  std::vector<double> dw(dense_want.data(),
+                         dense_want.data() + dense_want.rows() * 4);
+  std::vector<double> dg(dense_got.data(),
+                         dense_got.data() + dense_got.rows() * 4);
+  ok &= VectorsAgree(dg, dw, (label + "/dense").c_str());
+  const SparseGramOperator scalar_gram(scalar, scalar_t, kLower);
+  const SparseGramOperator gram(m, mt, kLower);
+  scalar_gram.ApplyBoth(x, want, want2);
+  gram.ApplyBoth(x, got, got2);
+  ok &= VectorsAgree(got, want, (label + "/gram.lo").c_str());
+  ok &= VectorsAgree(got2, want2, (label + "/gram.hi").c_str());
+  return ok;
+}
+
+// Returns true when every backend reproduces the scalar reference.
+bool RunKernelSelfCheck() {
+  bool ok = true;
+  for (size_t users : {501u, 4000u}) {
+    SparseIntervalMatrix scalar = CfMatrix(users, spk::Backend::kScalar);
+    for (spk::Backend backend :
+         {spk::Backend::kAuto, spk::Backend::kAvx2, spk::Backend::kSell}) {
+      ok &= CheckBackendAgainstScalar(scalar, backend);
+    }
+  }
+  std::fprintf(stderr, "kernel self-check (dispatched=%s): %s\n",
+               spk::BackendName(spk::Resolve(spk::Backend::kAuto)),
+               ok ? "OK" : "FAILED");
+  return ok;
+}
 
 }  // namespace
 
@@ -237,6 +394,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       record.real_time_ns = run.GetAdjustedRealTime();
       record.cpu_time_ns = run.GetAdjustedCPUTime();
       record.iterations = static_cast<size_t>(run.iterations);
+      record.label = run.report_label;  // kernel variant for sparse benches
       for (const auto& [name, counter] : run.counters) {
         record.counters.emplace_back(name, counter.value);
       }
@@ -254,6 +412,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       json.Field("real_time_ns", record.real_time_ns);
       json.Field("cpu_time_ns", record.cpu_time_ns);
       json.Field("iterations", record.iterations);
+      if (!record.label.empty()) json.Field("kernel", record.label);
       for (const auto& [counter, value] : record.counters) {
         json.Field(counter.c_str(), value);
       }
@@ -266,6 +425,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
     double real_time_ns = 0.0;
     double cpu_time_ns = 0.0;
     size_t iterations = 0;
+    std::string label;
     std::vector<std::pair<std::string, double>> counters;
   };
   std::map<std::string, Record> records_;
@@ -274,10 +434,11 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace ivmf
 
 int main(int argc, char** argv) {
-  // Resolve and strip --json[=PATH] before Google Benchmark sees the
-  // arguments (it rejects flags it does not recognize).
+  // Resolve and strip --json[=PATH] and --check before Google Benchmark
+  // sees the arguments (it rejects flags it does not recognize).
   const std::string json_path =
       ivmf::bench::JsonPathFlag(argc, argv, "microbench_kernels");
+  bool check = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const char* arg = argv[i];
@@ -285,8 +446,16 @@ int main(int argc, char** argv) {
         (arg[6] == '\0' || arg[6] == '=')) {
       continue;
     }
+    if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  // Differential gate: with --check, every vectorized backend must
+  // reproduce the scalar reference on the bench's own construction before
+  // any timing runs — a diverged kernel cannot publish numbers.
+  if (check && !ivmf::RunKernelSelfCheck()) return 1;
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {

@@ -23,6 +23,13 @@ namespace ivmf {
 // y = A x. Implementations must be safe to Apply concurrently from
 // different operator instances (ComputeGramEig runs the lower/upper
 // endpoint solves on two threads, one operator each).
+//
+// Aliasing contract (interface-wide, for LinearMap too): `y` must be a
+// distinct vector from `x` — implementations stream the input while
+// writing the output in blocked (possibly vectorized or parallel) order,
+// so an in-place call would read half-written data. The sparse kernels
+// assert this (see sparse/sparse_kernels.h); the dense adapters below
+// check it too.
 class LinearOperator {
  public:
   virtual ~LinearOperator() = default;
@@ -30,7 +37,8 @@ class LinearOperator {
   // Dimension n of the (square, symmetric) operator.
   virtual size_t Dim() const = 0;
 
-  // y = A x. `x` has Dim() entries; `y` is resized to Dim().
+  // y = A x. `x` has Dim() entries; `y` is resized to Dim(). `y` must not
+  // alias `x`.
   virtual void Apply(const std::vector<double>& x,
                      std::vector<double>& y) const = 0;
 };
@@ -71,6 +79,7 @@ class DenseLinearMap final : public LinearMap {
   void Apply(const std::vector<double>& x,
              std::vector<double>& y) const override {
     IVMF_CHECK(x.size() == a_.cols());
+    IVMF_CHECK_MSG(&y != &x, "Apply output must not alias the input");
     y.resize(a_.rows());
     for (size_t i = 0; i < a_.rows(); ++i) {
       const double* row = a_.RowPtr(i);
@@ -83,6 +92,7 @@ class DenseLinearMap final : public LinearMap {
   void ApplyTranspose(const std::vector<double>& x,
                       std::vector<double>& y) const override {
     IVMF_CHECK(x.size() == a_.rows());
+    IVMF_CHECK_MSG(&y != &x, "ApplyTranspose output must not alias the input");
     y.assign(a_.cols(), 0.0);
     for (size_t i = 0; i < a_.rows(); ++i) {
       const double xi = x[i];
@@ -113,6 +123,7 @@ class DenseSymmetricOperator final : public LinearOperator {
              std::vector<double>& y) const override {
     const size_t n = a_.rows();
     IVMF_CHECK(x.size() == n);
+    IVMF_CHECK_MSG(&y != &x, "Apply output must not alias the input");
     y.resize(n);
     ParallelFor(
         0, n,

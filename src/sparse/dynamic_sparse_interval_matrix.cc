@@ -109,9 +109,13 @@ SparseIntervalMatrix DynamicSparseIntervalMatrix::Snapshot() const {
     }
     row_ptr[i + 1] = col_idx.size();
   }
-  return SparseIntervalMatrix::FromCsr(n, cols(), std::move(row_ptr),
-                                       std::move(col_idx), std::move(lo),
-                                       std::move(hi));
+  SparseIntervalMatrix merged = SparseIntervalMatrix::FromCsr(
+      n, cols(), std::move(row_ptr), std::move(col_idx), std::move(lo),
+      std::move(hi));
+  // Snapshots inherit the base's kernel backend, so a per-matrix selection
+  // survives the streaming refresh path (StreamingIsvd, ServingEngine).
+  merged.set_kernel(base_.kernel());
+  return merged;
 }
 
 void DynamicSparseIntervalMatrix::Compact() {

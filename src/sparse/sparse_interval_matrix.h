@@ -13,11 +13,16 @@
 #define IVMF_SPARSE_SPARSE_INTERVAL_MATRIX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "interval/interval.h"
 #include "interval/interval_matrix.h"
 #include "linalg/matrix.h"
+#include "sparse/sell_matrix.h"
+#include "sparse/sparse_kernels.h"
 
 namespace ivmf {
 
@@ -109,17 +114,57 @@ class SparseIntervalMatrix {
   // IntervalMatMulExact's doc) — the matrix-free ISVD path relies on it.
   bool IsNonNegative(double tol = 0.0) const;
 
+  // -- Kernel backend selection ----------------------------------------------
+  // Every kernel below dispatches through one of the backends in
+  // sparse_kernels.h: the scalar reference loops, AVX2 register-blocked CSR
+  // rows (runtime cpuid, portable fallback), or a SELL-C-4 padded layout
+  // built lazily as an immutable sidecar the first time a SELL kernel runs
+  // (kernels the SELL layout does not cover — transpose, dense, pair — use
+  // the dispatched CSR variant). The default kAuto defers to the
+  // IVMF_SPARSE_KERNEL environment variable (scalar|avx2|sell|auto), then
+  // to cpuid, so call sites never change: Lanczos eig/SVD, StreamingIsvd,
+  // and the serving refresh path all pick the backend up through here.
+  // Transpose() propagates the selection; the obs matvec counters tag each
+  // call with the variant that actually ran.
+
+  void set_kernel(spk::Backend backend) { kernel_ = backend; }
+  spk::Backend kernel() const { return kernel_; }
+
   // -- Kernels ---------------------------------------------------------------
-  // All kernels are deterministic for a fixed machine. Row-partitioned
-  // kernels (Multiply, MultiplyDense, MultiplyMid) compute every output
-  // entry exactly as in the serial loop; MultiplyTranspose reduces
+  // All kernels are deterministic for a fixed machine and backend.
+  // Row-partitioned kernels (Multiply, MultiplyDense, MultiplyMid,
+  // MultiplyBoth, MultiplyPair) compute every output entry from exactly the
+  // serial loop's terms — vectorized variants reassociate within a row by a
+  // fixed lane blocking, so they agree with the scalar reference to
+  // roundoff and are bit-stable across calls. MultiplyTranspose reduces
   // per-thread partial accumulators, so its summation order differs from the
   // serial scatter by a fixed blocking (bit-stable across calls, equal to
   // the serial result up to roundoff).
+  //
+  // Aliasing contract (checked): output vectors may not alias input vectors
+  // or each other — the kernels stream inputs while writing outputs in
+  // blocked order, so in-place calls would read half-written data. Inputs
+  // must be finite (SELL padding multiplies 0 by x[0]; an Inf/NaN there
+  // would poison a padded lane).
 
   // y = A_e x (y resized to rows()). Parallelized over rows.
   void Multiply(Endpoint e, const std::vector<double>& x,
                 std::vector<double>& y) const;
+
+  // y_lo = A_* x and y_hi = A^* x fused over the shared pattern in one
+  // pass (one gather feeds both endpoint accumulators); y_lo/y_hi resized
+  // to rows(). The fused endpoint path under SparseGramOperator::ApplyBoth
+  // and IntervalMultiplyDense.
+  void MultiplyBoth(const std::vector<double>& x, std::vector<double>& y_lo,
+                    std::vector<double>& y_hi) const;
+
+  // y_lo = A_* x_lo and y_hi = A^* x_hi in one pattern pass — the second
+  // Gram stage of ApplyBoth, where each endpoint chain carries its own
+  // vector. Outputs resized to rows().
+  void MultiplyPair(const std::vector<double>& x_lo,
+                    const std::vector<double>& x_hi,
+                    std::vector<double>& y_lo,
+                    std::vector<double>& y_hi) const;
 
   // y = ((A_* + A^*) / 2) x — the midpoint-matrix action fused over the
   // shared pattern (y resized to rows()). Parallelized over rows. Backs the
@@ -135,13 +180,33 @@ class SparseIntervalMatrix {
   void MultiplyTranspose(Endpoint e, const std::vector<double>& x,
                          std::vector<double>& y) const;
 
-  // C = A_e * B for dense B (cols() x k). Parallelized over rows.
+  // C = A_e * B for dense B (cols() x k). Parallelized over rows. A
+  // zero-column B yields a rows() x 0 result without touching any storage.
   Matrix MultiplyDense(Endpoint e, const Matrix& b) const;
 
   // C† = A† * B for a dense scalar B, matching the dense mixed-operand
   // IntervalMatMul exactly: C_lo / C_hi are the elementwise min / max of the
   // two full endpoint products A_* B and A^* B.
   IntervalMatrix IntervalMultiplyDense(const Matrix& b) const;
+
+  // y = A_eᵀ (A_e x) in a single pass over the pattern (y resized to
+  // cols()): each row's dot against x and its scaled scatter into y share
+  // the row data while it is cache-hot, halving memory traffic versus the
+  // Multiply + MultiplyTranspose composition. Same value as that
+  // composition up to roundoff (summation into y is grouped by row, and
+  // per-thread partials reduce like MultiplyTranspose); bit-stable across
+  // calls. SparseGramOperator::Apply routes through here when the AVX2
+  // backend is resolved.
+  void GramMultiply(Endpoint e, const std::vector<double>& x,
+                    std::vector<double>& y) const;
+
+  // y_lo = A_*ᵀ(A_* x) and y_hi = A^*ᵀ(A^* x) fused over the shared
+  // pattern in one pass — the one-pass form of MultiplyBoth + MultiplyPair.
+  // Outputs resized to cols(). Backs SparseGramOperator::ApplyBoth on the
+  // AVX2 backend.
+  void GramMultiplyBoth(const std::vector<double>& x,
+                        std::vector<double>& y_lo,
+                        std::vector<double>& y_hi) const;
 
   // Euclidean norms of the rows / columns of the endpoint matrix A_e.
   std::vector<double> RowNorms(Endpoint e) const;
@@ -158,12 +223,42 @@ class SparseIntervalMatrix {
   }
 
  private:
+  // Lazily-built SELL sidecar, shared by copies (the padded pack depends
+  // only on the immutable CSR arrays, which copies share by value).
+  struct SellSlot {
+    std::once_flag once;
+    std::unique_ptr<const SellPack> pack;
+  };
+
+  // Lazily-built narrow column-index sidecar for the AVX2 kernels: u16 when
+  // cols() fits (the common CF shape), u32 otherwise. Exactly one of the
+  // two vectors is populated. Shared by copies like the SELL pack.
+  struct PackedSlot {
+    std::once_flag once;
+    std::vector<uint16_t> col16;
+    std::vector<uint32_t> col32;
+  };
+
+  // The CSR view over this matrix's arrays, for the spk kernels.
+  spk::CsrView View() const {
+    return {rows_, cols_, row_ptr_.data(), col_idx_.data()};
+  }
+
+  const SellPack& EnsureSell() const;
+
+  // The packed view over this matrix's arrays (builds the sidecar on first
+  // use).
+  spk::PackedCsrView PackedView() const;
+
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<size_t> row_ptr_;  // rows() + 1 offsets into col_idx_/lo_/hi_
   std::vector<size_t> col_idx_;  // nnz column indices, ascending per row
   std::vector<double> lo_;       // nnz lower endpoints
   std::vector<double> hi_;       // nnz upper endpoints
+  spk::Backend kernel_ = spk::Backend::kAuto;
+  mutable std::shared_ptr<SellSlot> sell_ = std::make_shared<SellSlot>();
+  mutable std::shared_ptr<PackedSlot> packed_ = std::make_shared<PackedSlot>();
 };
 
 }  // namespace ivmf
