@@ -22,6 +22,7 @@
 #include "core/accuracy.h"
 #include "core/isvd.h"
 #include "core/lp_isvd.h"
+#include "obs/export_flags.h"
 #include "obs/metrics.h"
 
 namespace ivmf::bench {
@@ -178,15 +179,14 @@ struct SolverCounterDeltas {
 // Honors an optional --metrics-json=PATH flag: dumps the full registry
 // snapshot (counters, gauges, histogram percentiles) next to the bench's
 // BENCH_*.json, in the same format ivmf_serve writes. Returns false only on
-// I/O failure with the flag set.
+// I/O failure with the flag set. One parse + one writer shared with the
+// tools (obs/export_flags.h) so the flag surface cannot drift.
 inline bool MaybeWriteMetricsSnapshot(int argc, char** argv) {
-  const std::string path = StringFlag(argc, argv, "metrics-json", "");
-  if (path.empty()) return true;
-  const std::string json = obs::MetricsRegistry::Global().Snapshot().ToJson();
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) return false;
-  const bool ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
-  return (std::fclose(out) == 0) && ok;
+  obs::ObsCliOptions options = obs::ParseObsCliOptions(argc, argv);
+  // Benches never started span collection, so an exit-time --trace dump
+  // would always be empty; only the metrics part of the surface applies.
+  options.trace_path.clear();
+  return obs::WriteObsOutputs(options);
 }
 
 // -- Strategy sweeps ----------------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include "base/check.h"
 #include "base/stopwatch.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -118,6 +119,16 @@ const IsvdResult& StreamingIsvd::Refresh() {
   Stopwatch sw;
   const bool warm = WarmEligible();
   (warm ? instruments.warm : instruments.cold).Add(1);
+  if (!warm && have_result_ && options_.warm_start) {
+    // A warm-capable refresh fell back to cold — say why, with the
+    // quantities WarmEligible weighed.
+    const double sigma_1 = result_.sigma.empty() ? 0.0 : result_.sigma[0].hi;
+    obs::LogDebug("stream", "warm start declined; cold refresh",
+                  {{"delta_cells", cells_since_refresh_},
+                   {"base_nnz", last_refresh_nnz_},
+                   {"drift", std::sqrt(drift_sq_)},
+                   {"sigma_1", sigma_1}});
+  }
   if (obs::Enabled()) {
     instruments.delta_fraction.Set(
         static_cast<double>(cells_since_refresh_) /

@@ -1,0 +1,427 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ivmf::obs {
+
+namespace {
+
+// -- Flat-record JSON parsing -------------------------------------------------
+//
+// A deliberately narrow parser: the JsonWriter emits arrays of one-level
+// objects with scalar values, and that is all this accepts. Structure it
+// does not understand is an error, not a silent skip — a perf gate must
+// not pass because it failed to read its input.
+
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+  std::string* error;
+
+  bool Fail(const std::string& why) {
+    if (error != nullptr && error->empty()) {
+      *error = why + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+  char Peek() {
+    SkipWs();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+};
+
+bool ParseJsonString(Cursor& cur, std::string* out) {
+  if (!cur.Consume('"')) return cur.Fail("expected string");
+  out->clear();
+  while (cur.pos < cur.text.size()) {
+    const char c = cur.text[cur.pos];
+    if (c == '"') {
+      ++cur.pos;
+      return true;
+    }
+    if (c == '\\') {
+      ++cur.pos;
+      if (cur.pos >= cur.text.size()) return cur.Fail("truncated escape");
+      const char e = cur.text[cur.pos];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (cur.pos + 4 >= cur.text.size()) {
+            return cur.Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 1; i <= 4; ++i) {
+            const char h = cur.text[cur.pos + static_cast<size_t>(i)];
+            if (std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+              return cur.Fail("bad \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(static_cast<unsigned char>(h))
+                           ? h - '0'
+                           : std::tolower(static_cast<unsigned char>(h)) -
+                                 'a' + 10);
+          }
+          // Bench records are ASCII; anything else keeps a placeholder.
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          cur.pos += 4;
+          break;
+        }
+        default:
+          return cur.Fail("bad escape character");
+      }
+      ++cur.pos;
+      continue;
+    }
+    out->push_back(c);
+    ++cur.pos;
+  }
+  return cur.Fail("unterminated string");
+}
+
+bool ParseScalar(Cursor& cur, BenchValue* out) {
+  const char c = cur.Peek();
+  if (c == '"') {
+    out->kind = BenchValue::Kind::kString;
+    return ParseJsonString(cur, &out->text);
+  }
+  if (c == 't' || c == 'f') {
+    const bool value = c == 't';
+    const char* literal = value ? "true" : "false";
+    const size_t len = std::strlen(literal);
+    if (cur.text.compare(cur.pos, len, literal) != 0) {
+      return cur.Fail("bad literal");
+    }
+    cur.pos += len;
+    out->kind = BenchValue::Kind::kBool;
+    out->boolean = value;
+    return true;
+  }
+  if (c == 'n') {
+    if (cur.text.compare(cur.pos, 4, "null") != 0) {
+      return cur.Fail("bad literal");
+    }
+    cur.pos += 4;
+    out->kind = BenchValue::Kind::kNull;
+    return true;
+  }
+  if (c == '{' || c == '[') {
+    return cur.Fail("nested structure in flat bench record");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(cur.text.c_str() + cur.pos, &end);
+  if (end == cur.text.c_str() + cur.pos) return cur.Fail("expected value");
+  cur.pos = static_cast<size_t>(end - cur.text.c_str());
+  out->kind = BenchValue::Kind::kNumber;
+  out->number = value;
+  return true;
+}
+
+bool ParseRecord(Cursor& cur, BenchRecord* out) {
+  if (!cur.Consume('{')) return cur.Fail("expected '{'");
+  if (cur.Peek() == '}') {
+    ++cur.pos;
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    cur.SkipWs();
+    if (!ParseJsonString(cur, &key)) return false;
+    if (!cur.Consume(':')) return cur.Fail("expected ':'");
+    BenchValue value;
+    if (!ParseScalar(cur, &value)) return false;
+    (*out)[key] = std::move(value);
+    if (cur.Consume('}')) return true;
+    if (!cur.Consume(',')) return cur.Fail("expected ',' or '}'");
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<BenchRecord>> ParseBenchRecords(
+    const std::string& json, std::string* error) {
+  Cursor cur{json, 0, error};
+  std::vector<BenchRecord> records;
+  if (!cur.Consume('[')) {
+    cur.Fail("expected top-level array");
+    return std::nullopt;
+  }
+  if (cur.Consume(']')) {
+    cur.SkipWs();
+    if (cur.pos != json.size()) {
+      cur.Fail("trailing characters");
+      return std::nullopt;
+    }
+    return records;
+  }
+  for (;;) {
+    BenchRecord record;
+    if (!ParseRecord(cur, &record)) return std::nullopt;
+    records.push_back(std::move(record));
+    if (cur.Consume(']')) break;
+    if (!cur.Consume(',')) {
+      cur.Fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+  cur.SkipWs();
+  if (cur.pos != json.size()) {
+    cur.Fail("trailing characters");
+    return std::nullopt;
+  }
+  return records;
+}
+
+std::optional<std::vector<BenchRecord>> LoadBenchRecords(
+    const std::string& path, std::string* error) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::string contents;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(in);
+  return ParseBenchRecords(contents, error);
+}
+
+// -- Comparison ---------------------------------------------------------------
+
+namespace {
+
+// Numeric fields that describe the workload shape rather than a
+// measurement; together with every string field they form the record
+// identity. Outcome-ish fields (kernel, warm) are deliberately NOT
+// identity: a kernel falling back to scalar should surface as a metric
+// change on the same row, not as a missing record.
+const char* const kNumericIdentityFields[] = {
+    "users", "items", "rank", "strategy", "batch", "readers", "topk",
+};
+
+bool IsNumericIdentity(const std::string& key) {
+  for (const char* field : kNumericIdentityFields) {
+    if (key == field) return true;
+  }
+  return false;
+}
+
+bool IsStringIdentity(const std::string& key) {
+  return key == "bench" || key == "name" || key == "op";
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+// Seconds-equivalent of a time metric for the noise floor; nullopt for
+// non-time metrics (no floor applies).
+std::optional<double> AsSeconds(const std::string& metric, double value) {
+  if (EndsWith(metric, "_ns")) return value * 1e-9;
+  if (EndsWith(metric, "_us")) return value * 1e-6;
+  if (EndsWith(metric, "_ms")) return value * 1e-3;
+  if (metric.find("seconds") != std::string::npos) return value;
+  return std::nullopt;
+}
+
+std::string FormatValue(const BenchValue& value) {
+  switch (value.kind) {
+    case BenchValue::Kind::kString:
+      return value.text;
+    case BenchValue::Kind::kBool:
+      return value.boolean ? "true" : "false";
+    case BenchValue::Kind::kNull:
+      return "null";
+    case BenchValue::Kind::kNumber: {
+      char buffer[48];
+      // Integral shape values print bare so keys read "users=2000".
+      if (value.number == static_cast<double>(
+                              static_cast<long long>(value.number))) {
+        std::snprintf(buffer, sizeof(buffer), "%lld",
+                      static_cast<long long>(value.number));
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "%.9g", value.number);
+      }
+      return buffer;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string BenchRecordKey(const BenchRecord& record) {
+  std::string key;
+  for (const auto& [field, value] : record) {
+    const bool identity =
+        (value.kind == BenchValue::Kind::kString && IsStringIdentity(field)) ||
+        (value.kind == BenchValue::Kind::kNumber && IsNumericIdentity(field));
+    if (!identity) continue;
+    if (!key.empty()) key += ' ';
+    key += field + "=" + FormatValue(value);
+  }
+  return key;
+}
+
+bool MetricDirection(const std::string& metric, bool* lower_is_better) {
+  // A max is one extreme sample — pure scheduling noise on a shared CI
+  // runner — so it carries no direction even when it is a time.
+  if (metric == "max" || metric.rfind("max_", 0) == 0) return false;
+  if (EndsWith(metric, "per_second") ||
+      metric.find("throughput") != std::string::npos || metric == "speedup" ||
+      metric == "warm_hit_rate") {
+    *lower_is_better = false;
+    return true;
+  }
+  if (metric.find("seconds") != std::string::npos || EndsWith(metric, "_ns") ||
+      EndsWith(metric, "_us") || EndsWith(metric, "_ms")) {
+    *lower_is_better = true;
+    return true;
+  }
+  return false;
+}
+
+bool BenchDiffReport::HasRegression() const { return regressions() > 0; }
+
+size_t BenchDiffReport::regressions() const {
+  size_t count = 0;
+  for (const MetricDiff& diff : diffs) {
+    if (diff.status == DiffStatus::kRegression) ++count;
+  }
+  return count;
+}
+
+BenchDiffReport DiffBenchRecords(const std::vector<BenchRecord>& baseline,
+                                 const std::vector<BenchRecord>& candidate,
+                                 const BenchDiffOptions& options) {
+  BenchDiffReport report;
+
+  // Pair by identity; duplicate identities (repeated trials) pair in file
+  // order.
+  std::map<std::string, std::vector<const BenchRecord*>> candidates;
+  for (const BenchRecord& record : candidate) {
+    candidates[BenchRecordKey(record)].push_back(&record);
+  }
+  std::map<std::string, size_t> used;
+
+  for (const BenchRecord& base : baseline) {
+    const std::string key = BenchRecordKey(base);
+    auto it = candidates.find(key);
+    const size_t index = used[key]++;
+    if (it == candidates.end() || index >= it->second.size()) {
+      report.missing_records.push_back(key);
+      continue;
+    }
+    const BenchRecord& cand = *it->second[index];
+    ++report.compared_records;
+
+    for (const auto& [metric, base_value] : base) {
+      if (base_value.kind != BenchValue::Kind::kNumber) continue;
+      if (IsNumericIdentity(metric)) continue;
+      const auto cand_it = cand.find(metric);
+      if (cand_it == cand.end() ||
+          cand_it->second.kind != BenchValue::Kind::kNumber) {
+        continue;  // compare the overlap only
+      }
+      const double base_number = base_value.number;
+      const double cand_number = cand_it->second.number;
+
+      MetricDiff diff;
+      diff.record_key = key;
+      diff.metric = metric;
+      diff.baseline = base_number;
+      diff.candidate = cand_number;
+      diff.ratio = base_number != 0.0 ? cand_number / base_number : 0.0;
+
+      bool lower_is_better = false;
+      if (!MetricDirection(metric, &lower_is_better)) {
+        if (base_number != cand_number) {
+          diff.status = DiffStatus::kInfo;
+          report.diffs.push_back(diff);
+        }
+        continue;
+      }
+
+      // Noise floor: a timing where both sides are tiny carries no signal.
+      const std::optional<double> base_seconds = AsSeconds(metric, base_number);
+      const std::optional<double> cand_seconds = AsSeconds(metric, cand_number);
+      if (base_seconds.has_value() && cand_seconds.has_value() &&
+          *base_seconds < options.min_seconds &&
+          *cand_seconds < options.min_seconds) {
+        diff.status = DiffStatus::kSkipped;
+        report.diffs.push_back(diff);
+        continue;
+      }
+      if (base_number <= 0.0) {
+        // No meaningful relative comparison against a zero baseline.
+        diff.status = DiffStatus::kSkipped;
+        report.diffs.push_back(diff);
+        continue;
+      }
+
+      const bool regressed =
+          lower_is_better
+              ? cand_number > base_number * (1.0 + options.tolerance)
+              : cand_number < base_number / (1.0 + options.tolerance);
+      diff.status = regressed ? DiffStatus::kRegression : DiffStatus::kOk;
+      report.diffs.push_back(diff);
+    }
+  }
+
+  if (options.require_all && !report.missing_records.empty()) {
+    for (const std::string& key : report.missing_records) {
+      MetricDiff diff;
+      diff.record_key = key;
+      diff.metric = "<record missing in candidate>";
+      diff.status = DiffStatus::kRegression;
+      report.diffs.push_back(diff);
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ivmf::obs

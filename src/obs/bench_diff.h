@@ -1,0 +1,107 @@
+// Perf-regression comparison of two BENCH_*.json files, the library behind
+// tools/ivmf_bench_diff.cc and the CI perf gate.
+//
+// Every bench in bench/ emits a flat JSON array of records (one per
+// measured row; see bench_util.h JsonWriter). This module parses that
+// shape, pairs baseline records with candidate records by their identity
+// fields (workload shape: bench, name, strategy, users, ... — everything
+// that describes WHAT ran), and compares the measurement fields
+// (everything that describes HOW FAST it ran) under a relative noise
+// tolerance with a per-metric direction:
+//
+//   lower is better    *seconds*, *_ns, *_us (latencies, wall clock)
+//   higher is better   *per_second, *throughput*, speedup, warm_hit_rate
+//
+// Other numeric fields (counters like matvecs or krylov_iterations, and
+// max_* extremes, which are single-sample scheduler noise) carry no
+// direction — a change is reported informationally, never a failure,
+// because more iterations with less wall clock is not a regression.
+//
+// Tiny absolute times are noise-dominated regardless of relative
+// tolerance, so comparisons where both sides sit below `min_seconds`
+// (after unit normalization) are skipped.
+
+#ifndef IVMF_OBS_BENCH_DIFF_H_
+#define IVMF_OBS_BENCH_DIFF_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ivmf::obs {
+
+// One scalar from a flat bench record. Strings and booleans identify the
+// row; numbers are candidates for comparison.
+struct BenchValue {
+  enum class Kind { kNumber, kString, kBool, kNull };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  std::string text;
+  bool boolean = false;
+};
+
+using BenchRecord = std::map<std::string, BenchValue>;
+
+// Parses a JSON array of flat objects (string / number / bool / null
+// values only — the JsonWriter shape). Returns nullopt and fills *error on
+// malformed input or nested structure.
+std::optional<std::vector<BenchRecord>> ParseBenchRecords(
+    const std::string& json, std::string* error);
+
+// Reads and parses one BENCH_*.json file.
+std::optional<std::vector<BenchRecord>> LoadBenchRecords(
+    const std::string& path, std::string* error);
+
+struct BenchDiffOptions {
+  // Relative slack before a directed metric counts as a regression:
+  // lower-is-better fails when candidate > baseline * (1 + tolerance),
+  // higher-is-better when candidate < baseline / (1 + tolerance).
+  double tolerance = 0.5;
+  // Time measurements where BOTH sides are under this many seconds are
+  // skipped (sub-millisecond timings are scheduler noise).
+  double min_seconds = 1e-3;
+  // Fail when a baseline record has no candidate with the same identity
+  // (default: report informationally — CI gates run reduced configs).
+  bool require_all = false;
+};
+
+enum class DiffStatus {
+  kOk,          // within tolerance (or improved)
+  kRegression,  // directed metric moved past the tolerance
+  kSkipped,     // below the noise floor
+  kInfo,        // undirected metric changed (never a failure)
+};
+
+struct MetricDiff {
+  std::string record_key;  // identity, "k=v ..." joined
+  std::string metric;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double ratio = 0.0;  // candidate / baseline (0 when baseline == 0)
+  DiffStatus status = DiffStatus::kOk;
+};
+
+struct BenchDiffReport {
+  std::vector<MetricDiff> diffs;
+  std::vector<std::string> missing_records;  // identities absent in candidate
+  size_t compared_records = 0;
+
+  bool HasRegression() const;
+  size_t regressions() const;
+};
+
+// Identity string for one record: its string/bool fields plus the integer
+// shape fields, "k=v" joined in key order.
+std::string BenchRecordKey(const BenchRecord& record);
+
+// True when `metric` is compared with a direction; *lower_is_better set.
+bool MetricDirection(const std::string& metric, bool* lower_is_better);
+
+BenchDiffReport DiffBenchRecords(const std::vector<BenchRecord>& baseline,
+                                 const std::vector<BenchRecord>& candidate,
+                                 const BenchDiffOptions& options = {});
+
+}  // namespace ivmf::obs
+
+#endif  // IVMF_OBS_BENCH_DIFF_H_

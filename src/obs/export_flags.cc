@@ -1,0 +1,66 @@
+#include "obs/export_flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/flags.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ivmf::obs {
+
+ObsCliOptions ParseObsCliOptions(int argc, char** argv) {
+  ObsCliOptions options;
+  options.metrics_json_path = StringFlag(argc, argv, "metrics-json", "");
+  options.trace_path = StringFlag(argc, argv, "trace", "");
+  const std::string port = StringFlag(argc, argv, "http_port", "");
+  if (!port.empty()) {
+    options.http_requested = true;
+    options.http_port = std::atoi(port.c_str());
+  }
+  options.stall_seconds = DoubleFlag(argc, argv, "stall_seconds", 10.0);
+  return options;
+}
+
+void StartObsCollection(const ObsCliOptions& options) {
+  if (!options.trace_path.empty()) TraceCollector::Global().Start();
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  const bool ok =
+      std::fwrite(contents.data(), 1, contents.size(), out) == contents.size();
+  return (std::fclose(out) == 0) && ok;
+}
+
+bool WriteObsOutputs(const ObsCliOptions& options) {
+  bool ok = true;
+  if (!options.metrics_json_path.empty()) {
+    const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+    if (WriteStringToFile(options.metrics_json_path, json)) {
+      LogInfo("obs", "wrote metrics snapshot",
+              {{"path", options.metrics_json_path}});
+    } else {
+      LogError("obs", "failed writing metrics snapshot",
+               {{"path", options.metrics_json_path}});
+      ok = false;
+    }
+  }
+  if (!options.trace_path.empty()) {
+    TraceCollector& collector = TraceCollector::Global();
+    collector.Stop();
+    if (collector.WriteChromeTrace(options.trace_path)) {
+      LogInfo("obs", "wrote chrome trace",
+              {{"path", options.trace_path},
+               {"dropped_spans", collector.total_dropped()}});
+    } else {
+      LogError("obs", "failed writing trace", {{"path", options.trace_path}});
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace ivmf::obs

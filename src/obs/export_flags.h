@@ -1,0 +1,51 @@
+// One shared implementation of the observability command-line surface so it
+// cannot drift between binaries: every tool and bench that offers
+// --metrics-json / --trace / --http_port / --stall_seconds routes through
+// here (bench/bench_util.h re-exports the metrics part for the harnesses).
+//
+//   --metrics-json=PATH   dump the full MetricsRegistry snapshot as JSON at
+//                         exit
+//   --trace=PATH          start span collection now, write the Chrome
+//                         trace_event file at exit
+//   --http_port=N         serve /metrics, /metrics.json, /tracez, /logz,
+//                         /healthz while running (0 = ephemeral port,
+//                         printed at startup); absent = no server
+//   --stall_seconds=S     /healthz stall threshold (with --http_port)
+//
+// Usage in a tool:
+//   ObsCliOptions obs_options = ParseObsCliOptions(argc, argv);
+//   StartObsCollection(obs_options);          // before the workload
+//   ... run, optionally StartHttpExporter ...
+//   if (!WriteObsOutputs(obs_options)) return 1;   // after the workload
+
+#ifndef IVMF_OBS_EXPORT_FLAGS_H_
+#define IVMF_OBS_EXPORT_FLAGS_H_
+
+#include <string>
+
+namespace ivmf::obs {
+
+struct ObsCliOptions {
+  std::string metrics_json_path;  // empty = no snapshot dump
+  std::string trace_path;         // empty = no tracing
+  bool http_requested = false;
+  int http_port = 0;
+  double stall_seconds = 10.0;
+};
+
+ObsCliOptions ParseObsCliOptions(int argc, char** argv);
+
+// Starts span collection when --trace was given. Call before the workload.
+void StartObsCollection(const ObsCliOptions& options);
+
+// Writes whatever --metrics-json / --trace requested. Failures are logged;
+// returns false when a requested output could not be written.
+bool WriteObsOutputs(const ObsCliOptions& options);
+
+// Writes one string to a file; shared by the flag outputs above and the
+// direct callers in bench_util. Returns false on I/O failure.
+bool WriteStringToFile(const std::string& path, const std::string& contents);
+
+}  // namespace ivmf::obs
+
+#endif  // IVMF_OBS_EXPORT_FLAGS_H_

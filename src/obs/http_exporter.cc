@@ -1,0 +1,337 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+
+namespace ivmf::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+// One connection's lifecycle: accumulate the request until the blank line,
+// then drain the rendered response and close.
+struct Connection {
+  int fd = -1;
+  std::string request;
+  std::string response;
+  size_t written = 0;
+  bool responding = false;
+};
+
+// "GET /metrics HTTP/1.1" -> method and path (query string stripped).
+// False when the request line is not even shaped like HTTP.
+bool ParseRequestLine(const std::string& request, std::string* method,
+                      std::string* path) {
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      request.substr(0, line_end == std::string::npos ? request.find('\n')
+                                                      : line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  *method = line.substr(0, sp1);
+  *path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path->find('?');
+  if (query != std::string::npos) path->resize(query);
+  return !method->empty() && !path->empty() && (*path)[0] == '/';
+}
+
+std::string RenderResponse(const HttpExporter::Response& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(HttpExporterOptions options)
+    : options_(std::move(options)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+bool HttpExporter::Start() {
+  if (running()) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    LogError("http", "socket() failed", {{"errno", errno}});
+    return false;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    LogError("http", "bad bind address", {{"address", options_.bind_address}});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, options_.max_connections) != 0) {
+    LogError("http", "bind/listen failed",
+             {{"address", options_.bind_address},
+              {"port", static_cast<unsigned>(options_.port)},
+              {"errno", errno}});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  } else {
+    port_.store(options_.port, std::memory_order_release);
+  }
+
+  if (::pipe(wake_fds_) != 0 || !SetNonBlocking(listen_fd_) ||
+      !SetNonBlocking(wake_fds_[0])) {
+    LogError("http", "pipe/nonblock setup failed", {{"errno", errno}});
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  LogInfo("http", "exporter listening",
+          {{"address", options_.bind_address},
+           {"port", static_cast<unsigned>(port())}});
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll loop; it observes running_ == false and exits.
+  const char byte = 'x';
+  [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+HttpExporter::Response HttpExporter::Handle(const std::string& method,
+                                            const std::string& path) const {
+  Response response;
+  if (method != "GET") {
+    response.status = 405;
+    response.body = "method not allowed\n";
+    return response;
+  }
+  if (path == "/metrics") {
+    response.body = MetricsRegistry::Global().Snapshot().ToPrometheusText();
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/metrics.json") {
+    response.body = MetricsRegistry::Global().Snapshot().ToJson();
+    response.content_type = "application/json";
+  } else if (path == "/tracez") {
+    response.body = TraceCollector::Global().ChromeTraceJson();
+    response.content_type = "application/json";
+  } else if (path == "/logz") {
+    response.body = LogRing::Global().ToJson();
+    response.content_type = "application/json";
+  } else if (path == "/healthz") {
+    if (options_.watchdog == nullptr) {
+      response.body = "{\"status\":\"ok\"}";
+    } else {
+      if (options_.watchdog->health() != Watchdog::Health::kOk) {
+        response.status = 503;
+      }
+      response.body = options_.watchdog->StatusJson();
+    }
+    response.content_type = "application/json";
+  } else if (path == "/") {
+    response.body =
+        "ivmf introspection endpoints:\n"
+        "  /metrics       Prometheus text exposition\n"
+        "  /metrics.json  metrics snapshot as JSON\n"
+        "  /tracez        Chrome trace_event snapshot\n"
+        "  /logz          structured log ring\n"
+        "  /healthz       liveness (200 ok / 503 stalled)\n";
+  } else {
+    response.status = 404;
+    response.body = "not found\n";
+  }
+  return response;
+}
+
+void HttpExporter::Loop() {
+  std::vector<Connection> connections;
+
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    const bool accepting =
+        connections.size() < static_cast<size_t>(options_.max_connections);
+    fds.push_back({accepting ? listen_fd_ : -1, POLLIN, 0});
+    for (const Connection& connection : connections) {
+      fds.push_back({connection.fd,
+                     static_cast<short>(connection.responding ? POLLOUT
+                                                              : POLLIN),
+                     0});
+    }
+
+    if (::poll(fds.data(), fds.size(), /*timeout_ms=*/1000) < 0) {
+      if (errno == EINTR) continue;
+      LogError("http", "poll failed", {{"errno", errno}});
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+
+    // Connections mirrored in this iteration's pollfd set; ones accepted
+    // below have no revents yet and wait for the next poll round.
+    const size_t tracked = connections.size();
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) break;
+        if (!SetNonBlocking(client) ||
+            connections.size() >=
+                static_cast<size_t>(options_.max_connections)) {
+          ::close(client);
+          continue;
+        }
+        Connection connection;
+        connection.fd = client;
+        connections.push_back(std::move(connection));
+      }
+    }
+
+    // fds[2 + i] mirrors connections[i] for i < tracked; iterate backwards
+    // so erase is index-stable.
+    for (size_t i = tracked; i-- > 0;) {
+      Connection& connection = connections[i];
+      const short revents = fds[2 + i].revents;
+      bool close_connection = false;
+
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          !connection.responding) {
+        close_connection = true;
+      } else if (!connection.responding && (revents & POLLIN) != 0) {
+        char buffer[2048];
+        bool peer_closed = false;
+        for (;;) {
+          const ssize_t n = ::read(connection.fd, buffer, sizeof(buffer));
+          if (n > 0) {
+            connection.request.append(buffer, static_cast<size_t>(n));
+            if (connection.request.size() > kMaxRequestBytes) break;
+            continue;
+          }
+          if (n == 0) peer_closed = true;
+          break;
+        }
+        const bool complete =
+            connection.request.find("\r\n\r\n") != std::string::npos ||
+            connection.request.find("\n\n") != std::string::npos;
+        if (peer_closed && !complete) close_connection = true;
+        if (connection.request.size() > kMaxRequestBytes) {
+          connection.response = RenderResponse(
+              {400, "text/plain; charset=utf-8", "request too large\n"});
+          connection.responding = true;
+        } else if (complete) {
+          std::string method, path;
+          Response response;
+          if (ParseRequestLine(connection.request, &method, &path)) {
+            response = Handle(method, path);
+          } else {
+            response = {400, "text/plain; charset=utf-8", "bad request\n"};
+          }
+          connection.response = RenderResponse(response);
+          connection.responding = true;
+        }
+      }
+
+      if (connection.responding && !close_connection) {
+        while (connection.written < connection.response.size()) {
+          const ssize_t n = ::write(
+              connection.fd, connection.response.data() + connection.written,
+              connection.response.size() - connection.written);
+          if (n > 0) {
+            connection.written += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          close_connection = true;  // peer vanished mid-response
+          break;
+        }
+        if (connection.written == connection.response.size()) {
+          close_connection = true;  // Connection: close — done
+        }
+      }
+
+      if (close_connection) {
+        ::close(connection.fd);
+        connections.erase(connections.begin() +
+                          static_cast<ptrdiff_t>(i));
+      }
+    }
+  }
+
+  for (const Connection& connection : connections) ::close(connection.fd);
+}
+
+}  // namespace ivmf::obs

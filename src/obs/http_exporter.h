@@ -1,0 +1,99 @@
+// Live introspection over HTTP: a small, dependency-free, single-threaded
+// poll-based HTTP/1.1 server that makes the in-process observability state
+// scrapeable while the system runs, instead of dumpable only at exit.
+//
+// Endpoints:
+//   /metrics        Prometheus text exposition (MetricsSnapshot::
+//                   ToPrometheusText) — point a Prometheus scraper at it
+//   /metrics.json   the same snapshot as JSON (ToJson)
+//   /tracez         current Chrome trace_event snapshot of the collected
+//                   spans (TraceCollector::ChromeTraceJson); empty trace
+//                   when collection never started
+//   /logz           the structured log ring (LogRing::ToJson)
+//   /healthz        200 {"status":"ok"} / 503 {"status":"stalled"} from
+//                   the attached Watchdog; always ok when none is attached
+//
+// One background thread runs a poll(2) loop over the listener and every
+// open connection — no thread per connection, no locking beyond what the
+// exporters themselves take (the registry snapshot mutex, trace/log ring
+// mutexes), so concurrent scrapes and metric writers compose safely (the
+// round-trip is exercised under TSan by tests/obs_http_test.cc).
+// Responses carry Connection: close and the socket closes after each
+// response: at scrape granularity (one request per poll interval per
+// scraper) connection reuse buys nothing and a state machine per request
+// keeps the server small. Requests are parsed just enough to route: the
+// method must be GET (405 otherwise), unknown paths 404, oversized or
+// malformed requests 400, and everything is written with non-blocking I/O
+// so one slow scraper cannot wedge the loop.
+//
+// Binding is loopback by default. Port 0 asks the kernel for an ephemeral
+// port; port() reports the bound one (tests and --http_port=0 use this).
+
+#ifndef IVMF_OBS_HTTP_EXPORTER_H_
+#define IVMF_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace ivmf::obs {
+
+class Watchdog;
+
+struct HttpExporterOptions {
+  // TCP port to listen on; 0 binds an ephemeral port (see port()).
+  uint16_t port = 0;
+  // Listen address. Loopback by default: the exporter serves plaintext
+  // introspection data and has no auth.
+  std::string bind_address = "127.0.0.1";
+  // Health source for /healthz; null reports ok unconditionally. The
+  // watchdog must outlive the exporter.
+  const Watchdog* watchdog = nullptr;
+  // Connections answered concurrently; excess connections queue in the
+  // kernel accept backlog.
+  int max_connections = 16;
+};
+
+class HttpExporter {
+ public:
+  explicit HttpExporter(HttpExporterOptions options = {});
+  // Stops the server if running.
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Binds, listens, and starts the poll thread. False on socket/bind
+  // failure (the error is logged with component "http").
+  bool Start();
+  // Joins the poll thread and closes every socket. Safe to call twice.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound port (resolves port 0); valid after a successful Start().
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+  // Routes one already-parsed request and returns the response body +
+  // status. Exposed for tests; the poll loop calls it per request.
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  Response Handle(const std::string& method, const std::string& path) const;
+
+ private:
+  void Loop();
+
+  HttpExporterOptions options_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint16_t> port_{0};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes the poll loop
+  std::thread thread_;
+};
+
+}  // namespace ivmf::obs
+
+#endif  // IVMF_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,210 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "base/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace ivmf::obs {
+
+namespace {
+
+// Matches the LogLevel ladder; 4 mutes everything (IVMF_LOG=off).
+constexpr int kLevelOff = 4;
+
+std::atomic<int>& MinLevelCell() {
+  static std::atomic<int> cell = [] {
+    int level = static_cast<int>(LogLevel::kInfo);
+    const char* env = std::getenv("IVMF_LOG");
+    if (env != nullptr && env[0] != '\0') {
+      LogLevel parsed;
+      if (ParseLogLevel(env, &parsed)) {
+        level = static_cast<int>(parsed);
+      } else if (std::strcmp(env, "off") == 0 ||
+                 std::strcmp(env, "0") == 0 ||
+                 std::strcmp(env, "false") == 0) {
+        level = kLevelOff;
+      }
+    }
+    return std::atomic<int>(level);
+  }();
+  return cell;
+}
+
+std::atomic<bool>& StderrCell() {
+  static std::atomic<bool> cell{true};
+  return cell;
+}
+
+// Process-relative timestamps: cheap, monotonic, and immune to wall-clock
+// steps. Log shippers that need absolute time stamp at ingest.
+double ProcessSeconds() {
+  static const Stopwatch* start = new Stopwatch();  // never destroyed
+  return start->Seconds();
+}
+
+void AppendJsonDouble(std::string& out, double v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", v);
+  out += buffer;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn" || text == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(MinLevelCell().load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelCell().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogStderr(bool enabled) {
+  StderrCell().store(enabled, std::memory_order_relaxed);
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  if (std::isfinite(v)) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+    value = buffer;
+    quoted = false;
+  } else {
+    // JSON has no NaN/Inf literals.
+    value = "null";
+    quoted = false;
+  }
+}
+
+std::string LogRecord::ToJson() const {
+  std::string out = "{\"ts\":";
+  AppendJsonDouble(out, ts_seconds);
+  out += ",\"level\":\"";
+  out += LogLevelName(level);
+  out += "\",\"component\":\"";
+  out += JsonEscape(component);
+  out += "\",\"msg\":\"";
+  out += JsonEscape(message);
+  out += '"';
+  for (const LogField& field : fields) {
+    out += ",\"";
+    out += JsonEscape(field.key);
+    out += "\":";
+    if (field.quoted) {
+      out += '"';
+      out += JsonEscape(field.value);
+      out += '"';
+    } else {
+      out += field.value;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+// -- LogRing -----------------------------------------------------------------
+
+LogRing& LogRing::Global() {
+  static LogRing* ring = new LogRing();  // never destroyed
+  return *ring;
+}
+
+LogRing::LogRing(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void LogRing::Record(LogRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<LogRecord> LogRing::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {records_.begin(), records_.end()};
+}
+
+std::string LogRing::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"dropped\":" + std::to_string(dropped_) +
+                    ",\"records\":[";
+  bool first = true;
+  for (const LogRecord& record : records_) {
+    if (!first) out += ',';
+    first = false;
+    out += record.ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+size_t LogRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void LogRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  dropped_ = 0;
+}
+
+// -- Emission ----------------------------------------------------------------
+
+void Log(LogLevel level, std::string_view component, std::string_view message,
+         std::vector<LogField> fields) {
+  if (static_cast<int>(level) <
+      MinLevelCell().load(std::memory_order_relaxed)) {
+    return;
+  }
+  LogRecord record;
+  record.ts_seconds = ProcessSeconds();
+  record.level = level;
+  record.component = std::string(component);
+  record.message = std::string(message);
+  record.fields = std::move(fields);
+  if (StderrCell().load(std::memory_order_relaxed)) {
+    // One fwrite per line: concurrent writers cannot interleave mid-line.
+    std::string line = record.ToJson();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+  LogRing::Global().Record(std::move(record));
+}
+
+}  // namespace ivmf::obs

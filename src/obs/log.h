@@ -1,0 +1,156 @@
+// Structured leveled logging: one JSON object per line on stderr plus a
+// fixed-capacity in-memory ring that the /logz introspection endpoint
+// serves, replacing the ad-hoc fprintf diagnostics the tools and subsystems
+// used to scatter.
+//
+// A log call renders eagerly into a LogRecord — level, steady-clock
+// timestamp, component, message, and an ordered list of key/value fields —
+// and hands it to both sinks:
+//
+//   stderr   {"ts":12.345678,"level":"info","component":"serve",
+//             "msg":"epoch published","epoch":17}
+//            (one line, RFC 8259 — parseable by any log shipper; disable
+//            with SetLogStderr(false) when a harness owns stderr)
+//   ring     overwrite-oldest buffer of the most recent records, exported
+//            as a JSON array by LogRing::ToJson() for /logz
+//
+// Levels follow the usual ladder (debug < info < warn < error); records
+// below the minimum level are dropped before rendering. The minimum
+// defaults to info and can be set programmatically (SetMinLogLevel) or by
+// launching with IVMF_LOG=debug|info|warn|error|off.
+//
+// Field values are rendered at the call site via the LogField constructor
+// overloads (string, integer, double, bool), so the record is just strings
+// and the sink never needs a variant. Logging is thread-safe: the ring
+// takes one mutex per record, stderr lines are written with a single
+// fwrite so concurrent writers cannot interleave mid-line. Log sites sit
+// on cold paths (errors, refresh summaries, startup banners) — never in
+// per-row kernels.
+
+#ifndef IVMF_OBS_LOG_H_
+#define IVMF_OBS_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ivmf::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+// Parses a level name (as accepted by IVMF_LOG); false on no match.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+// Records below this level are dropped. IVMF_LOG=off maps to a minimum
+// above every level, muting the logger entirely.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+// Whether records are mirrored to stderr (default true). The ring always
+// records — tests and /logz read it regardless of the stderr sink.
+void SetLogStderr(bool enabled);
+
+// One key/value pair, value pre-rendered at the call site. `quoted`
+// distinguishes JSON strings from bare numbers/booleans.
+struct LogField {
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  LogField(std::string k, std::string_view v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  LogField(std::string k, const std::string& v)
+      : key(std::move(k)), value(v), quoted(true) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, int v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, long v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, long long v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, unsigned v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, unsigned long v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, unsigned long long v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+
+  std::string key;
+  std::string value;
+  bool quoted;
+};
+
+struct LogRecord {
+  double ts_seconds = 0.0;  // steady clock, relative to process start
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  std::vector<LogField> fields;
+
+  // The record as one JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+// Overwrite-oldest buffer of the most recent records.
+class LogRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  static LogRing& Global();
+
+  explicit LogRing(size_t capacity = kDefaultCapacity);
+
+  void Record(LogRecord record);
+
+  // Retained records oldest-first.
+  std::vector<LogRecord> Records() const;
+  // {"dropped": N, "records": [...]} — the /logz payload.
+  std::string ToJson() const;
+
+  size_t capacity() const { return capacity_; }
+  // Records overwritten since construction / the last Clear().
+  size_t dropped() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<LogRecord> records_;
+  size_t dropped_ = 0;
+};
+
+// Renders and emits one record to the global ring and (when enabled)
+// stderr. Below-minimum levels return immediately.
+void Log(LogLevel level, std::string_view component, std::string_view message,
+         std::vector<LogField> fields = {});
+
+inline void LogDebug(std::string_view component, std::string_view message,
+                     std::vector<LogField> fields = {}) {
+  Log(LogLevel::kDebug, component, message, std::move(fields));
+}
+inline void LogInfo(std::string_view component, std::string_view message,
+                    std::vector<LogField> fields = {}) {
+  Log(LogLevel::kInfo, component, message, std::move(fields));
+}
+inline void LogWarn(std::string_view component, std::string_view message,
+                    std::vector<LogField> fields = {}) {
+  Log(LogLevel::kWarn, component, message, std::move(fields));
+}
+inline void LogError(std::string_view component, std::string_view message,
+                     std::vector<LogField> fields = {}) {
+  Log(LogLevel::kError, component, message, std::move(fields));
+}
+
+}  // namespace ivmf::obs
+
+#endif  // IVMF_OBS_LOG_H_

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <set>
 
 #include "base/check.h"
 
@@ -390,6 +391,45 @@ std::string MetricsSnapshot::ToJson() const {
 
 namespace {
 
+// Label values may hold anything; the exposition format requires \\, \",
+// and \n escaped inside the quotes.
+std::string PrometheusLabelEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Label names are restricted to [a-zA-Z_][a-zA-Z0-9_]*.
+std::string PrometheusLabelName(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? static_cast<char>(
+                            std::tolower(static_cast<unsigned char>(c)))
+                      : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
 // "sparse.matvec.calls{kernel=multiply}" ->
 //   name "ivmf_sparse_matvec_calls", labels {kernel="multiply"}.
 void SplitPrometheusKey(const std::string& key, std::string& name,
@@ -405,7 +445,7 @@ void SplitPrometheusKey(const std::string& key, std::string& name,
   }
   labels.clear();
   if (brace == std::string::npos) return;
-  // key tags are "k=v" pairs; Prometheus wants k="v".
+  // key tags are "k=v" pairs; Prometheus wants k="v" with the value escaped.
   const std::string inner = key.substr(brace + 1, key.size() - brace - 2);
   size_t pos = 0;
   while (pos < inner.size()) {
@@ -415,10 +455,18 @@ void SplitPrometheusKey(const std::string& key, std::string& name,
     const size_t eq = pair.find('=');
     if (eq != std::string::npos) {
       if (!labels.empty()) labels.push_back(',');
-      labels += pair.substr(0, eq) + "=\"" + pair.substr(eq + 1) + "\"";
+      labels += PrometheusLabelName(pair.substr(0, eq)) + "=\"" +
+                PrometheusLabelEscape(pair.substr(eq + 1)) + "\"";
     }
     pos = comma + 1;
   }
+}
+
+bool EndsWithTotal(const std::string& name) {
+  constexpr const char kSuffix[] = "_total";
+  constexpr size_t kLen = sizeof(kSuffix) - 1;
+  return name.size() >= kLen &&
+         name.compare(name.size() - kLen, kLen, kSuffix) == 0;
 }
 
 void AppendPrometheusLine(std::string& out, const std::string& name,
@@ -446,16 +494,18 @@ void AppendPrometheusLine(std::string& out, const std::string& name,
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
   std::string name, labels;
-  // Tagged variants of one name sort adjacent in the snapshot maps, so one
-  // remembered name suffices to emit each # TYPE header exactly once.
-  std::string typed;
+  // Sanitization can collapse distinct raw names onto one exposition name
+  // (and counters share a family with gauges after the _total suffix only
+  // by accident), so dedupe # TYPE headers with a set, not adjacency.
+  std::set<std::string> typed;
   const auto type_line = [&](const char* kind) {
-    if (name == typed) return;
+    if (!typed.insert(name).second) return;
     out += "# TYPE " + name + " " + kind + "\n";
-    typed = name;
   };
   for (const auto& [key, value] : counters) {
     SplitPrometheusKey(key, name, labels);
+    // Prometheus counters carry the _total suffix on the sample name.
+    if (!EndsWithTotal(name)) name += "_total";
     type_line("counter");
     AppendPrometheusLine(out, name, labels, "", static_cast<double>(value));
   }

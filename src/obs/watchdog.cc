@@ -1,0 +1,84 @@
+#include "obs/watchdog.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ivmf::obs {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct WatchdogInstruments {
+  Counter& beats;
+  Gauge& heartbeat_seconds;
+  Gauge& age_seconds;
+
+  static WatchdogInstruments& Get() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static WatchdogInstruments instruments{
+        registry.GetCounter("watchdog.beats"),
+        registry.GetGauge("watchdog.heartbeat.seconds"),
+        registry.GetGauge("watchdog.age.seconds")};
+    return instruments;
+  }
+};
+
+}  // namespace
+
+const char* WatchdogHealthName(Watchdog::Health health) {
+  return health == Watchdog::Health::kOk ? "ok" : "stalled";
+}
+
+Watchdog::Watchdog(WatchdogOptions options)
+    : options_(std::move(options)), last_beat_(Now()) {}
+
+double Watchdog::Now() const {
+  return options_.clock ? options_.clock() : SteadySeconds();
+}
+
+void Watchdog::Beat() {
+  const double now = Now();
+  last_beat_.store(now, std::memory_order_relaxed);
+  beats_.fetch_add(1, std::memory_order_relaxed);
+  WatchdogInstruments& instruments = WatchdogInstruments::Get();
+  instruments.beats.Add(1);
+  instruments.heartbeat_seconds.Set(now);
+}
+
+double Watchdog::SecondsSinceBeat() const {
+  const double age = Now() - last_beat_.load(std::memory_order_relaxed);
+  return age > 0.0 ? age : 0.0;
+}
+
+Watchdog::Health Watchdog::health() const {
+  const double age = SecondsSinceBeat();
+  WatchdogInstruments::Get().age_seconds.Set(age);
+  if (age <= options_.stall_seconds) return Health::kOk;
+  if (options_.busy && !options_.busy()) return Health::kOk;
+  return Health::kStalled;
+}
+
+std::string Watchdog::StatusJson() const {
+  const Health current = health();
+  char buffer[64];
+  std::string out = "{\"status\":\"";
+  out += WatchdogHealthName(current);
+  out += "\",\"seconds_since_heartbeat\":";
+  std::snprintf(buffer, sizeof(buffer), "%.6f", SecondsSinceBeat());
+  out += buffer;
+  out += ",\"stall_threshold_seconds\":";
+  std::snprintf(buffer, sizeof(buffer), "%.6f", options_.stall_seconds);
+  out += buffer;
+  out += ",\"beats\":" + std::to_string(beats()) + "}";
+  return out;
+}
+
+}  // namespace ivmf::obs

@@ -1,0 +1,74 @@
+// Liveness watchdog behind the /healthz endpoint: a heartbeat timestamp,
+// a stall threshold, and an optional busy probe.
+//
+// The watched component calls Beat() whenever it makes observable progress
+// — the serving layer beats on every snapshot publication — and health
+// degrades from ok to stalled when no beat lands for `stall_seconds`.
+// Because a quiet system is not a stuck one (the serving writer sleeps
+// until ratings arrive), an optional `busy` probe gates the verdict: when
+// the probe says there is no work in flight, a stale heartbeat keeps
+// reporting ok. With the probe wired to "pending cells > 0", stalled means
+// exactly what an operator wants it to mean: work is queued and the writer
+// has not published for a full threshold.
+//
+// The clock is injectable (seconds, monotonic) so tests drive stall
+// transitions deterministically; the default reads the process steady
+// clock. Beat() and health() are safe from any thread.
+//
+// Every Beat() bumps the `watchdog.beats` counter and refreshes the
+// `watchdog.heartbeat.seconds` gauge (beat time on the process clock);
+// health() keeps the `watchdog.age.seconds` gauge current, so a scrape of
+// /metrics carries the same liveness signal /healthz serves.
+
+#ifndef IVMF_OBS_WATCHDOG_H_
+#define IVMF_OBS_WATCHDOG_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+namespace ivmf::obs {
+
+struct WatchdogOptions {
+  // No beat for this long (while busy) => stalled.
+  double stall_seconds = 10.0;
+  // Monotonic clock in seconds; tests substitute a fake. Null uses the
+  // process steady clock.
+  std::function<double()> clock;
+  // When set and returning false, the component is idle and a stale
+  // heartbeat is not a stall. Null means always busy (strict mode).
+  std::function<bool()> busy;
+};
+
+class Watchdog {
+ public:
+  enum class Health { kOk, kStalled };
+
+  explicit Watchdog(WatchdogOptions options = {});
+
+  // Records progress now. Construction counts as the first beat, so a
+  // freshly started component is healthy until a full threshold passes.
+  void Beat();
+
+  Health health() const;
+  double SecondsSinceBeat() const;
+  uint64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+  double stall_seconds() const { return options_.stall_seconds; }
+
+  // {"status":"ok"|"stalled","seconds_since_heartbeat":...,
+  //  "stall_threshold_seconds":...,"beats":...} — the /healthz payload.
+  std::string StatusJson() const;
+
+ private:
+  double Now() const;
+
+  WatchdogOptions options_;
+  std::atomic<double> last_beat_;
+  std::atomic<uint64_t> beats_{0};
+};
+
+const char* WatchdogHealthName(Watchdog::Health health);
+
+}  // namespace ivmf::obs
+
+#endif  // IVMF_OBS_WATCHDOG_H_

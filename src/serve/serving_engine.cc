@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/check.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -50,6 +51,8 @@ void ServingEngine::PublishCurrent() {
   registry_.Publish(snapshot);
   epoch_.store(snapshot->epoch(), std::memory_order_release);
   EngineInstruments::Get().epochs.Add(1);
+  obs::LogDebug("serve", "published snapshot",
+                {{"epoch", snapshot->epoch()}});
   if (options_.on_publish) options_.on_publish(snapshot);
 }
 
@@ -111,6 +114,7 @@ void ServingEngine::StartWriter() {
     stop_ = false;
   }
   writer_ = std::thread([this] { WriterLoop(); });
+  obs::LogInfo("serve", "writer thread started", {{"epoch", epoch()}});
 }
 
 void ServingEngine::StopWriter() {
@@ -126,6 +130,9 @@ void ServingEngine::StopWriter() {
     running_ = false;
   }
   Step();  // flush anything submitted during shutdown
+  obs::LogInfo("serve", "writer thread stopped",
+               {{"epoch", epoch()},
+                {"cells_applied", cells_applied()}});
 }
 
 bool ServingEngine::writer_running() const {

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/log.h"
+
 namespace ivmf::spk {
 
 // -- Backend selection -------------------------------------------------------
@@ -61,10 +63,8 @@ Backend EnvBackend() {
     if (value == nullptr || value[0] == '\0') return Backend::kAuto;
     Backend parsed = Backend::kAuto;
     if (!ParseBackend(value, &parsed)) {
-      std::fprintf(stderr,
-                   "[ivmf] warning: unknown IVMF_SPARSE_KERNEL=%s "
-                   "(want scalar|avx2|sell|auto); using auto\n",
-                   value);
+      obs::LogWarn("sparse", "unknown IVMF_SPARSE_KERNEL value; using auto",
+                   {{"value", value}, {"want", "scalar|avx2|sell|auto"}});
     }
     return parsed;
   }();

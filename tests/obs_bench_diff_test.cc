@@ -1,0 +1,209 @@
+// Perf-regression diff tests: the flat-record JSON parser accepts the
+// JsonWriter shape and rejects structure it does not understand, records
+// pair by workload identity (shape fields, not measurements), metric
+// direction follows the documented name patterns, and the diff flags a
+// synthetic 2x slowdown while tolerating noise-sized movement, sub-floor
+// timings, and undirected counter drift.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/bench_diff.h"
+
+namespace ivmf::obs {
+namespace {
+
+std::vector<BenchRecord> MustParse(const std::string& json) {
+  std::string error;
+  auto records = ParseBenchRecords(json, &error);
+  EXPECT_TRUE(records.has_value()) << error;
+  return records.value_or(std::vector<BenchRecord>{});
+}
+
+TEST(ParseBenchRecordsTest, ParsesJsonWriterShape) {
+  const std::vector<BenchRecord> records = MustParse(
+      "[\n"
+      "  {\"bench\": \"fig10\", \"users\": 2000, \"warm\": true, "
+      "\"seconds\": 0.125, \"note\": null},\n"
+      "  {\"bench\": \"fig10\", \"users\": 4000, \"warm\": false, "
+      "\"seconds\": 0.5}\n"
+      "]\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].at("bench").kind, BenchValue::Kind::kString);
+  EXPECT_EQ(records[0].at("bench").text, "fig10");
+  EXPECT_EQ(records[0].at("users").kind, BenchValue::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(records[0].at("users").number, 2000.0);
+  EXPECT_TRUE(records[0].at("warm").boolean);
+  EXPECT_EQ(records[0].at("note").kind, BenchValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(records[1].at("seconds").number, 0.5);
+}
+
+TEST(ParseBenchRecordsTest, EmptyArrayAndEscapes) {
+  EXPECT_TRUE(MustParse("[]").empty());
+  const std::vector<BenchRecord> records =
+      MustParse("[{\"name\": \"BM_Multiply/2000\", \"q\": \"a\\\"b\"}]");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].at("name").text, "BM_Multiply/2000");
+  EXPECT_EQ(records[0].at("q").text, "a\"b");
+}
+
+TEST(ParseBenchRecordsTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(ParseBenchRecords("", &error).has_value());
+  EXPECT_FALSE(ParseBenchRecords("{\"a\": 1}", &error).has_value());
+  // Nested structure is not a flat bench record.
+  error.clear();
+  EXPECT_FALSE(
+      ParseBenchRecords("[{\"a\": {\"b\": 1}}]", &error).has_value());
+  EXPECT_NE(error.find("nested"), std::string::npos) << error;
+  EXPECT_FALSE(ParseBenchRecords("[{\"a\": 1}] trailing", &error).has_value());
+  EXPECT_FALSE(ParseBenchRecords("[{\"a\": 1}", &error).has_value());
+}
+
+TEST(BenchRecordKeyTest, IdentityIsShapeNotMeasurement) {
+  const std::vector<BenchRecord> records = MustParse(
+      "[{\"bench\": \"fig10\", \"users\": 2000, \"rank\": 8, "
+      "\"seconds\": 0.5, \"matvecs\": 120, \"warm\": true}]");
+  const std::string key = BenchRecordKey(records[0]);
+  EXPECT_NE(key.find("bench=fig10"), std::string::npos) << key;
+  EXPECT_NE(key.find("users=2000"), std::string::npos) << key;
+  EXPECT_NE(key.find("rank=8"), std::string::npos) << key;
+  // Measurements and outcomes stay out of the identity.
+  EXPECT_EQ(key.find("seconds"), std::string::npos) << key;
+  EXPECT_EQ(key.find("matvecs"), std::string::npos) << key;
+  EXPECT_EQ(key.find("warm"), std::string::npos) << key;
+}
+
+TEST(MetricDirectionTest, NamePatterns) {
+  bool lower = false;
+  ASSERT_TRUE(MetricDirection("refresh_seconds", &lower));
+  EXPECT_TRUE(lower);
+  ASSERT_TRUE(MetricDirection("p99_us", &lower));
+  EXPECT_TRUE(lower);
+  ASSERT_TRUE(MetricDirection("real_time_ns", &lower));
+  EXPECT_TRUE(lower);
+  ASSERT_TRUE(MetricDirection("items_per_second", &lower));
+  EXPECT_FALSE(lower);
+  ASSERT_TRUE(MetricDirection("throughput_ops", &lower));
+  EXPECT_FALSE(lower);
+  ASSERT_TRUE(MetricDirection("warm_hit_rate", &lower));
+  EXPECT_FALSE(lower);
+  // Counters carry no direction, and neither does a single-sample extreme.
+  EXPECT_FALSE(MetricDirection("matvecs", &lower));
+  EXPECT_FALSE(MetricDirection("krylov_iterations", &lower));
+  EXPECT_FALSE(MetricDirection("max_us", &lower));
+}
+
+// One baseline/candidate pair with a scaled time and throughput.
+BenchDiffReport DiffScaled(double time_scale, double throughput_scale,
+                           const BenchDiffOptions& options = {}) {
+  const std::vector<BenchRecord> baseline = MustParse(
+      "[{\"bench\": \"fig11\", \"readers\": 2, \"seconds\": 0.2, "
+      "\"ops_per_second\": 50000, \"matvecs\": 100}]");
+  char candidate_json[256];
+  std::snprintf(candidate_json, sizeof(candidate_json),
+                "[{\"bench\": \"fig11\", \"readers\": 2, \"seconds\": %.6f, "
+                "\"ops_per_second\": %.1f, \"matvecs\": 100}]",
+                0.2 * time_scale, 50000 * throughput_scale);
+  return DiffBenchRecords(baseline, MustParse(candidate_json), options);
+}
+
+TEST(DiffBenchRecordsTest, TwoXSlowdownIsARegression) {
+  const BenchDiffReport report = DiffScaled(2.0, 1.0);
+  EXPECT_EQ(report.compared_records, 1u);
+  EXPECT_TRUE(report.HasRegression());
+  ASSERT_EQ(report.regressions(), 1u);
+  for (const MetricDiff& diff : report.diffs) {
+    if (diff.status == DiffStatus::kRegression) {
+      EXPECT_EQ(diff.metric, "seconds");
+      EXPECT_NEAR(diff.ratio, 2.0, 1e-9);
+    }
+  }
+}
+
+TEST(DiffBenchRecordsTest, NoiseSizedMovementPasses) {
+  EXPECT_FALSE(DiffScaled(1.2, 0.9).HasRegression());
+  EXPECT_FALSE(DiffScaled(0.5, 2.0).HasRegression());  // improvement
+}
+
+TEST(DiffBenchRecordsTest, ThroughputCollapseIsARegression) {
+  const BenchDiffReport report = DiffScaled(1.0, 0.4);
+  ASSERT_EQ(report.regressions(), 1u);
+  for (const MetricDiff& diff : report.diffs) {
+    if (diff.status == DiffStatus::kRegression) {
+      EXPECT_EQ(diff.metric, "ops_per_second");
+    }
+  }
+}
+
+TEST(DiffBenchRecordsTest, ToleranceIsConfigurable) {
+  BenchDiffOptions loose;
+  loose.tolerance = 3.0;  // fail only past 4x
+  EXPECT_FALSE(DiffScaled(2.0, 1.0, loose).HasRegression());
+  EXPECT_TRUE(DiffScaled(5.0, 1.0, loose).HasRegression());
+}
+
+TEST(DiffBenchRecordsTest, SubFloorTimingsAreSkipped) {
+  const std::vector<BenchRecord> baseline =
+      MustParse("[{\"bench\": \"micro\", \"seconds\": 0.00002}]");
+  const std::vector<BenchRecord> candidate =
+      MustParse("[{\"bench\": \"micro\", \"seconds\": 0.0008}]");  // 40x!
+  const BenchDiffReport report = DiffBenchRecords(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegression());
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].status, DiffStatus::kSkipped);
+}
+
+TEST(DiffBenchRecordsTest, CounterDriftIsInformational) {
+  const std::vector<BenchRecord> baseline =
+      MustParse("[{\"bench\": \"b\", \"matvecs\": 100, \"seconds\": 0.2}]");
+  const std::vector<BenchRecord> candidate =
+      MustParse("[{\"bench\": \"b\", \"matvecs\": 900, \"seconds\": 0.2}]");
+  const BenchDiffReport report = DiffBenchRecords(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegression());
+  bool saw_info = false;
+  for (const MetricDiff& diff : report.diffs) {
+    if (diff.metric == "matvecs") {
+      EXPECT_EQ(diff.status, DiffStatus::kInfo);
+      saw_info = true;
+    }
+  }
+  EXPECT_TRUE(saw_info);
+}
+
+TEST(DiffBenchRecordsTest, MissingRecordsInformationalUnlessRequired) {
+  const std::vector<BenchRecord> baseline = MustParse(
+      "[{\"bench\": \"a\", \"seconds\": 0.1},"
+      " {\"bench\": \"b\", \"seconds\": 0.1}]");
+  const std::vector<BenchRecord> candidate =
+      MustParse("[{\"bench\": \"a\", \"seconds\": 0.1}]");
+
+  BenchDiffReport report = DiffBenchRecords(baseline, candidate, {});
+  EXPECT_FALSE(report.HasRegression());
+  EXPECT_EQ(report.compared_records, 1u);
+  ASSERT_EQ(report.missing_records.size(), 1u);
+  EXPECT_NE(report.missing_records[0].find("bench=b"), std::string::npos);
+
+  BenchDiffOptions strict;
+  strict.require_all = true;
+  report = DiffBenchRecords(baseline, candidate, strict);
+  EXPECT_TRUE(report.HasRegression());
+}
+
+TEST(DiffBenchRecordsTest, DuplicateIdentitiesPairInOrder) {
+  // Repeated trials of one shape pair first-with-first.
+  const std::vector<BenchRecord> baseline = MustParse(
+      "[{\"bench\": \"t\", \"seconds\": 0.1},"
+      " {\"bench\": \"t\", \"seconds\": 0.2}]");
+  const std::vector<BenchRecord> candidate = MustParse(
+      "[{\"bench\": \"t\", \"seconds\": 0.1},"
+      " {\"bench\": \"t\", \"seconds\": 0.9}]");
+  const BenchDiffReport report = DiffBenchRecords(baseline, candidate, {});
+  EXPECT_EQ(report.compared_records, 2u);
+  EXPECT_EQ(report.regressions(), 1u);  // only the 0.2 -> 0.9 pair
+}
+
+}  // namespace
+}  // namespace ivmf::obs

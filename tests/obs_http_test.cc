@@ -1,0 +1,226 @@
+// HTTP exporter tests: routing via Handle(), then the real server —
+// ephemeral-port startup, a full GET round-trip per endpoint over a real
+// socket (JSON endpoints validated with the recursive-descent parser, the
+// Prometheus endpoint carrying # TYPE lines), error statuses for unknown
+// paths / non-GET / malformed requests, watchdog-backed /healthz flipping
+// to 503, and concurrent scrapes racing metric writers (the sanitize-thread
+// CI job runs this binary under TSan).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/http_exporter.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+#include "test_util.h"
+
+namespace ivmf::obs {
+namespace {
+
+// Blocking one-shot HTTP GET against loopback; returns the raw response
+// (status line through body) or "" on connect failure.
+std::string RawGet(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // Connection: close terminates the response
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawGet(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+int StatusOf(const std::string& response) {
+  if (response.rfind("HTTP/1.1 ", 0) != 0) return -1;
+  return std::atoi(response.c_str() + 9);
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+class HttpExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetLogStderr(false); }
+  void TearDown() override { SetLogStderr(true); }
+};
+
+TEST_F(HttpExporterTest, HandleRoutes) {
+  const HttpExporter exporter;  // never started: Handle needs no socket
+  EXPECT_EQ(exporter.Handle("GET", "/metrics").status, 200);
+  EXPECT_EQ(exporter.Handle("GET", "/metrics.json").status, 200);
+  EXPECT_EQ(exporter.Handle("GET", "/tracez").status, 200);
+  EXPECT_EQ(exporter.Handle("GET", "/logz").status, 200);
+  EXPECT_EQ(exporter.Handle("GET", "/healthz").status, 200);
+  EXPECT_EQ(exporter.Handle("GET", "/").status, 200);
+  EXPECT_EQ(exporter.Handle("GET", "/nope").status, 404);
+  EXPECT_EQ(exporter.Handle("POST", "/metrics").status, 405);
+}
+
+TEST_F(HttpExporterTest, RoundTripEveryEndpoint) {
+  MetricsRegistry::Global().GetCounter("http_test.round_trip").Add(1);
+  LogInfo("http_test", "a record for /logz");
+
+  HttpExporter exporter;  // port 0: ephemeral
+  ASSERT_TRUE(exporter.Start());
+  ASSERT_NE(exporter.port(), 0);
+
+  const std::string metrics = Get(exporter.port(), "/metrics");
+  EXPECT_EQ(StatusOf(metrics), 200) << metrics;
+  EXPECT_NE(BodyOf(metrics).find("# TYPE "), std::string::npos);
+  EXPECT_NE(BodyOf(metrics).find("ivmf_http_test_round_trip_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+
+  std::string error;
+  for (const char* path : {"/metrics.json", "/tracez", "/logz", "/healthz"}) {
+    const std::string response = Get(exporter.port(), path);
+    EXPECT_EQ(StatusOf(response), 200) << path << "\n" << response;
+    EXPECT_TRUE(ivmf::testing::ValidateJson(BodyOf(response), &error))
+        << path << ": " << error << "\n"
+        << BodyOf(response);
+  }
+
+  const std::string index = Get(exporter.port(), "/");
+  EXPECT_EQ(StatusOf(index), 200);
+  EXPECT_NE(BodyOf(index).find("/metrics"), std::string::npos);
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST_F(HttpExporterTest, ErrorStatuses) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start());
+
+  EXPECT_EQ(StatusOf(Get(exporter.port(), "/nope")), 404);
+  EXPECT_EQ(StatusOf(RawGet(exporter.port(),
+                            "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")),
+            405);
+  EXPECT_EQ(StatusOf(RawGet(exporter.port(), "NONSENSE\r\n\r\n")), 400);
+  // Query strings route to the path.
+  EXPECT_EQ(StatusOf(Get(exporter.port(), "/healthz?probe=1")), 200);
+}
+
+TEST_F(HttpExporterTest, HealthzReportsWatchdogStall) {
+  double now = 50.0;
+  WatchdogOptions watchdog_options;
+  watchdog_options.stall_seconds = 5.0;
+  watchdog_options.clock = [&now] { return now; };
+  Watchdog watchdog(watchdog_options);
+
+  HttpExporterOptions options;
+  options.watchdog = &watchdog;
+  HttpExporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+
+  std::string response = Get(exporter.port(), "/healthz");
+  EXPECT_EQ(StatusOf(response), 200) << response;
+  EXPECT_NE(BodyOf(response).find("\"status\":\"ok\""), std::string::npos);
+
+  now += 10.0;  // heartbeat is stale and the watchdog is strict: stalled
+  response = Get(exporter.port(), "/healthz");
+  EXPECT_EQ(StatusOf(response), 503) << response;
+  EXPECT_NE(BodyOf(response).find("\"status\":\"stalled\""),
+            std::string::npos);
+
+  watchdog.Beat();
+  EXPECT_EQ(StatusOf(Get(exporter.port(), "/healthz")), 200);
+}
+
+TEST_F(HttpExporterTest, ConcurrentScrapesRaceMetricWriters) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.Start());
+  const uint16_t port = exporter.port();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> scrape_failures{0};
+
+  // Writers mutate every instrument kind while scrapers snapshot them.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&stop, w] {
+      Counter& counter = MetricsRegistry::Global().GetCounter(
+          "http_test.race", {{"writer", std::to_string(w)}});
+      Histogram& histogram =
+          MetricsRegistry::Global().GetHistogram("http_test.race.latency");
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Add(1);
+        histogram.Record(static_cast<double>(i % 100) * 1e-4);
+        if (i % 64 == 0) LogDebug("http_test", "writer tick");
+        ++i;
+      }
+    });
+  }
+
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 3; ++s) {
+    scrapers.emplace_back([&scrape_failures, port, s] {
+      const char* paths[] = {"/metrics", "/metrics.json", "/logz"};
+      for (int i = 0; i < 8; ++i) {
+        const std::string response = Get(port, paths[(s + i) % 3]);
+        if (StatusOf(response) != 200 || BodyOf(response).empty()) {
+          scrape_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (std::thread& t : scrapers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+
+  EXPECT_EQ(scrape_failures.load(), 0);
+  exporter.Stop();
+}
+
+TEST_F(HttpExporterTest, StopIsIdempotentAndRestartable) {
+  HttpExporter first;
+  ASSERT_TRUE(first.Start());
+  first.Stop();
+  first.Stop();  // second stop is a no-op
+
+  HttpExporter second;  // a fresh exporter can bind again immediately
+  ASSERT_TRUE(second.Start());
+  EXPECT_EQ(StatusOf(Get(second.port(), "/healthz")), 200);
+}
+
+}  // namespace
+}  // namespace ivmf::obs

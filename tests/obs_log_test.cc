@@ -1,0 +1,134 @@
+// Structured-logging tests: records render as valid single-line JSON with
+// escaped fields, the ring overwrites oldest and counts what it dropped,
+// the /logz payload (LogRing::ToJson) parses, and the level gate drops
+// below-minimum records before they reach any sink.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/log.h"
+#include "test_util.h"
+
+namespace ivmf::obs {
+namespace {
+
+// The global minimum level and stderr sink are process state; every test
+// that touches them restores the defaults on exit.
+class SilencedLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogStderr(false);
+    SetMinLogLevel(LogLevel::kDebug);
+    LogRing::Global().Clear();
+  }
+  void TearDown() override {
+    SetMinLogLevel(LogLevel::kInfo);
+    SetLogStderr(true);
+  }
+};
+
+TEST(LogLevelTest, NamesRoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError}) {
+    LogLevel parsed = LogLevel::kDebug;
+    ASSERT_TRUE(ParseLogLevel(LogLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  LogLevel parsed = LogLevel::kDebug;
+  EXPECT_FALSE(ParseLogLevel("verbose", &parsed));
+}
+
+TEST(LogRecordTest, ToJsonIsValidAndEscapes) {
+  LogRecord record;
+  record.ts_seconds = 1.25;
+  record.level = LogLevel::kWarn;
+  record.component = "serve";
+  record.message = "quote \" backslash \\ newline \n done";
+  record.fields.push_back({"path", std::string("/tmp/a\"b")});
+  record.fields.push_back({"count", 42});
+  record.fields.push_back({"ratio", 0.5});
+  record.fields.push_back({"ok", true});
+
+  const std::string json = record.ToJson();
+  std::string error;
+  EXPECT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error << "\n"
+                                                         << json;
+  // One line (the stderr sink appends exactly one '\n' per record).
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+  EXPECT_NE(json.find("\"level\":\"warn\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+}
+
+TEST(LogRecordTest, NonFiniteDoubleStaysValidJson) {
+  LogRecord record;
+  record.component = "t";
+  record.message = "m";
+  record.fields.push_back({"bad", 0.0 / 0.0});
+  std::string error;
+  EXPECT_TRUE(ivmf::testing::ValidateJson(record.ToJson(), &error))
+      << error << "\n"
+      << record.ToJson();
+}
+
+TEST(LogRingTest, WrapsAroundAndCountsDropped) {
+  LogRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    LogRecord record;
+    record.component = "t";
+    record.message = "m" + std::to_string(i);
+    ring.Record(std::move(record));
+  }
+  const std::vector<LogRecord> records = ring.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first, holding the most recent four.
+  EXPECT_EQ(records.front().message, "m6");
+  EXPECT_EQ(records.back().message, "m9");
+  EXPECT_EQ(ring.dropped(), 6u);
+
+  ring.Clear();
+  EXPECT_TRUE(ring.Records().empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(LogRingTest, ToJsonParsesEvenPastWraparound) {
+  LogRing ring(3);
+  for (int i = 0; i < 8; ++i) {
+    LogRecord record;
+    record.component = "comp\"quoted";
+    record.message = "msg";
+    record.fields.push_back({"i", i});
+    ring.Record(std::move(record));
+  }
+  const std::string json = ring.ToJson();
+  std::string error;
+  EXPECT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error << "\n"
+                                                         << json;
+  EXPECT_NE(json.find("\"dropped\":5"), std::string::npos) << json;
+}
+
+TEST_F(SilencedLogTest, BelowMinimumLevelIsDropped) {
+  SetMinLogLevel(LogLevel::kWarn);
+  LogInfo("test", "should not be recorded");
+  EXPECT_TRUE(LogRing::Global().Records().empty());
+  LogWarn("test", "should be recorded");
+  ASSERT_EQ(LogRing::Global().Records().size(), 1u);
+  EXPECT_EQ(LogRing::Global().Records()[0].message, "should be recorded");
+}
+
+TEST_F(SilencedLogTest, LogReachesGlobalRingWithFields) {
+  LogError("unit", "boom", {{"path", std::string("/x")}, {"attempt", 3}});
+  const std::vector<LogRecord> records = LogRing::Global().Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].level, LogLevel::kError);
+  EXPECT_EQ(records[0].component, "unit");
+  ASSERT_EQ(records[0].fields.size(), 2u);
+  EXPECT_EQ(records[0].fields[0].key, "path");
+  EXPECT_TRUE(records[0].fields[0].quoted);
+  EXPECT_EQ(records[0].fields[1].value, "3");
+  EXPECT_FALSE(records[0].fields[1].quoted);
+}
+
+}  // namespace
+}  // namespace ivmf::obs

@@ -237,7 +237,7 @@ TEST(RegistryTest, PrometheusTextHasSanitizedNames) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("obs_test.prom.calls", {{"kernel", "multiply"}}).Add(5);
   const std::string text = registry.Snapshot().ToPrometheusText();
-  EXPECT_NE(text.find("ivmf_obs_test_prom_calls{kernel=\"multiply\"}"),
+  EXPECT_NE(text.find("ivmf_obs_test_prom_calls_total{kernel=\"multiply\"}"),
             std::string::npos)
       << text;
   // No raw dots survive in metric names (labels and help lines aside).

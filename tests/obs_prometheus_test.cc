@@ -1,0 +1,143 @@
+// Exposition-format lint for MetricsSnapshot::ToPrometheusText, checking
+// the rules a real Prometheus scraper enforces: metric names restricted to
+// [a-z0-9_] with the ivmf_ prefix, counter sample names carrying the
+// _total suffix, exactly one # TYPE line per metric family (and one
+// preceding every sample), and label values escaped (backslash, quote,
+// newline) inside the quotes.
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "obs/metrics.h"
+
+namespace ivmf::obs {
+namespace {
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Sample name: everything before the first '{' or ' '.
+std::string SampleName(const std::string& line) {
+  const size_t end = line.find_first_of("{ ");
+  return line.substr(0, end);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+TEST(PrometheusLintTest, FullExpositionPassesLint) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  // Names with every character class the sanitizer must handle, plus label
+  // values holding the three characters that require escaping.
+  registry.GetCounter("prom_lint.calls", {{"kernel", "multiply"}}).Add(3);
+  registry.GetCounter("prom_lint.calls", {{"kernel", "fused"}}).Add(1);
+  registry
+      .GetCounter("prom_lint.weird", {{"path", "a\"b\\c\nd"}})
+      .Add(7);
+  registry.GetGauge("prom_lint.depth").Set(2.5);
+  registry.GetHistogram("prom_lint.latency.seconds").Record(0.01);
+
+  const std::string text =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  const std::vector<std::string> lines = Lines(text);
+  ASSERT_FALSE(lines.empty());
+
+  std::map<std::string, std::string> typed;  // family -> kind
+  std::set<std::string> seen_samples;
+  for (const std::string& line : lines) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream in(line);
+      std::string hash, type_kw, family, kind;
+      in >> hash >> type_kw >> family >> kind;
+      // One # TYPE per family.
+      EXPECT_EQ(typed.count(family), 0u) << "duplicate # TYPE for " << family;
+      // # TYPE precedes the family's first sample.
+      EXPECT_EQ(seen_samples.count(family), 0u)
+          << "# TYPE after samples for " << family;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "summary")
+          << line;
+      typed[family] = kind;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unexpected comment line: " << line;
+
+    const std::string name = SampleName(line);
+    seen_samples.insert(name);
+    // Name charset and prefix.
+    EXPECT_EQ(name.rfind("ivmf_", 0), 0u) << name;
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << "bad character '" << c << "' in " << name;
+    }
+    // Every sample belongs to a typed family (summaries expose base name
+    // plus _sum / _count).
+    std::string family = name;
+    if (typed.count(family) == 0 && EndsWith(family, "_sum")) {
+      family = family.substr(0, family.size() - 4);
+    }
+    if (typed.count(family) == 0 && EndsWith(family, "_count")) {
+      family = family.substr(0, family.size() - 6);
+    }
+    ASSERT_EQ(typed.count(family), 1u) << "untyped sample " << name;
+    if (typed[family] == "counter") {
+      EXPECT_TRUE(EndsWith(name, "_total"))
+          << "counter sample without _total: " << name;
+    }
+    // No raw newline can survive in a sample line by construction (we
+    // split on '\n'); check the quotes balance so values stay parseable.
+    size_t quotes = 0;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+    }
+    EXPECT_EQ(quotes % 2, 0u) << "unbalanced quotes: " << line;
+  }
+
+  // The registered instruments surface with the expected names.
+  EXPECT_NE(text.find("ivmf_prom_lint_calls_total{kernel=\"multiply\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ivmf_prom_lint_depth 2.5"), std::string::npos) << text;
+  // The escaped label value: a"b\c<LF>d -> a\"b\\c\nd.
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos) << text;
+}
+
+TEST(PrometheusLintTest, CounterTypeHeaderMatchesSampleName) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("prom_lint.header.check").Add(1);
+  const std::string text =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  // The classic text format types the full sample name (with _total).
+  EXPECT_NE(
+      text.find("# TYPE ivmf_prom_lint_header_check_total counter"),
+      std::string::npos)
+      << text;
+}
+
+TEST(PrometheusLintTest, CounterAlreadyEndingInTotalIsNotDoubled) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("prom_lint.requests.total").Add(2);
+  const std::string text =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  EXPECT_NE(text.find("ivmf_prom_lint_requests_total 2"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("ivmf_prom_lint_requests_total_total"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace ivmf::obs

@@ -1,0 +1,91 @@
+// Watchdog tests, all on an injected fake clock: fresh construction is
+// healthy, health degrades to stalled exactly past the threshold, a beat
+// recovers it, the busy probe keeps an idle-but-quiet component healthy,
+// and the /healthz payload is valid JSON carrying the status.
+
+#include <string>
+
+#include <gtest/gtest.h>
+#include "obs/watchdog.h"
+#include "test_util.h"
+
+namespace ivmf::obs {
+namespace {
+
+struct FakeClock {
+  double now = 100.0;
+  WatchdogOptions Options(double stall_seconds) {
+    WatchdogOptions options;
+    options.stall_seconds = stall_seconds;
+    options.clock = [this] { return now; };
+    return options;
+  }
+};
+
+TEST(WatchdogTest, StrictModeStallsPastThreshold) {
+  FakeClock clock;
+  Watchdog watchdog(clock.Options(10.0));  // no busy probe: always busy
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kOk);
+
+  clock.now += 10.0;  // exactly at the threshold: still ok
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kOk);
+  EXPECT_DOUBLE_EQ(watchdog.SecondsSinceBeat(), 10.0);
+
+  clock.now += 0.5;  // past it: stalled
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kStalled);
+}
+
+TEST(WatchdogTest, BeatRecovers) {
+  FakeClock clock;
+  Watchdog watchdog(clock.Options(5.0));
+  clock.now += 20.0;
+  ASSERT_EQ(watchdog.health(), Watchdog::Health::kStalled);
+
+  watchdog.Beat();
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kOk);
+  EXPECT_DOUBLE_EQ(watchdog.SecondsSinceBeat(), 0.0);
+  EXPECT_GE(watchdog.beats(), 1u);
+}
+
+TEST(WatchdogTest, IdleProbeSuppressesStall) {
+  FakeClock clock;
+  bool busy = false;
+  WatchdogOptions options = clock.Options(5.0);
+  options.busy = [&busy] { return busy; };
+  Watchdog watchdog(options);
+
+  clock.now += 60.0;  // long past the threshold, but nothing is queued
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kOk);
+
+  busy = true;  // work arrives and the heartbeat is still stale: stalled
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kStalled);
+
+  watchdog.Beat();
+  EXPECT_EQ(watchdog.health(), Watchdog::Health::kOk);
+}
+
+TEST(WatchdogTest, StatusJsonIsValidAndCarriesStatus) {
+  FakeClock clock;
+  Watchdog watchdog(clock.Options(5.0));
+  std::string error;
+  std::string json = watchdog.StatusJson();
+  EXPECT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error << "\n"
+                                                         << json;
+  EXPECT_NE(json.find("\"status\":\"ok\""), std::string::npos) << json;
+
+  clock.now += 6.0;
+  json = watchdog.StatusJson();
+  EXPECT_TRUE(ivmf::testing::ValidateJson(json, &error)) << error << "\n"
+                                                         << json;
+  EXPECT_NE(json.find("\"status\":\"stalled\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stall_threshold_seconds\":5"), std::string::npos)
+      << json;
+}
+
+TEST(WatchdogTest, HealthNames) {
+  EXPECT_STREQ(WatchdogHealthName(Watchdog::Health::kOk), "ok");
+  EXPECT_STREQ(WatchdogHealthName(Watchdog::Health::kStalled), "stalled");
+}
+
+}  // namespace
+}  // namespace ivmf::obs

@@ -1,0 +1,119 @@
+// Compares two BENCH_*.json files metric-by-metric and exits nonzero on a
+// perf regression — the CLI behind the CI perf gate.
+//
+//   ivmf_bench_diff BASELINE.json CANDIDATE.json
+//       [--tolerance=0.5] [--min_seconds=1e-3] [--require-all]
+//
+// Records pair by workload identity (bench/name/op plus shape fields like
+// users/items/rank); directed metrics (times lower-better, throughputs
+// higher-better) fail past the relative tolerance, undirected counters are
+// reported informationally only, and timings where both sides sit under
+// --min_seconds are skipped as noise. Exit codes: 0 ok, 1 regression,
+// 2 usage or unreadable/malformed input.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/flags.h"
+#include "obs/bench_diff.h"
+
+namespace {
+
+using ivmf::obs::BenchDiffOptions;
+using ivmf::obs::BenchDiffReport;
+using ivmf::obs::BenchRecord;
+using ivmf::obs::DiffStatus;
+using ivmf::obs::MetricDiff;
+
+const char* StatusLabel(DiffStatus status) {
+  switch (status) {
+    case DiffStatus::kOk:
+      return "ok";
+    case DiffStatus::kRegression:
+      return "REGRESSION";
+    case DiffStatus::kSkipped:
+      return "skip";
+    case DiffStatus::kInfo:
+      return "info";
+  }
+  return "?";
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CANDIDATE.json [--tolerance=R]\n"
+               "          [--min_seconds=S] [--require-all] [--verbose]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) paths.emplace_back(argv[i]);
+  }
+  if (paths.size() != 2) return Usage(argv[0]);
+
+  BenchDiffOptions options;
+  options.tolerance = ivmf::DoubleFlag(argc, argv, "tolerance", 0.5);
+  options.min_seconds = ivmf::DoubleFlag(argc, argv, "min_seconds", 1e-3);
+  options.require_all = ivmf::BoolFlag(argc, argv, "require-all");
+  const bool verbose = ivmf::BoolFlag(argc, argv, "verbose");
+  if (options.tolerance < 0.0 || options.min_seconds < 0.0) {
+    return Usage(argv[0]);
+  }
+
+  std::string error;
+  const auto baseline = ivmf::obs::LoadBenchRecords(paths[0], &error);
+  if (!baseline.has_value()) {
+    std::fprintf(stderr, "ivmf_bench_diff: %s: %s\n", paths[0].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  error.clear();
+  const auto candidate = ivmf::obs::LoadBenchRecords(paths[1], &error);
+  if (!candidate.has_value()) {
+    std::fprintf(stderr, "ivmf_bench_diff: %s: %s\n", paths[1].c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  const BenchDiffReport report =
+      ivmf::obs::DiffBenchRecords(*baseline, *candidate, options);
+
+  std::printf("baseline : %s (%zu records)\n", paths[0].c_str(),
+              baseline->size());
+  std::printf("candidate: %s (%zu records)\n", paths[1].c_str(),
+              candidate->size());
+  std::printf("compared : %zu records, tolerance %.2f, noise floor %gs\n\n",
+              report.compared_records, options.tolerance, options.min_seconds);
+
+  for (const MetricDiff& diff : report.diffs) {
+    const bool interesting =
+        diff.status == DiffStatus::kRegression ||
+        diff.status == DiffStatus::kInfo;
+    if (!verbose && !interesting) continue;
+    std::printf("[%-10s] %s :: %s  %.6g -> %.6g (x%.3f)\n",
+                StatusLabel(diff.status), diff.record_key.c_str(),
+                diff.metric.c_str(), diff.baseline, diff.candidate,
+                diff.ratio);
+  }
+  for (const std::string& key : report.missing_records) {
+    std::printf("[%-10s] %s :: record missing in candidate\n",
+                options.require_all ? "REGRESSION" : "info", key.c_str());
+  }
+
+  const size_t regressions = report.regressions();
+  std::printf("\n%zu regression(s), %zu metric comparison(s), %zu missing\n",
+              regressions, report.diffs.size(), report.missing_records.size());
+  if (report.compared_records == 0) {
+    std::fprintf(stderr,
+                 "ivmf_bench_diff: no overlapping records — nothing gated\n");
+    return options.require_all ? 1 : 0;
+  }
+  return report.HasRegression() ? 1 : 0;
+}

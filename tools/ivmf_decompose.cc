@@ -29,6 +29,7 @@
 #include "io/csv.h"
 #include "io/file_util.h"
 #include "io/triplets.h"
+#include "obs/log.h"
 
 namespace {
 
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   const std::optional<std::string> loaded =
       io_internal::ReadFileToString(input);
   if (!loaded) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", input.c_str());
+    obs::LogError("decompose_cli", "cannot read input", {{"path", input}});
     return 1;
   }
   const std::string& text = *loaded;
@@ -69,8 +70,8 @@ int main(int argc, char** argv) {
   if (sparse_input) {
     sparse = SparseIntervalMatrixFromTriplets(text);
     if (!sparse) {
-      std::fprintf(stderr, "error: cannot parse interval triplets '%s'\n",
-                   input.c_str());
+      obs::LogError("decompose_cli", "cannot parse interval triplets",
+                    {{"path", input}});
       return 1;
     }
     // Densify small matrices so accuracy / reconstruction still work.
@@ -81,8 +82,8 @@ int main(int argc, char** argv) {
   } else {
     m = IntervalMatrixFromCsv(text);
     if (!m) {
-      std::fprintf(stderr, "error: cannot parse interval CSV '%s'\n",
-                   input.c_str());
+      obs::LogError("decompose_cli", "cannot parse interval CSV",
+                    {{"path", input}});
       return 1;
     }
   }
@@ -179,8 +180,8 @@ int main(int argc, char** argv) {
       ok &= SaveIntervalMatrixCsv(prefix + "_recon.csv", recon);
     }
     if (!ok) {
-      std::fprintf(stderr, "error: failed writing outputs '%s_*.csv'\n",
-                   prefix.c_str());
+      obs::LogError("decompose_cli", "failed writing factor outputs",
+                    {{"prefix", prefix}});
       return 1;
     }
     std::printf("wrote %s_{u,sigma,v%s}.csv\n", prefix.c_str(),

@@ -35,6 +35,7 @@
 #include "data/synthetic.h"
 #include "io/csv.h"
 #include "io/triplets.h"
+#include "obs/log.h"
 #include "sparse/sparse_interval_matrix.h"
 
 namespace {
@@ -112,7 +113,8 @@ int main(int argc, char** argv) {
         SparseCfIntervalMatrix(data, DoubleFlag(argc, argv, "alpha", 0.3));
     if (shift != 0.0) cf = ShiftSparse(cf, shift);
     if (!SaveSparseIntervalTriplets(output, cf)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
+      ivmf::obs::LogError("generate_cli", "cannot write output",
+                          {{"path", output}});
       return 1;
     }
     std::printf("wrote %zu x %zu sparse interval matrix (cf, %zu nnz, fill "
@@ -167,7 +169,8 @@ int main(int argc, char** argv) {
     SparseIntervalMatrix sparse = SparseIntervalMatrix::FromDense(result);
     if (shift != 0.0) sparse = ShiftSparse(sparse, shift);
     if (!SaveSparseIntervalTriplets(output, sparse)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
+      ivmf::obs::LogError("generate_cli", "cannot write output",
+                          {{"path", output}});
       return 1;
     }
     std::printf("wrote %zu x %zu sparse interval matrix (%s, %zu nnz) to %s\n",
@@ -178,7 +181,8 @@ int main(int argc, char** argv) {
 
   if (shift != 0.0) ShiftDense(result, shift);
   if (!SaveIntervalMatrixCsv(output, result)) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", output.c_str());
+    ivmf::obs::LogError("generate_cli", "cannot write output",
+                        {{"path", output}});
     return 1;
   }
   std::printf("wrote %zu x %zu interval matrix (%s) to %s\n", result.rows(),

@@ -13,6 +13,11 @@
 // dumps the full registry snapshot (counters, gauges, p50/p95/p99
 // histograms) to a file, and --trace records spans (refreshes, solves,
 // serving steps) to a Chrome trace_event file loadable in chrome://tracing.
+// --http_port=N additionally serves /metrics, /metrics.json, /tracez,
+// /logz, and /healthz live while the workload runs (port 0 = ephemeral,
+// printed at startup); /healthz is backed by a watchdog that beats on every
+// snapshot publication and reports stalled when cells are queued but
+// nothing published for --stall_seconds.
 //
 // Usage:
 //   ivmf_serve [--input=BASE.trp] [--rank=10] [--strategy=2]
@@ -20,6 +25,7 @@
 //              [--topk_pct=5] [--topk=10] [--theta_pct=99] [--uniform]
 //              [--seed=1234] [--probe_user=0] [--stats_ms=1000]
 //              [--metrics-json=PATH] [--trace=PATH]
+//              [--http_port=N] [--stall_seconds=S]
 //   or synthetic: --users=N --items=M [--fill_pct=F] [--alpha_pct=A]
 
 #include <atomic>
@@ -36,8 +42,11 @@
 #include "base/flags.h"
 #include "data/ratings.h"
 #include "io/triplets.h"
+#include "obs/export_flags.h"
+#include "obs/http_exporter.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "serve/serving_engine.h"
 #include "serve/workload.h"
 
@@ -103,15 +112,15 @@ int main(int argc, char** argv) {
 
   const int strategy = IntFlag(argc, argv, "strategy", 2);
   if (strategy < 0 || strategy > 4) {
-    std::fprintf(stderr, "error: --strategy must be 0..4\n");
+    obs::LogError("serve_cli", "--strategy must be 0..4",
+                  {{"strategy", strategy}});
     return 2;
   }
   const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 10));
-  const std::string metrics_path = StringFlag(argc, argv, "metrics-json", "");
-  const std::string trace_path = StringFlag(argc, argv, "trace", "");
+  const obs::ObsCliOptions obs_options = obs::ParseObsCliOptions(argc, argv);
   const int stats_ms = IntFlag(argc, argv, "stats_ms", 1000);
 
-  if (!trace_path.empty()) obs::TraceCollector::Global().Start();
+  obs::StartObsCollection(obs_options);
 
   SparseIntervalMatrix base;
   const std::string input = StringFlag(argc, argv, "input", "");
@@ -119,8 +128,8 @@ int main(int argc, char** argv) {
     std::optional<SparseIntervalMatrix> loaded =
         LoadSparseIntervalTriplets(input);
     if (!loaded) {
-      std::fprintf(stderr, "error: cannot parse base triplets '%s'\n",
-                   input.c_str());
+      obs::LogError("serve_cli", "cannot parse base triplets",
+                    {{"path", input}});
       return 1;
     }
     base = std::move(*loaded);
@@ -136,7 +145,7 @@ int main(int argc, char** argv) {
     base = SparseCfIntervalMatrix(GenerateSparseRatings(config), alpha);
   }
   if (base.rows() == 0 || base.cols() == 0) {
-    std::fprintf(stderr, "error: base matrix is empty\n");
+    obs::LogError("serve_cli", "base matrix is empty");
     return 1;
   }
 
@@ -157,7 +166,41 @@ int main(int argc, char** argv) {
               "rank %zu\n",
               base.rows(), base.cols(), base.nnz(), strategy, rank);
 
-  ServingEngine engine(strategy, rank, std::move(base));
+  // The watchdog watches refresh progress: the engine beats on every
+  // snapshot publication, and "stalled" requires cells actually queued
+  // (an idle engine with a stale heartbeat is healthy). The engine pointer
+  // is filled in after construction; on_publish only fires from the engine
+  // itself, so the beat never races the assignment.
+  ServingEngine* engine_ptr = nullptr;
+  obs::WatchdogOptions watchdog_options;
+  watchdog_options.stall_seconds = obs_options.stall_seconds;
+  watchdog_options.busy = [&engine_ptr] {
+    return engine_ptr != nullptr && engine_ptr->pending_cells() > 0;
+  };
+  obs::Watchdog watchdog(watchdog_options);
+
+  ServingEngineOptions engine_options;
+  engine_options.on_publish =
+      [&watchdog](const std::shared_ptr<const ServingSnapshot>&) {
+        watchdog.Beat();
+      };
+  ServingEngine engine(strategy, rank, std::move(base),
+                       std::move(engine_options));
+  engine_ptr = &engine;
+
+  obs::HttpExporter exporter([&] {
+    obs::HttpExporterOptions http;
+    http.port = static_cast<uint16_t>(obs_options.http_port);
+    http.watchdog = &watchdog;
+    return http;
+  }());
+  if (obs_options.http_requested) {
+    if (!exporter.Start()) return 1;
+    std::printf("introspection: http://127.0.0.1:%u/ (metrics, tracez, "
+                "logz, healthz)\n",
+                static_cast<unsigned>(exporter.port()));
+  }
+
   std::printf("epoch %llu published (initial decomposition); running %zu "
               "readers for %.1fs...\n",
               static_cast<unsigned long long>(engine.epoch()),
@@ -189,7 +232,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.snapshots_published),
               report.epoch_regressions);
   if (report.epoch_regressions != 0) {
-    std::fprintf(stderr, "error: readers observed non-monotonic epochs\n");
+    obs::LogError("serve_cli", "readers observed non-monotonic epochs",
+                  {{"regressions", report.epoch_regressions}});
     return 1;
   }
 
@@ -209,29 +253,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!metrics_path.empty()) {
-    const std::string json =
-        obs::MetricsRegistry::Global().Snapshot().ToJson();
-    std::FILE* out = std::fopen(metrics_path.c_str(), "w");
-    if (out == nullptr ||
-        std::fwrite(json.data(), 1, json.size(), out) != json.size() ||
-        std::fclose(out) != 0) {
-      std::fprintf(stderr, "error: failed writing metrics snapshot '%s'\n",
-                   metrics_path.c_str());
-      return 1;
-    }
-    std::printf("wrote metrics snapshot to %s\n", metrics_path.c_str());
-  }
-  if (!trace_path.empty()) {
-    obs::TraceCollector& collector = obs::TraceCollector::Global();
-    collector.Stop();
-    if (!collector.WriteChromeTrace(trace_path)) {
-      std::fprintf(stderr, "error: failed writing trace '%s'\n",
-                   trace_path.c_str());
-      return 1;
-    }
-    std::printf("wrote chrome trace to %s (%zu spans dropped)\n",
-                trace_path.c_str(), collector.total_dropped());
-  }
-  return 0;
+  exporter.Stop();
+  return obs::WriteObsOutputs(obs_options) ? 0 : 1;
 }

@@ -20,10 +20,15 @@
 // Usage:
 //   ivmf_stream --input=base.trp --batch=b1.trp --batch=b2.trp ...
 //               [--rank=10] [--strategy=2] [--target=a|b|c] [--cold]
-//               [--out_prefix=P]
+//               [--out_prefix=P] [--metrics-json=PATH] [--trace=PATH]
+//               [--http_port=N] [--stall_seconds=S]
 //
 // With --out_prefix=P the final factors are written as P_u.csv,
 // P_sigma.csv, P_v.csv (interval CSV for target a, scalar otherwise).
+// The observability flags match ivmf_serve (shared via obs/export_flags):
+// --metrics-json and --trace dump the registry snapshot / Chrome trace at
+// exit, and --http_port serves the live introspection endpoints while the
+// batch replay runs, with /healthz beating once per refresh.
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +41,10 @@
 #include "data/ratings.h"
 #include "io/csv.h"
 #include "io/triplets.h"
+#include "obs/export_flags.h"
+#include "obs/http_exporter.h"
+#include "obs/log.h"
+#include "obs/watchdog.h"
 
 namespace {
 
@@ -51,7 +60,9 @@ void Usage() {
       "                   [--rank=N] [--strategy=0..4] [--target=a|b|c]\n"
       "                   [--cold] [--out_prefix=P]\n"
       "   or: ivmf_stream --users=N --items=M [--batches=K] [--batch_pct=P]\n"
-      "                   [--fill_pct=F] [--alpha_pct=A] [same options]\n");
+      "                   [--fill_pct=F] [--alpha_pct=A] [same options]\n"
+      "observability: [--metrics-json=PATH] [--trace=PATH] [--http_port=N]\n"
+      "               [--stall_seconds=S]\n");
 }
 
 void PrintRefresh(const char* label, const ivmf::StreamingIsvd& streaming) {
@@ -75,6 +86,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const size_t rank = static_cast<size_t>(IntFlag(argc, argv, "rank", 10));
+  const obs::ObsCliOptions obs_options = obs::ParseObsCliOptions(argc, argv);
+  obs::StartObsCollection(obs_options);
 
   StreamingIsvdOptions options;
   const std::string target = StringFlag(argc, argv, "target", "b");
@@ -98,8 +111,8 @@ int main(int argc, char** argv) {
     std::optional<SparseIntervalMatrix> loaded =
         LoadSparseIntervalTriplets(input);
     if (!loaded) {
-      std::fprintf(stderr, "error: cannot parse base triplets '%s'\n",
-                   input.c_str());
+      obs::LogError("stream_cli", "cannot parse base triplets",
+                    {{"path", input}});
       return 1;
     }
     base = std::move(*loaded);
@@ -107,16 +120,17 @@ int main(int argc, char** argv) {
       std::optional<SparseIntervalMatrix> batch =
           LoadSparseIntervalTriplets(path);
       if (!batch) {
-        std::fprintf(stderr, "error: cannot parse batch triplets '%s'\n",
-                     path.c_str());
+        obs::LogError("stream_cli", "cannot parse batch triplets",
+                      {{"path", path}});
         return 1;
       }
       if (batch->rows() != base.rows() || batch->cols() != base.cols()) {
-        std::fprintf(stderr,
-                     "error: batch '%s' shape %zux%zu does not match base "
-                     "%zux%zu\n",
-                     path.c_str(), batch->rows(), batch->cols(), base.rows(),
-                     base.cols());
+        obs::LogError("stream_cli", "batch shape does not match base",
+                      {{"path", path},
+                       {"batch_rows", batch->rows()},
+                       {"batch_cols", batch->cols()},
+                       {"base_rows", base.rows()},
+                       {"base_cols", base.cols()}});
         return 1;
       }
       batches.push_back(batch->ToTriplets());
@@ -140,9 +154,9 @@ int main(int argc, char** argv) {
         batch_fraction * static_cast<double>(cells.size()));
     const size_t stream = batch_size * static_cast<size_t>(num_batches);
     if (batch_size == 0 || stream >= cells.size()) {
-      std::fprintf(stderr, "error: batches/batch_pct too large for %zu "
-                           "generated cells\n",
-                   cells.size());
+      obs::LogError("stream_cli", "batches/batch_pct too large",
+                    {{"generated_cells", cells.size()},
+                     {"stream_cells", stream}});
       return 1;
     }
     base = SparseIntervalMatrix::FromTriplets(
@@ -162,11 +176,30 @@ int main(int argc, char** argv) {
               base.rows(), base.cols(), base.nnz(), base.FillFraction(),
               strategy, rank, batches.size());
 
+  // Batch replay is synchronous, so the watchdog runs in strict mode (no
+  // busy probe): a refresh that exceeds --stall_seconds flips /healthz.
+  obs::WatchdogOptions watchdog_options;
+  watchdog_options.stall_seconds = obs_options.stall_seconds;
+  obs::Watchdog watchdog(watchdog_options);
+  obs::HttpExporter exporter([&] {
+    obs::HttpExporterOptions http;
+    http.port = static_cast<uint16_t>(obs_options.http_port);
+    http.watchdog = &watchdog;
+    return http;
+  }());
+  if (obs_options.http_requested) {
+    if (!exporter.Start()) return 1;
+    std::printf("introspection: http://127.0.0.1:%u/\n",
+                static_cast<unsigned>(exporter.port()));
+  }
+
   StreamingIsvd streaming(strategy, rank, std::move(base), options);
+  watchdog.Beat();
   PrintRefresh("base", streaming);
   for (size_t b = 0; b < batches.size(); ++b) {
     streaming.ApplyBatch(batches[b]);
     streaming.Refresh();
+    watchdog.Beat();
     char label[32];
     std::snprintf(label, sizeof(label), "batch %zu", b + 1);
     PrintRefresh(label, streaming);
@@ -187,11 +220,12 @@ int main(int argc, char** argv) {
     for (size_t j = 0; j < result.rank(); ++j) sigma.Set(j, j, result.sigma[j]);
     ok &= SaveIntervalMatrixCsv(prefix + "_sigma.csv", sigma);
     if (!ok) {
-      std::fprintf(stderr, "error: failed writing outputs '%s_*.csv'\n",
-                   prefix.c_str());
+      obs::LogError("stream_cli", "failed writing factor outputs",
+                    {{"prefix", prefix}});
       return 1;
     }
     std::printf("wrote %s_{u,sigma,v}.csv\n", prefix.c_str());
   }
-  return 0;
+  exporter.Stop();
+  return obs::WriteObsOutputs(obs_options) ? 0 : 1;
 }
