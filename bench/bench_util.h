@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include <sys/resource.h>
+
 #include "base/check.h"
 #include "base/flags.h"
 #include "base/stopwatch.h"
@@ -24,6 +26,7 @@
 #include "core/lp_isvd.h"
 #include "obs/export_flags.h"
 #include "obs/metrics.h"
+#include "sparse/shard_store.h"
 
 namespace ivmf::bench {
 
@@ -128,6 +131,26 @@ class JsonWriter {
   std::string path_;
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+// -- Memory accounting --------------------------------------------------------
+
+// Peak resident set size of the process so far, in bytes. getrusage reports
+// ru_maxrss in KiB on Linux (and bytes on some BSDs — this header targets
+// the Linux convention the CI runners use). High-water mark: it never
+// decreases, so per-phase deltas need a fresh process.
+inline size_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<size_t>(usage.ru_maxrss) * 1024;
+}
+
+// The memory record every bench JSON carries: the process peak RSS and the
+// bytes currently mmap'd by shard stores (0 for in-core benches). Both are
+// lower-is-better for the perf gate (obs/bench_diff.cc knows the names).
+inline void WriteMemoryFields(JsonWriter& json) {
+  json.Field("peak_rss_bytes", PeakRssBytes());
+  json.Field("mapped_bytes", MappedBytesTotal());
+}
 
 // -- Solver internals ---------------------------------------------------------
 

@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
       json.Field("solve_seconds", t.solve);
       json.Field("recompute_seconds", t.recompute);
       solver.WriteFields(json);
+      WriteMemoryFields(json);
 
       if (cells <= dense_limit) {
         // Dense route: materialized endpoint matrices (+ interval Gram for

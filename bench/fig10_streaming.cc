@@ -187,6 +187,7 @@ int main(int argc, char** argv) {
       // Counter deltas cover the incremental refresh only (the snapshot
       // pair brackets it); the recompute route's matvecs are excluded.
       solver.WriteFields(json);
+      WriteMemoryFields(json);
     }
   }
 

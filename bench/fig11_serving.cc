@@ -80,6 +80,7 @@ void JsonOpRecord(ivmf::bench::JsonWriter& json, const char* op, size_t ops,
   json.Field("last_epoch", static_cast<size_t>(report.last_epoch));
   json.Field("epoch_regressions", report.epoch_regressions);
   solver.WriteFields(json);
+  WriteMemoryFields(json);
 }
 
 }  // namespace

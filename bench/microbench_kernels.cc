@@ -155,7 +155,7 @@ SparseIntervalMatrix CfMatrix(size_t users,
 
 // The kernel variant a matrix's forward matvec actually runs, for labels.
 std::string ResolvedName(const SparseIntervalMatrix& m) {
-  return spk::BackendName(spk::Resolve(m.kernel()));
+  return spk::BackendName(spk::Resolve(m.ResolvedKernel()));
 }
 
 // Per-iteration counter deltas into the benchmark's user counters.
@@ -416,6 +416,7 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
       for (const auto& [counter, value] : record.counters) {
         json.Field(counter.c_str(), value);
       }
+      bench::WriteMemoryFields(json);
     }
     return json.Finish();
   }

@@ -1,18 +1,23 @@
 // Minimal data-parallel helper used by the heavier kernels (dense products,
-// Gram construction) and by benchmark trial loops.
+// Gram construction, per-shard reductions) and by benchmark trial loops.
 //
 // ParallelFor statically partitions [begin, end) across at most
-// `max_threads` std::thread workers (hardware concurrency by default).
-// Determinism: the partitioning depends only on the range and thread count,
-// and callers write to disjoint outputs, so results are bit-identical to
-// the serial execution.
+// `max_threads` chunks (hardware concurrency by default) and executes the
+// chunks on the process-wide ThreadPool — the calling thread runs chunks
+// too, so total executor count never exceeds hardware concurrency even when
+// several subsystems (serving refresh, bench workload) open regions at
+// once. Determinism: the partitioning depends only on the range and thread
+// count, and callers write to disjoint outputs, so results are
+// bit-identical to the serial execution regardless of which pool thread
+// runs which chunk.
 
 #ifndef IVMF_BASE_PARALLEL_H_
 #define IVMF_BASE_PARALLEL_H_
 
 #include <cstddef>
 #include <thread>
-#include <vector>
+
+#include "base/thread_pool.h"
 
 namespace ivmf {
 
@@ -44,7 +49,10 @@ inline size_t SuggestedThreads(size_t n, size_t max_threads = 0) {
 
 // Applies fn(i) for every i in [begin, end), possibly concurrently.
 // `fn` must be safe to call concurrently for distinct i (writes to
-// disjoint data). Falls back to a serial loop for small ranges.
+// disjoint data). Falls back to a serial loop for small ranges. Safe to
+// call from inside another ParallelFor body: the pool's help-while-wait
+// submission makes nested regions drain on the submitting thread instead
+// of deadlocking.
 template <typename Fn>
 void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t max_threads = 0,
                  size_t min_items_per_thread = 1) {
@@ -60,18 +68,24 @@ void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t max_threads = 0,
     return;
   }
 
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
+  // Same chunk partition the spawn-per-call version used; chunk index t
+  // covers [begin + t*chunk, min(begin + (t+1)*chunk, end)).
   const size_t chunk = (n + threads - 1) / threads;
-  for (size_t t = 0; t < threads; ++t) {
-    const size_t lo = begin + t * chunk;
-    const size_t hi = lo + chunk < end ? lo + chunk : end;
-    if (lo >= hi) break;
-    workers.emplace_back([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
-  for (std::thread& w : workers) w.join();
+  struct Ctx {
+    Fn& fn;
+    size_t begin;
+    size_t end;
+    size_t chunk;
+  } ctx{fn, begin, end, chunk};
+  ThreadPool::Shared().Run(
+      threads,
+      [](void* raw, size_t t) {
+        Ctx& c = *static_cast<Ctx*>(raw);
+        const size_t lo = c.begin + t * c.chunk;
+        const size_t hi = lo + c.chunk < c.end ? lo + c.chunk : c.end;
+        for (size_t i = lo; i < hi; ++i) c.fn(i);
+      },
+      &ctx);
 }
 
 }  // namespace ivmf

@@ -1,0 +1,138 @@
+#include "base/thread_pool.h"
+
+#include "obs/metrics.h"
+
+namespace ivmf {
+namespace {
+
+struct PoolInstruments {
+  obs::Gauge& queue_depth;
+  obs::Counter& worker_tasks;
+  obs::Counter& helper_tasks;
+  obs::Counter& regions;
+
+  static PoolInstruments& Get() {
+    static PoolInstruments* instruments = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      return new PoolInstruments{
+          registry.GetGauge("pool.queue.depth"),
+          registry.GetCounter("pool.tasks.executed",
+                              {{"executor", "worker"}}),
+          registry.GetCounter("pool.tasks.executed",
+                              {{"executor", "helper"}}),
+          registry.GetCounter("pool.regions.submitted"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+}  // namespace
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked (never destroyed) so worker threads can't outlive their pool
+  // during static destruction; LSan sees it through this pointer.
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return new ThreadPool(hw >= 2 ? hw - 1 : 0);
+  }();
+  return *pool;
+}
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::FinishIndex(Region* region) {
+  // Read n before the increment: once done reaches n the submitter may
+  // destroy the (stack-allocated) region, so no member may be touched
+  // after the fetch_add that completes it.
+  const size_t n = region->n;
+  // acq_rel: the submitter's acquire load of done must see this task's
+  // writes once it observes done == n.
+  if (region->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+    // Taking mu_ before notifying closes the lost-wakeup window: a waiter
+    // holds mu_ from predicate check until it blocks, so the increment
+    // above cannot slip into that gap unnoticed.
+    { std::lock_guard<std::mutex> lk(mu_); }
+    done_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lk, bool helper) {
+  if (queue_.empty()) return false;
+  Region* region = queue_.front();
+  const size_t index = region->next++;
+  if (region->next >= region->n) {
+    queue_.pop_front();
+    PoolInstruments::Get().queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+  lk.unlock();
+  region->fn(region->ctx, index);
+  (helper ? PoolInstruments::Get().helper_tasks
+          : PoolInstruments::Get().worker_tasks)
+      .Add();
+  FinishIndex(region);
+  lk.lock();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    RunOneLocked(lk, /*helper=*/false);
+  }
+}
+
+void ThreadPool::Run(size_t n, TaskFn fn, void* ctx) {
+  if (n == 0) return;
+  if (threads_.empty()) {
+    // No workers (single-core, or a serial test pool): run inline in index
+    // order, same as the old ParallelFor serial fallback.
+    for (size_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+
+  Region region{fn, ctx, n};
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    queue_.push_back(&region);
+    auto& instruments = PoolInstruments::Get();
+    instruments.queue_depth.Set(static_cast<double>(queue_.size()));
+    instruments.regions.Add();
+  }
+  if (n > 1) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+
+  // Participate: claim work (from this region or any other queued region —
+  // helping keeps nested Run calls deadlock-free) until our region's tasks
+  // have all *completed*, not merely been claimed.
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (region.done.load(std::memory_order_acquire) >= n) return;
+    if (RunOneLocked(lk, /*helper=*/true)) continue;
+    done_cv_.wait(lk, [this, &region, n] {
+      return region.done.load(std::memory_order_acquire) >= n ||
+             !queue_.empty();
+    });
+  }
+}
+
+}  // namespace ivmf

@@ -1,0 +1,100 @@
+// A reusable worker pool behind ParallelFor and the shard-parallel kernels.
+//
+// The original ParallelFor spawned std::thread workers per call — fine for
+// a handful of dense Gram builds, but the sharded sparse kernels issue a
+// parallel region per Lanczos step (hundreds per decomposition), and the
+// serving layer runs kernel regions concurrently with workload reader
+// threads. Spawn-per-call then costs a clone()+join per region and, worse,
+// oversubscribes the machine whenever two subsystems open regions at once
+// (a refresh during a bench run used to run 2 x hardware_concurrency
+// kernel threads). This pool fixes both: one process-wide set of
+// hardware_concurrency - 1 workers executes every region, and submitting
+// threads participate in their own region, so the executor count stays at
+// hardware concurrency no matter how many subsystems submit.
+//
+// Scheduling model: a region is an indexed task set {fn(ctx, 0), ...,
+// fn(ctx, n - 1)}. Regions queue FIFO; workers (and waiting submitters)
+// claim indices from the front region under the pool mutex and execute them
+// unlocked. A submitter that runs out of claimable work HELPS: it executes
+// indices of any queued region (its own or another submitter's) while its
+// region is unfinished. That makes nested submission deadlock-free — a task
+// that itself opens a region (e.g. the two-endpoint eigensolve wrapping
+// kernel-parallel shard reductions) drains inner work on the thread that
+// would otherwise block — and keeps the pool at full throughput when
+// regions from different subsystems overlap.
+//
+// Determinism: the pool only executes; callers fix the index -> work-range
+// mapping (ParallelFor's static chunk partition is unchanged), so which
+// OS thread runs an index never affects results.
+//
+// Observability: pool.queue.depth gauge (regions currently queued),
+// pool.tasks.executed counter, tagged by executor (worker vs helper).
+
+#ifndef IVMF_BASE_THREAD_POOL_H_
+#define IVMF_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ivmf {
+
+class ThreadPool {
+ public:
+  // One task body: fn(ctx, index). A plain function pointer + context (not
+  // std::function) so submitting a region never allocates.
+  using TaskFn = void (*)(void* ctx, size_t index);
+
+  // The process-wide pool: hardware_concurrency - 1 workers (0 workers on a
+  // single-core machine — every region then runs serially on the submitter,
+  // matching the old ParallelFor fallback). Leaked like
+  // MetricsRegistry::Global so worker threads never race static
+  // destruction at exit.
+  static ThreadPool& Shared();
+
+  // A private pool, for tests. `workers` may be 0 (serial execution).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  // Executes fn(ctx, i) for every i in [0, n) and returns when all n calls
+  // have completed. The calling thread participates (and helps other queued
+  // regions while waiting), so progress is guaranteed even from inside a
+  // pool task. Calls for distinct i may run concurrently; fn must tolerate
+  // that (disjoint writes), exactly like the old ParallelFor contract.
+  void Run(size_t n, TaskFn fn, void* ctx);
+
+ private:
+  struct Region {
+    TaskFn fn;
+    void* ctx;
+    size_t n;
+    size_t next = 0;  // next unclaimed index; guarded by mu_
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  // Claims and runs one index from the front region. Returns false when the
+  // queue was empty. Expects `lk` held; releases it around the task body.
+  bool RunOneLocked(std::unique_lock<std::mutex>& lk, bool helper);
+  void FinishIndex(Region* region);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or stop
+  std::condition_variable done_cv_;  // submitters: region done or new work
+  std::deque<Region*> queue_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+}  // namespace ivmf
+
+#endif  // IVMF_BASE_THREAD_POOL_H_

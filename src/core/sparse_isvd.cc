@@ -10,6 +10,7 @@
 #include "linalg/lanczos.h"
 #include "linalg/lanczos_svd.h"
 #include "linalg/pinv.h"
+#include "sparse/block_matrix.h"
 #include "sparse/sparse_gram_operator.h"
 
 namespace ivmf {
@@ -41,12 +42,15 @@ LanczosOptions SideLanczos(const IsvdOptions& options, bool upper) {
 // to match. The dense path never hits this (dense constructions always have
 // cells); the sparse entry points guard it so CLI / streaming callers fed an
 // empty matrix get a well-formed rank-0 result instead of an abort.
-bool DegenerateShape(const SparseIntervalMatrix& m) {
+// Templated over the matrix type: the monolithic CSR and the sharded store
+// share these helpers (both expose rows/cols/MultiplyDense/...).
+template <typename SparseMat>
+bool DegenerateShape(const SparseMat& m) {
   return m.rows() == 0 || m.cols() == 0;
 }
 
-IsvdResult EmptyResult(const SparseIntervalMatrix& m,
-                       DecompositionTarget target) {
+template <typename SparseMat>
+IsvdResult EmptyResult(const SparseMat& m, DecompositionTarget target) {
   IsvdResult result;
   result.target = target;
   result.u = IntervalMatrix(m.rows(), 0);
@@ -55,8 +59,9 @@ IsvdResult EmptyResult(const SparseIntervalMatrix& m,
 }
 
 // Sparse counterpart of the SVD identity U = M V Σ⁻¹.
-Matrix RecoverLeftFactor(const SparseIntervalMatrix& m, Endpoint e,
-                         const Matrix& v, const std::vector<double>& sigma) {
+template <typename SparseMat>
+Matrix RecoverLeftFactor(const SparseMat& m, Endpoint e, const Matrix& v,
+                         const std::vector<double>& sigma) {
   Matrix u = m.MultiplyDense(e, v);  // n x r
   ScaleColumnsByInverseSigma(u, sigma);
   return u;
@@ -85,8 +90,9 @@ struct SolvedLeft {
   PhaseTimings timings;
 };
 
-SolvedLeft SolveLeftFactor(const SparseIntervalMatrix& work,
-                           const GramEig& gram, const IsvdOptions& options) {
+template <typename SparseMat>
+SolvedLeft SolveLeftFactor(const SparseMat& work, const GramEig& gram,
+                           const IsvdOptions& options) {
   SolvedLeft out;
   out.timings.preprocess = gram.preprocess_seconds;
   out.timings.decompose = gram.decompose_seconds;
@@ -389,6 +395,259 @@ IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
 
 IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
                    const IsvdOptions& options) {
+  switch (strategy) {
+    case 0:
+      return Isvd0(m, rank, options);
+    case 1:
+      return Isvd1(m, rank, options);
+    case 2:
+      return Isvd2(m, rank, options);
+    case 3:
+      return Isvd3(m, rank, options);
+    case 4:
+      return Isvd4(m, rank, options);
+    default:
+      IVMF_CHECK_MSG(false, "ISVD strategy must be 0..4");
+      return {};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded (block-row) overloads — the out-of-core route.
+//
+// These mirror the monolithic functions above through the unchanged Lanczos
+// drivers; all O(nnz) work runs through the shard-parallel kernels, which
+// stream mmap'd segments when the store is disk-backed. One structural
+// difference: the sharded route always eigendecomposes MᵀM (ShardedGramOp-
+// erator is M_eᵀ(M_e x) by construction) and never materializes a transposed
+// store — the transpose actions run as shard scatter reductions instead —
+// so GramSide::kMMt / kAuto collapse to kMtM here. Wide matrices that would
+// have preferred MMᵀ pay a cols² scratch; an out-of-core store cannot
+// afford a second copy of itself.
+// ---------------------------------------------------------------------------
+
+IsvdResult Isvd0(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, DecompositionTarget::kC);
+  const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
+  PhaseTimings timings;  // no transpose to build: preprocess stays zero
+
+  Stopwatch sw;
+  const ShardedEndpointMap mid(m, ShardedEndpointMap::Part::kMid);
+  const SvdResult svd = ComputeLanczosSvd(mid, r, SideLanczos(options, false));
+  timings.decompose = sw.Seconds();
+  IVMF_CHECK_MSG(!svd.truncated,
+                 "Lanczos SVD truncated the midpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
+
+  IsvdResult result;
+  result.iterations = svd.iterations;
+  result.target = DecompositionTarget::kC;  // ISVD0 is inherently scalar.
+  result.u = IntervalMatrix::FromScalar(svd.u);
+  result.v = IntervalMatrix::FromScalar(svd.v);
+  result.sigma.resize(svd.sigma.size());
+  for (size_t j = 0; j < svd.sigma.size(); ++j)
+    result.sigma[j] = Interval::Scalar(svd.sigma[j]);
+  result.timings = timings;
+  return result;
+}
+
+IsvdResult Isvd1(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
+  const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
+  PhaseTimings timings;
+
+  Stopwatch sw;
+  SvdResult lo, hi;
+  ParallelFor(0, 2, [&](size_t side) {
+    const ShardedEndpointMap map(m, side == 0
+                                        ? ShardedEndpointMap::Part::kLower
+                                        : ShardedEndpointMap::Part::kUpper);
+    (side == 0 ? lo : hi) =
+        ComputeLanczosSvd(map, r, SideLanczos(options, side == 1));
+  });
+  timings.decompose = sw.Seconds();
+  IVMF_CHECK_MSG(!lo.truncated && !hi.truncated,
+                 "Lanczos SVD truncated an endpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
+
+  sw.Restart();
+  const IlsaResult ilsa = ComputeIlsa(lo.v, hi.v, options.ilsa);
+  Matrix u_lo = lo.u;
+  Matrix v_lo = lo.v;
+  std::vector<double> s_lo = lo.sigma;
+  AlignMinSide(ilsa, &u_lo, &v_lo, &s_lo);
+  timings.align = sw.Seconds();
+
+  IsvdResult result = BuildResult(IntervalMatrix(std::move(u_lo), hi.u),
+                                  MakeIntervalDiag(s_lo, hi.sigma),
+                                  IntervalMatrix(std::move(v_lo), hi.v),
+                                  options.target, timings);
+  result.iterations = lo.iterations + hi.iterations;
+  return result;
+}
+
+GramEig ComputeGramEig(const ShardedSparseIntervalMatrix& m, size_t rank,
+                       const IsvdOptions& options) {
+  GramEig result;
+  if (DegenerateShape(m)) return result;
+  result.transposed = false;  // always MᵀM on the sharded route (see above)
+  const size_t r = isvd_internal::ClampRank(m.rows(), m.cols(), rank);
+
+  bool use_lanczos = options.eig_solver != EigSolver::kJacobi;
+  if (options.eig_solver == EigSolver::kAuto) {
+    use_lanczos = 4 * r < m.cols();
+  }
+
+  if (!m.IsNonNegative()) {
+    // Signed route: shard-sequential accumulation in the same addition
+    // order as the monolithic DenseGramEndpoints — bit-identical Grams.
+    Stopwatch sw;
+    result.gram = ShardedSparseIntervalMatrix::DenseGramEndpoints(m);
+    result.preprocess_seconds = sw.Seconds();
+
+    sw.Restart();
+    ParallelFor(0, 2, [&](size_t side) {
+      const Matrix& endpoint =
+          side == 0 ? result.gram.lower() : result.gram.upper();
+      EigResult& out = side == 0 ? result.lo : result.hi;
+      out = use_lanczos
+                ? ComputeLanczosEig(endpoint, r,
+                                    SideLanczos(options, side == 1))
+                : ComputeSymmetricEig(endpoint, r, options.eig);
+    });
+    result.iterations = result.lo.iterations + result.hi.iterations;
+    IVMF_CHECK_MSG(!result.lo.truncated && !result.hi.truncated,
+                   "Lanczos truncated a Gram endpoint spectrum "
+                   "(restart exhausted; see LanczosOptions::restart_tolerance)");
+    result.decompose_seconds = sw.Seconds();
+    return result;
+  }
+
+  if (!use_lanczos) {
+    Stopwatch sw;
+    Matrix gram_lo =
+        ShardedSparseIntervalMatrix::DenseGram(m, Endpoint::kLower);
+    Matrix gram_hi =
+        ShardedSparseIntervalMatrix::DenseGram(m, Endpoint::kUpper);
+    result.gram = IntervalMatrix(std::move(gram_lo), std::move(gram_hi));
+    result.preprocess_seconds = sw.Seconds();
+
+    sw.Restart();
+    ParallelFor(0, 2, [&](size_t side) {
+      const Matrix& endpoint =
+          side == 0 ? result.gram.lower() : result.gram.upper();
+      EigResult& out = side == 0 ? result.lo : result.hi;
+      out = ComputeSymmetricEig(endpoint, r, options.eig);
+    });
+    result.decompose_seconds = sw.Seconds();
+    return result;
+  }
+
+  // Matrix-free route: no transpose, no Gram — each Lanczos step is one
+  // fused shard-parallel pass over the store. There is no preprocess phase
+  // to charge; it is all decompose time.
+  Stopwatch sw;
+  ParallelFor(0, 2, [&](size_t side) {
+    const Endpoint e = side == 0 ? Endpoint::kLower : Endpoint::kUpper;
+    const ShardedGramOperator op(m, e);
+    EigResult& out = side == 0 ? result.lo : result.hi;
+    out = ComputeLanczosEig(op, r, SideLanczos(options, side == 1));
+  });
+  result.iterations = result.lo.iterations + result.hi.iterations;
+  IVMF_CHECK_MSG(!result.lo.truncated && !result.hi.truncated,
+                 "Lanczos truncated a Gram endpoint spectrum "
+                 "(restart exhausted; see LanczosOptions::restart_tolerance)");
+  result.decompose_seconds = sw.Seconds();
+  return result;
+}
+
+IsvdResult Isvd2(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
+  (void)rank;  // rank is baked into `gram`
+  PhaseTimings timings;
+  timings.preprocess = gram.preprocess_seconds;
+  timings.decompose = gram.decompose_seconds;
+
+  Matrix v_lo = gram.lo.eigenvectors;
+  Matrix v_hi = gram.hi.eigenvectors;
+  std::vector<double> s_lo = SqrtClamped(gram.lo.eigenvalues);
+  std::vector<double> s_hi = SqrtClamped(gram.hi.eigenvalues);
+
+  Stopwatch sw;
+  Matrix u_lo = RecoverLeftFactor(m, Endpoint::kLower, v_lo, s_lo);
+  Matrix u_hi = RecoverLeftFactor(m, Endpoint::kUpper, v_hi, s_hi);
+  timings.solve = sw.Seconds();
+
+  sw.Restart();
+  const IlsaResult ilsa = ComputeIlsa(v_lo, v_hi, options.ilsa);
+  AlignMinSide(ilsa, &u_lo, &v_lo, &s_lo);
+  timings.align = sw.Seconds();
+
+  IsvdResult result =
+      BuildResult(IntervalMatrix(std::move(u_lo), std::move(u_hi)),
+                  MakeIntervalDiag(s_lo, s_hi),
+                  IntervalMatrix(std::move(v_lo), std::move(v_hi)),
+                  options.target, timings);
+  result.iterations = gram.iterations;
+  return result;
+}
+
+IsvdResult Isvd3(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
+  (void)rank;
+  SolvedLeft solved = SolveLeftFactor(m, gram, options);
+  IsvdResult result =
+      BuildResult(std::move(solved.u), std::move(solved.sigma),
+                  std::move(solved.v), options.target, solved.timings);
+  result.iterations = gram.iterations;
+  return result;
+}
+
+IsvdResult Isvd4(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options) {
+  if (DegenerateShape(m)) return EmptyResult(m, options.target);
+  (void)rank;
+  SolvedLeft solved = SolveLeftFactor(m, gram, options);
+
+  // Recompute V† = M†ᵀ Sᵀ (Section 4.5.1). The monolithic path builds the
+  // transposed CSR and runs a forward interval product; a sharded store has
+  // no transpose to build, so the transposed product runs directly as a
+  // shard scatter reduction.
+  Stopwatch sw;
+  const Matrix u_avg = solved.u.Mid();  // n x r
+  const Matrix u_inv = RobustInverse(u_avg, options.cond_threshold);  // r x n
+  const Matrix s_t = (solved.sigma_inv * u_inv).Transpose();          // n x r
+  const IntervalMatrix v_recomputed = m.IntervalMultiplyDenseTranspose(s_t);
+  solved.timings.recompute = sw.Seconds();
+
+  IsvdResult result =
+      BuildResult(std::move(solved.u), std::move(solved.sigma), v_recomputed,
+                  options.target, solved.timings);
+  result.iterations = gram.iterations;
+  return result;
+}
+
+IsvdResult Isvd2(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  return Isvd2(m, rank, ComputeGramEig(m, rank, options), options);
+}
+
+IsvdResult Isvd3(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  return Isvd3(m, rank, ComputeGramEig(m, rank, options), options);
+}
+
+IsvdResult Isvd4(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options) {
+  return Isvd4(m, rank, ComputeGramEig(m, rank, options), options);
+}
+
+IsvdResult RunIsvd(int strategy, const ShardedSparseIntervalMatrix& m,
+                   size_t rank, const IsvdOptions& options) {
   switch (strategy) {
     case 0:
       return Isvd0(m, rank, options);

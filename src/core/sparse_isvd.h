@@ -38,6 +38,7 @@
 #define IVMF_CORE_SPARSE_ISVD_H_
 
 #include "core/isvd.h"
+#include "sparse/block_matrix.h"
 #include "sparse/sparse_interval_matrix.h"
 
 namespace ivmf {
@@ -83,6 +84,45 @@ IsvdResult Isvd4(const SparseIntervalMatrix& m, size_t rank,
 // formulation.
 IsvdResult RunIsvd(int strategy, const SparseIntervalMatrix& m, size_t rank,
                    const IsvdOptions& options = {});
+
+// -- Sharded (block-row) overloads -------------------------------------------
+//
+// The same strategy family over a ShardedSparseIntervalMatrix: identical
+// semantics through the unchanged Lanczos drivers, with every O(nnz) pass
+// running shard-parallel — and streaming mmap'd segment files when the
+// store is disk-backed, which is the out-of-core decompose path
+// (bench/fig10_outofcore). Two differences from the monolithic overloads:
+//  - GramSide is always kMtM: the sharded operators never materialize a
+//    transposed store (transpose actions run as shard scatter reductions),
+//    so options.gram_side is ignored.
+//  - Results match the monolithic route to the kernels' 1e-12 differential
+//    bound (reduction grouping differs), except the signed Gram-endpoint
+//    accumulation, which is bit-identical by construction.
+
+IsvdResult Isvd0(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd1(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
+GramEig ComputeGramEig(const ShardedSparseIntervalMatrix& m, size_t rank,
+                       const IsvdOptions& options = {});
+
+IsvdResult Isvd2(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options);
+IsvdResult Isvd3(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options);
+IsvdResult Isvd4(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const GramEig& gram, const IsvdOptions& options);
+
+IsvdResult Isvd2(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd3(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+IsvdResult Isvd4(const ShardedSparseIntervalMatrix& m, size_t rank,
+                 const IsvdOptions& options = {});
+
+IsvdResult RunIsvd(int strategy, const ShardedSparseIntervalMatrix& m,
+                   size_t rank, const IsvdOptions& options = {});
 
 }  // namespace ivmf
 

@@ -100,7 +100,11 @@ void StreamingIsvd::CaptureWarmBases() {
       // renormalization only reshuffle and rescale columns, so the captured
       // factor still spans the dominant subspace — all a warm start needs.
       GramSide side = options_.isvd.gram_side;
-      if (side == GramSide::kAuto) {
+      if (options_.shard_rows > 0) {
+        // The sharded route never materializes a transposed store, so it
+        // always resolves kMtM (sparse_isvd.h) — the Ritz basis is V.
+        side = GramSide::kMtM;
+      } else if (side == GramSide::kAuto) {
         side = matrix_.cols() <= matrix_.rows() ? GramSide::kMtM
                                                 : GramSide::kMMt;
       }
@@ -148,6 +152,12 @@ const IsvdResult& StreamingIsvd::Refresh() {
   {
     obs::TraceSpan snapshot_span("streaming.snapshot");
     snapshot_ = matrix_.SharedSnapshot();
+    if (options_.shard_rows > 0) {
+      // Zero-copy block-row partition over the frozen view; the serving
+      // layer freezes this alongside the factors.
+      sharded_snapshot_ = std::make_shared<const ShardedSparseIntervalMatrix>(
+          ShardedSparseIntervalMatrix::View(snapshot_, options_.shard_rows));
+    }
   }
   const SparseIntervalMatrix& snapshot = *snapshot_;
   stats_.snapshot_seconds = phase.Seconds();
@@ -164,7 +174,9 @@ const IsvdResult& StreamingIsvd::Refresh() {
   phase.Restart();
   {
     obs::TraceSpan decompose_span("streaming.decompose");
-    result_ = RunIsvd(strategy_, snapshot, rank_, isvd_options);
+    result_ = sharded_snapshot_
+                  ? RunIsvd(strategy_, *sharded_snapshot_, rank_, isvd_options)
+                  : RunIsvd(strategy_, snapshot, rank_, isvd_options);
   }
   stats_.decompose_seconds = phase.Seconds();
   instruments.decompose_seconds.Record(stats_.decompose_seconds);

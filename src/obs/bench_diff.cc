@@ -321,6 +321,13 @@ bool MetricDirection(const std::string& metric, bool* lower_is_better) {
     *lower_is_better = true;
     return true;
   }
+  // Memory footprint (bench_util's WriteMemoryFields record): growth is a
+  // regression exactly like time.
+  if (metric == "peak_rss_bytes" || metric == "mapped_bytes" ||
+      EndsWith(metric, "_rss_bytes") || EndsWith(metric, "mapped_bytes")) {
+    *lower_is_better = true;
+    return true;
+  }
   return false;
 }
 

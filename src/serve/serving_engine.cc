@@ -47,7 +47,7 @@ ServingEngine::~ServingEngine() {
 void ServingEngine::PublishCurrent() {
   auto snapshot = std::make_shared<const ServingSnapshot>(
       streaming_.refresh_count(), streaming_.result(),
-      streaming_.matrix_snapshot());
+      streaming_.matrix_snapshot(), streaming_.sharded_snapshot());
   registry_.Publish(snapshot);
   epoch_.store(snapshot->epoch(), std::memory_order_release);
   EngineInstruments::Get().epochs.Add(1);

@@ -9,13 +9,21 @@ namespace ivmf {
 
 ServingSnapshot::ServingSnapshot(
     uint64_t epoch, IsvdResult result,
-    std::shared_ptr<const SparseIntervalMatrix> matrix)
-    : epoch_(epoch), result_(std::move(result)), matrix_(std::move(matrix)) {
+    std::shared_ptr<const SparseIntervalMatrix> matrix,
+    std::shared_ptr<const ShardedSparseIntervalMatrix> sharded)
+    : epoch_(epoch),
+      result_(std::move(result)),
+      matrix_(std::move(matrix)),
+      sharded_(std::move(sharded)) {
   IVMF_CHECK_MSG(matrix_ != nullptr,
                  "ServingSnapshot needs the frozen matrix view");
   IVMF_CHECK_MSG(result_.u.rows() == matrix_->rows() &&
                      result_.v.rows() == matrix_->cols(),
                  "factor shapes do not match the matrix view");
+  IVMF_CHECK_MSG(sharded_ == nullptr ||
+                     (sharded_->rows() == matrix_->rows() &&
+                      sharded_->cols() == matrix_->cols()),
+                 "sharded view shape does not match the matrix view");
 }
 
 Interval ServingSnapshot::Predict(size_t user, size_t item) const {

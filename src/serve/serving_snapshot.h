@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/isvd.h"
+#include "sparse/block_matrix.h"
 #include "sparse/sparse_interval_matrix.h"
 
 namespace ivmf {
@@ -40,8 +41,13 @@ class ServingSnapshot {
   // Takes ownership of the factors and shares the frozen matrix view.
   // `matrix` must be non-null and its shape must cover the factor rows
   // (users x items); `result` must be the decomposition of `*matrix`.
-  ServingSnapshot(uint64_t epoch, IsvdResult result,
-                  std::shared_ptr<const SparseIntervalMatrix> matrix);
+  // `sharded` optionally carries the block-row sharded view the refresh
+  // decomposed through (StreamingIsvdOptions::shard_rows > 0); it shares
+  // the same CSR arrays as `matrix` and must match its shape when present.
+  ServingSnapshot(
+      uint64_t epoch, IsvdResult result,
+      std::shared_ptr<const SparseIntervalMatrix> matrix,
+      std::shared_ptr<const ShardedSparseIntervalMatrix> sharded = nullptr);
 
   uint64_t epoch() const { return epoch_; }
   size_t users() const { return matrix_->rows(); }
@@ -52,6 +58,16 @@ class ServingSnapshot {
   const std::shared_ptr<const SparseIntervalMatrix>& shared_matrix() const {
     return matrix_;
   }
+
+  // The frozen sharded view of this epoch, when the streaming core
+  // decomposed through one (null otherwise). Deep-immutable like everything
+  // else in the snapshot; introspection and batch scoring paths can run its
+  // shard-parallel kernels against exactly the published matrix.
+  const std::shared_ptr<const ShardedSparseIntervalMatrix>& shared_sharded()
+      const {
+    return sharded_;
+  }
+  bool has_sharded() const { return sharded_ != nullptr; }
 
   // Predicted interval [lo, hi] for one (user, item) cell: the entry of the
   // reconstruction M̃† = U† Σ† V†ᵀ under the result's target rule. Equal to
@@ -78,6 +94,7 @@ class ServingSnapshot {
   uint64_t epoch_;
   IsvdResult result_;
   std::shared_ptr<const SparseIntervalMatrix> matrix_;
+  std::shared_ptr<const ShardedSparseIntervalMatrix> sharded_;
 };
 
 }  // namespace ivmf

@@ -63,7 +63,7 @@ class SparseGramOperator final : public LinearOperator {
     // cache-hot). Other backends keep the literal two-pass composition —
     // the scalar path stays the reference semantics the differential tests
     // pin the fused kernels against.
-    if (spk::Resolve(m_.kernel()) == spk::Backend::kAvx2) {
+    if (spk::Resolve(m_.ResolvedKernel()) == spk::Backend::kAvx2) {
       m_.GramMultiply(endpoint_, x, y);
       return;
     }
@@ -82,7 +82,7 @@ class SparseGramOperator final : public LinearOperator {
   void ApplyBoth(const std::vector<double>& x, std::vector<double>& y_lo,
                  std::vector<double>& y_hi) const {
     // Same fused-on-AVX2 policy as Apply: one pattern pass instead of two.
-    if (spk::Resolve(m_.kernel()) == spk::Backend::kAvx2) {
+    if (spk::Resolve(m_.ResolvedKernel()) == spk::Backend::kAvx2) {
       m_.GramMultiplyBoth(x, y_lo, y_hi);
       return;
     }

@@ -244,6 +244,29 @@ bool SparseIntervalMatrix::IsNonNegative(double tol) const {
   return true;
 }
 
+spk::Backend SparseIntervalMatrix::ResolvedKernel() const {
+  if (kernel_ != spk::Backend::kAuto) return kernel_;
+  if (spk::EnvBackend() != spk::Backend::kAuto) return kernel_;
+  if (rows_ == 0 || nnz() == 0) return kernel_;
+  AutoSlot* slot = auto_.get();
+  std::call_once(slot->once, [&] {
+    const double mean =
+        static_cast<double>(nnz()) / static_cast<double>(rows_);
+    double var = 0.0;
+    for (size_t i = 0; i < rows_; ++i) {
+      const double d =
+          static_cast<double>(row_ptr_[i + 1] - row_ptr_[i]) - mean;
+      var += d * d;
+    }
+    const double cv =
+        mean > 0.0
+            ? std::sqrt(var / static_cast<double>(rows_)) / mean
+            : 0.0;
+    slot->backend = spk::ChooseAutoBackend(mean, cv, spk::Avx2Supported());
+  });
+  return slot->backend;
+}
+
 const SellPack& SparseIntervalMatrix::EnsureSell() const {
   SellSlot* slot = sell_.get();
   std::call_once(slot->once, [&] {
@@ -287,7 +310,7 @@ void SparseIntervalMatrix::Multiply(Endpoint e, const std::vector<double>& x,
                                     std::vector<double>& y) const {
   IVMF_CHECK(x.size() == cols_);
   IVMF_CHECK_MSG(&y != &x, "kernel output must not alias the input");
-  const spk::Backend backend = spk::Resolve(kernel_);
+  const spk::Backend backend = spk::Resolve(ResolvedKernel());
   static VariantCounters counters("multiply");
   counters.For(backend).Count(rows_, nnz());
   const std::vector<double>& v = values(e);
@@ -316,7 +339,7 @@ void SparseIntervalMatrix::MultiplyMid(const std::vector<double>& x,
                                        std::vector<double>& y) const {
   IVMF_CHECK(x.size() == cols_);
   IVMF_CHECK_MSG(&y != &x, "kernel output must not alias the input");
-  const spk::Backend backend = spk::Resolve(kernel_);
+  const spk::Backend backend = spk::Resolve(ResolvedKernel());
   static VariantCounters counters("multiply_mid");
   counters.For(backend).Count(rows_, nnz());
   y.resize(rows_);
@@ -346,7 +369,7 @@ void SparseIntervalMatrix::MultiplyBoth(const std::vector<double>& x,
   IVMF_CHECK_MSG(&y_lo != &x && &y_hi != &x,
                  "kernel output must not alias the input");
   IVMF_CHECK_MSG(&y_lo != &y_hi, "endpoint outputs must be distinct");
-  const spk::Backend backend = spk::Resolve(kernel_);
+  const spk::Backend backend = spk::Resolve(ResolvedKernel());
   static VariantCounters counters("multiply_both");
   counters.For(backend).Count(rows_, nnz());
   y_lo.resize(rows_);
@@ -380,7 +403,7 @@ void SparseIntervalMatrix::MultiplyPair(const std::vector<double>& x_lo,
                  "kernel output must not alias an input");
   IVMF_CHECK_MSG(&y_lo != &y_hi, "endpoint outputs must be distinct");
   // SELL does not cover the two-input pair; use the dispatched CSR variant.
-  const spk::Backend backend = spk::CsrVariant(kernel_);
+  const spk::Backend backend = spk::CsrVariant(ResolvedKernel());
   static VariantCounters counters("multiply_pair");
   counters.For(backend).Count(rows_, nnz());
   y_lo.resize(rows_);
@@ -410,7 +433,7 @@ void SparseIntervalMatrix::MultiplyTranspose(Endpoint e,
   // SELL stores the forward pattern only; the scatter falls back to the
   // dispatched CSR variant (AVX2 register-blocks the multiply — no scatter
   // instruction exists pre-AVX512, so stores stay scalar).
-  const spk::Backend backend = spk::CsrVariant(kernel_);
+  const spk::Backend backend = spk::CsrVariant(ResolvedKernel());
   static VariantCounters counters("multiply_transpose");
   counters.For(backend).Count(rows_, nnz());
   const std::vector<double>& v = values(e);
@@ -469,7 +492,7 @@ void SparseIntervalMatrix::GramMultiply(Endpoint e,
   // by the row values while the row is cache-hot — half the memory traffic
   // of Multiply + MultiplyTranspose. SELL stores forward-matvec kernels
   // only, so the fused form uses the dispatched CSR variant.
-  const spk::Backend backend = spk::CsrVariant(kernel_);
+  const spk::Backend backend = spk::CsrVariant(ResolvedKernel());
   static VariantCounters counters("gram_fused");
   counters.For(backend).Count(rows_, nnz());
   const std::vector<double>& v = values(e);
@@ -527,7 +550,7 @@ void SparseIntervalMatrix::GramMultiplyBoth(const std::vector<double>& x,
   IVMF_CHECK_MSG(&y_lo != &x && &y_hi != &x,
                  "kernel output must not alias the input");
   IVMF_CHECK_MSG(&y_lo != &y_hi, "endpoint outputs must be distinct");
-  const spk::Backend backend = spk::CsrVariant(kernel_);
+  const spk::Backend backend = spk::CsrVariant(ResolvedKernel());
   static VariantCounters counters("gram_fused_both");
   counters.For(backend).Count(rows_, nnz());
   const spk::CsrView view = View();
@@ -594,7 +617,7 @@ Matrix SparseIntervalMatrix::MultiplyDense(Endpoint e, const Matrix& b) const {
   if (b.cols() == 0 || rows_ == 0) return Matrix(rows_, b.cols());
   // SELL stores matvec-shaped kernels only; dense products use the
   // dispatched CSR variant (vectorized across the dense columns).
-  const spk::Backend backend = spk::CsrVariant(kernel_);
+  const spk::Backend backend = spk::CsrVariant(ResolvedKernel());
   static VariantCounters counters("multiply_dense");
   counters.For(backend).Count(rows_, nnz());
   const std::vector<double>& v = values(e);
@@ -621,7 +644,7 @@ IntervalMatrix SparseIntervalMatrix::IntervalMultiplyDense(
   Matrix p_lo(rows_, b.cols());
   Matrix p_hi(rows_, b.cols());
   if (b.cols() > 0 && rows_ > 0) {
-    const spk::Backend backend = spk::CsrVariant(kernel_);
+    const spk::Backend backend = spk::CsrVariant(ResolvedKernel());
     static VariantCounters counters("multiply_dense_both");
     counters.For(backend).Count(rows_, nnz());
     const spk::CsrView view = View();

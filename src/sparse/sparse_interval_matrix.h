@@ -126,9 +126,21 @@ class SparseIntervalMatrix {
   // and the serving refresh path all pick the backend up through here.
   // Transpose() propagates the selection; the obs matvec counters tag each
   // call with the variant that actually ran.
+  //
+  // When both the per-matrix request and IVMF_SPARSE_KERNEL are kAuto, the
+  // matrix refines the choice from its own row-length statistics
+  // (spk::ChooseAutoBackend): short-row / irregular patterns get the SELL
+  // layout, long-row CF shapes keep packed CSR. The statistics pass is
+  // O(rows), runs once, and is cached alongside the SELL/packed sidecars.
 
   void set_kernel(spk::Backend backend) { kernel_ = backend; }
   spk::Backend kernel() const { return kernel_; }
+
+  // The backend request after per-matrix auto-refinement: kernel() itself
+  // unless that is kAuto with no environment override, in which case the
+  // row-statistics choice (a concrete backend). Every kernel below
+  // dispatches on spk::Resolve / spk::CsrVariant of this.
+  spk::Backend ResolvedKernel() const;
 
   // -- Kernels ---------------------------------------------------------------
   // All kernels are deterministic for a fixed machine and backend.
@@ -223,11 +235,22 @@ class SparseIntervalMatrix {
   }
 
  private:
+  // The block-row sharded facade builds zero-copy shard views over this
+  // matrix's CSR arrays and packed sidecar (sparse/block_matrix.h).
+  friend class ShardedSparseIntervalMatrix;
+
   // Lazily-built SELL sidecar, shared by copies (the padded pack depends
   // only on the immutable CSR arrays, which copies share by value).
   struct SellSlot {
     std::once_flag once;
     std::unique_ptr<const SellPack> pack;
+  };
+
+  // Cached row-statistics auto-selection (ResolvedKernel), shared by copies
+  // like the sidecars: the statistics depend only on the immutable pattern.
+  struct AutoSlot {
+    std::once_flag once;
+    spk::Backend backend = spk::Backend::kAuto;
   };
 
   // Lazily-built narrow column-index sidecar for the AVX2 kernels: u16 when
@@ -259,6 +282,7 @@ class SparseIntervalMatrix {
   spk::Backend kernel_ = spk::Backend::kAuto;
   mutable std::shared_ptr<SellSlot> sell_ = std::make_shared<SellSlot>();
   mutable std::shared_ptr<PackedSlot> packed_ = std::make_shared<PackedSlot>();
+  mutable std::shared_ptr<AutoSlot> auto_ = std::make_shared<AutoSlot>();
 };
 
 }  // namespace ivmf

@@ -93,6 +93,17 @@ Backend CsrVariant(Backend backend) {
   return resolved;
 }
 
+Backend ChooseAutoBackend(double mean_row_nnz, double cv,
+                          bool avx2_supported) {
+  if (!avx2_supported) return Backend::kScalar;
+  if (mean_row_nnz < kSellMeanRowThreshold) return Backend::kSell;
+  if (mean_row_nnz < kSellIrregularMeanRowThreshold &&
+      cv > kSellIrregularCvThreshold) {
+    return Backend::kSell;
+  }
+  return Backend::kAvx2;
+}
+
 // -- CSR reference kernels ---------------------------------------------------
 
 void MatVecScalar(const CsrView& a, const double* v, const double* x,
@@ -295,6 +306,320 @@ void SellMatVecBothScalar(const SellView& s, const double* lo,
   }
 }
 
+// -- Packed-index scalar kernels ---------------------------------------------
+//
+// One templated body per kernel, instantiated for the u16 and u32 sidecars.
+// Per-row association is identical to the size_t-index scalar loops, so a
+// caller that switches index width gets bit-identical results. Always
+// compiled: sharded segments carry only packed indices, so these are the
+// scalar reference for shard dispatch on every build, and the no-AVX2
+// *PackedAvx2 stubs below forward here.
+
+namespace {
+
+template <typename IdxT>
+void PackedMatVec(const PackedCsrView& a, const IdxT* idx, const double* v,
+                  const double* x, double* y, size_t row_begin,
+                  size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double sum = 0.0;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      sum += v[k] * x[idx[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+template <typename IdxT>
+void PackedMatVecMid(const PackedCsrView& a, const IdxT* idx, const double* lo,
+                     const double* hi, const double* x, double* y,
+                     size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double sum = 0.0;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      sum += 0.5 * (lo[k] + hi[k]) * x[idx[k]];
+    }
+    y[i] = sum;
+  }
+}
+
+template <typename IdxT>
+void PackedMatVecBoth(const PackedCsrView& a, const IdxT* idx,
+                      const double* lo, const double* hi, const double* x,
+                      double* y_lo, double* y_hi, size_t row_begin,
+                      size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double sum_lo = 0.0;
+    double sum_hi = 0.0;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double xk = x[idx[k]];
+      sum_lo += lo[k] * xk;
+      sum_hi += hi[k] * xk;
+    }
+    y_lo[i] = sum_lo;
+    y_hi[i] = sum_hi;
+  }
+}
+
+template <typename IdxT>
+void PackedMatVecPair(const PackedCsrView& a, const IdxT* idx,
+                      const double* lo, const double* hi, const double* x_lo,
+                      const double* x_hi, double* y_lo, double* y_hi,
+                      size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double sum_lo = 0.0;
+    double sum_hi = 0.0;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const size_t j = idx[k];
+      sum_lo += lo[k] * x_lo[j];
+      sum_hi += hi[k] * x_hi[j];
+    }
+    y_lo[i] = sum_lo;
+    y_hi[i] = sum_hi;
+  }
+}
+
+template <typename IdxT>
+void PackedMatVecT(const PackedCsrView& a, const IdxT* idx, const double* v,
+                   const double* x, double* y, size_t row_begin,
+                   size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      y[idx[k]] += v[k] * xi;
+    }
+  }
+}
+
+template <typename IdxT>
+void PackedMatVecTMid(const PackedCsrView& a, const IdxT* idx,
+                      const double* lo, const double* hi, const double* x,
+                      double* y, size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      y[idx[k]] += 0.5 * (lo[k] + hi[k]) * xi;
+    }
+  }
+}
+
+template <typename IdxT>
+void PackedMatDenseTBoth(const PackedCsrView& a, const IdxT* idx,
+                         const double* lo, const double* hi, const double* b,
+                         size_t bcols, double* c_lo, double* c_hi,
+                         size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const double* brow = b + i * bcols;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      double* out_lo = c_lo + idx[k] * bcols;
+      double* out_hi = c_hi + idx[k] * bcols;
+      const double vlo = lo[k];
+      const double vhi = hi[k];
+      for (size_t j = 0; j < bcols; ++j) {
+        out_lo[j] += vlo * brow[j];
+        out_hi[j] += vhi * brow[j];
+      }
+    }
+  }
+}
+
+template <typename IdxT>
+void PackedMatDense(const PackedCsrView& a, const IdxT* idx, const double* v,
+                    const double* b, size_t bcols, double* c, size_t row_begin,
+                    size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double* out = c + i * bcols;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double* brow = b + idx[k] * bcols;
+      const double value = v[k];
+      for (size_t j = 0; j < bcols; ++j) out[j] += value * brow[j];
+    }
+  }
+}
+
+template <typename IdxT>
+void PackedMatDenseBoth(const PackedCsrView& a, const IdxT* idx,
+                        const double* lo, const double* hi, const double* b,
+                        size_t bcols, double* c_lo, double* c_hi,
+                        size_t row_begin, size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    double* out_lo = c_lo + i * bcols;
+    double* out_hi = c_hi + i * bcols;
+    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double* brow = b + idx[k] * bcols;
+      const double vlo = lo[k];
+      const double vhi = hi[k];
+      for (size_t j = 0; j < bcols; ++j) {
+        out_lo[j] += vlo * brow[j];
+        out_hi[j] += vhi * brow[j];
+      }
+    }
+  }
+}
+
+template <typename IdxT>
+void PackedGramFused(const PackedCsrView& a, const IdxT* idx, const double* v,
+                     const double* x, double* y, size_t row_begin,
+                     size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const size_t begin = a.row_ptr[i];
+    const size_t end = a.row_ptr[i + 1];
+    double s = 0.0;
+    for (size_t k = begin; k < end; ++k) s += v[k] * x[idx[k]];
+    if (s == 0.0) continue;
+    for (size_t k = begin; k < end; ++k) y[idx[k]] += s * v[k];
+  }
+}
+
+template <typename IdxT>
+void PackedGramFusedBoth(const PackedCsrView& a, const IdxT* idx,
+                         const double* lo, const double* hi, const double* x,
+                         double* y_lo, double* y_hi, size_t row_begin,
+                         size_t row_end) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    const size_t begin = a.row_ptr[i];
+    const size_t end = a.row_ptr[i + 1];
+    double s_lo = 0.0;
+    double s_hi = 0.0;
+    for (size_t k = begin; k < end; ++k) {
+      const double xk = x[idx[k]];
+      s_lo += lo[k] * xk;
+      s_hi += hi[k] * xk;
+    }
+    if (s_lo == 0.0 && s_hi == 0.0) continue;
+    for (size_t k = begin; k < end; ++k) {
+      y_lo[idx[k]] += s_lo * lo[k];
+      y_hi[idx[k]] += s_hi * hi[k];
+    }
+  }
+}
+
+}  // namespace
+
+void MatVecPackedScalar(const PackedCsrView& a, const double* v,
+                        const double* x, double* y, size_t row_begin,
+                        size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatVec(a, a.col16, v, x, y, row_begin, row_end);
+  } else {
+    PackedMatVec(a, a.col32, v, x, y, row_begin, row_end);
+  }
+}
+
+void MatVecMidPackedScalar(const PackedCsrView& a, const double* lo,
+                           const double* hi, const double* x, double* y,
+                           size_t row_begin, size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatVecMid(a, a.col16, lo, hi, x, y, row_begin, row_end);
+  } else {
+    PackedMatVecMid(a, a.col32, lo, hi, x, y, row_begin, row_end);
+  }
+}
+
+void MatVecBothPackedScalar(const PackedCsrView& a, const double* lo,
+                            const double* hi, const double* x, double* y_lo,
+                            double* y_hi, size_t row_begin, size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatVecBoth(a, a.col16, lo, hi, x, y_lo, y_hi, row_begin, row_end);
+  } else {
+    PackedMatVecBoth(a, a.col32, lo, hi, x, y_lo, y_hi, row_begin, row_end);
+  }
+}
+
+void MatVecPairPackedScalar(const PackedCsrView& a, const double* lo,
+                            const double* hi, const double* x_lo,
+                            const double* x_hi, double* y_lo, double* y_hi,
+                            size_t row_begin, size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatVecPair(a, a.col16, lo, hi, x_lo, x_hi, y_lo, y_hi, row_begin,
+                     row_end);
+  } else {
+    PackedMatVecPair(a, a.col32, lo, hi, x_lo, x_hi, y_lo, y_hi, row_begin,
+                     row_end);
+  }
+}
+
+void MatVecTPackedScalar(const PackedCsrView& a, const double* v,
+                         const double* x, double* y, size_t row_begin,
+                         size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatVecT(a, a.col16, v, x, y, row_begin, row_end);
+  } else {
+    PackedMatVecT(a, a.col32, v, x, y, row_begin, row_end);
+  }
+}
+
+void MatVecTMidPackedScalar(const PackedCsrView& a, const double* lo,
+                            const double* hi, const double* x, double* y,
+                            size_t row_begin, size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatVecTMid(a, a.col16, lo, hi, x, y, row_begin, row_end);
+  } else {
+    PackedMatVecTMid(a, a.col32, lo, hi, x, y, row_begin, row_end);
+  }
+}
+
+void MatDenseTBothPackedScalar(const PackedCsrView& a, const double* lo,
+                               const double* hi, const double* b,
+                               size_t bcols, double* c_lo, double* c_hi,
+                               size_t row_begin, size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatDenseTBoth(a, a.col16, lo, hi, b, bcols, c_lo, c_hi, row_begin,
+                        row_end);
+  } else {
+    PackedMatDenseTBoth(a, a.col32, lo, hi, b, bcols, c_lo, c_hi, row_begin,
+                        row_end);
+  }
+}
+
+void MatDensePackedScalar(const PackedCsrView& a, const double* v,
+                          const double* b, size_t bcols, double* c,
+                          size_t row_begin, size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatDense(a, a.col16, v, b, bcols, c, row_begin, row_end);
+  } else {
+    PackedMatDense(a, a.col32, v, b, bcols, c, row_begin, row_end);
+  }
+}
+
+void MatDenseBothPackedScalar(const PackedCsrView& a, const double* lo,
+                              const double* hi, const double* b, size_t bcols,
+                              double* c_lo, double* c_hi, size_t row_begin,
+                              size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedMatDenseBoth(a, a.col16, lo, hi, b, bcols, c_lo, c_hi, row_begin,
+                       row_end);
+  } else {
+    PackedMatDenseBoth(a, a.col32, lo, hi, b, bcols, c_lo, c_hi, row_begin,
+                       row_end);
+  }
+}
+
+void GramFusedPackedScalar(const PackedCsrView& a, const double* v,
+                           const double* x, double* y, size_t row_begin,
+                           size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedGramFused(a, a.col16, v, x, y, row_begin, row_end);
+  } else {
+    PackedGramFused(a, a.col32, v, x, y, row_begin, row_end);
+  }
+}
+
+void GramFusedBothPackedScalar(const PackedCsrView& a, const double* lo,
+                               const double* hi, const double* x,
+                               double* y_lo, double* y_hi, size_t row_begin,
+                               size_t row_end) {
+  if (a.col16 != nullptr) {
+    PackedGramFusedBoth(a, a.col16, lo, hi, x, y_lo, y_hi, row_begin,
+                        row_end);
+  } else {
+    PackedGramFusedBoth(a, a.col32, lo, hi, x, y_lo, y_hi, row_begin,
+                        row_end);
+  }
+}
+
 // -- AVX2 forwarding stubs ---------------------------------------------------
 //
 // Without the AVX2 translation unit (non-x86 target or
@@ -361,174 +686,42 @@ void SellMatVecBothAvx2(const SellView& s, const double* lo, const double* hi,
   SellMatVecBothScalar(s, lo, hi, x, y_lo, y_hi, chunk_begin, chunk_end);
 }
 
-namespace {
-
-// Scalar loops over the packed sidecar, templated on the index width so the
-// u16 and u32 layouts share one body.
-template <typename IdxT>
-void PackedMatVec(const PackedCsrView& a, const IdxT* idx, const double* v,
-                  const double* x, double* y, size_t row_begin,
-                  size_t row_end) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    double sum = 0.0;
-    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      sum += v[k] * x[idx[k]];
-    }
-    y[i] = sum;
-  }
-}
-
-template <typename IdxT>
-void PackedMatVecMid(const PackedCsrView& a, const IdxT* idx, const double* lo,
-                     const double* hi, const double* x, double* y,
-                     size_t row_begin, size_t row_end) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    double sum = 0.0;
-    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      sum += 0.5 * (lo[k] + hi[k]) * x[idx[k]];
-    }
-    y[i] = sum;
-  }
-}
-
-template <typename IdxT>
-void PackedMatVecBoth(const PackedCsrView& a, const IdxT* idx,
-                      const double* lo, const double* hi, const double* x,
-                      double* y_lo, double* y_hi, size_t row_begin,
-                      size_t row_end) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    double sum_lo = 0.0;
-    double sum_hi = 0.0;
-    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      const double xk = x[idx[k]];
-      sum_lo += lo[k] * xk;
-      sum_hi += hi[k] * xk;
-    }
-    y_lo[i] = sum_lo;
-    y_hi[i] = sum_hi;
-  }
-}
-
-template <typename IdxT>
-void PackedMatVecPair(const PackedCsrView& a, const IdxT* idx,
-                      const double* lo, const double* hi, const double* x_lo,
-                      const double* x_hi, double* y_lo, double* y_hi,
-                      size_t row_begin, size_t row_end) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    double sum_lo = 0.0;
-    double sum_hi = 0.0;
-    for (size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
-      const size_t j = idx[k];
-      sum_lo += lo[k] * x_lo[j];
-      sum_hi += hi[k] * x_hi[j];
-    }
-    y_lo[i] = sum_lo;
-    y_hi[i] = sum_hi;
-  }
-}
-
-template <typename IdxT>
-void PackedGramFused(const PackedCsrView& a, const IdxT* idx, const double* v,
-                     const double* x, double* y, size_t row_begin,
-                     size_t row_end) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    const size_t begin = a.row_ptr[i];
-    const size_t end = a.row_ptr[i + 1];
-    double s = 0.0;
-    for (size_t k = begin; k < end; ++k) s += v[k] * x[idx[k]];
-    if (s == 0.0) continue;
-    for (size_t k = begin; k < end; ++k) y[idx[k]] += s * v[k];
-  }
-}
-
-template <typename IdxT>
-void PackedGramFusedBoth(const PackedCsrView& a, const IdxT* idx,
-                         const double* lo, const double* hi, const double* x,
-                         double* y_lo, double* y_hi, size_t row_begin,
-                         size_t row_end) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    const size_t begin = a.row_ptr[i];
-    const size_t end = a.row_ptr[i + 1];
-    double s_lo = 0.0;
-    double s_hi = 0.0;
-    for (size_t k = begin; k < end; ++k) {
-      const double xk = x[idx[k]];
-      s_lo += lo[k] * xk;
-      s_hi += hi[k] * xk;
-    }
-    if (s_lo == 0.0 && s_hi == 0.0) continue;
-    for (size_t k = begin; k < end; ++k) {
-      y_lo[idx[k]] += s_lo * lo[k];
-      y_hi[idx[k]] += s_hi * hi[k];
-    }
-  }
-}
-
-}  // namespace
-
 void MatVecPackedAvx2(const PackedCsrView& a, const double* v,
                       const double* x, double* y, size_t row_begin,
                       size_t row_end) {
-  if (a.col16 != nullptr) {
-    PackedMatVec(a, a.col16, v, x, y, row_begin, row_end);
-  } else {
-    PackedMatVec(a, a.col32, v, x, y, row_begin, row_end);
-  }
+  MatVecPackedScalar(a, v, x, y, row_begin, row_end);
 }
 
 void MatVecMidPackedAvx2(const PackedCsrView& a, const double* lo,
                          const double* hi, const double* x, double* y,
                          size_t row_begin, size_t row_end) {
-  if (a.col16 != nullptr) {
-    PackedMatVecMid(a, a.col16, lo, hi, x, y, row_begin, row_end);
-  } else {
-    PackedMatVecMid(a, a.col32, lo, hi, x, y, row_begin, row_end);
-  }
+  MatVecMidPackedScalar(a, lo, hi, x, y, row_begin, row_end);
 }
 
 void MatVecBothPackedAvx2(const PackedCsrView& a, const double* lo,
                           const double* hi, const double* x, double* y_lo,
                           double* y_hi, size_t row_begin, size_t row_end) {
-  if (a.col16 != nullptr) {
-    PackedMatVecBoth(a, a.col16, lo, hi, x, y_lo, y_hi, row_begin, row_end);
-  } else {
-    PackedMatVecBoth(a, a.col32, lo, hi, x, y_lo, y_hi, row_begin, row_end);
-  }
+  MatVecBothPackedScalar(a, lo, hi, x, y_lo, y_hi, row_begin, row_end);
 }
 
 void MatVecPairPackedAvx2(const PackedCsrView& a, const double* lo,
                           const double* hi, const double* x_lo,
                           const double* x_hi, double* y_lo, double* y_hi,
                           size_t row_begin, size_t row_end) {
-  if (a.col16 != nullptr) {
-    PackedMatVecPair(a, a.col16, lo, hi, x_lo, x_hi, y_lo, y_hi, row_begin,
-                     row_end);
-  } else {
-    PackedMatVecPair(a, a.col32, lo, hi, x_lo, x_hi, y_lo, y_hi, row_begin,
-                     row_end);
-  }
+  MatVecPairPackedScalar(a, lo, hi, x_lo, x_hi, y_lo, y_hi, row_begin,
+                         row_end);
 }
 
 void GramFusedPackedAvx2(const PackedCsrView& a, const double* v,
                          const double* x, double* y, size_t row_begin,
                          size_t row_end) {
-  if (a.col16 != nullptr) {
-    PackedGramFused(a, a.col16, v, x, y, row_begin, row_end);
-  } else {
-    PackedGramFused(a, a.col32, v, x, y, row_begin, row_end);
-  }
+  GramFusedPackedScalar(a, v, x, y, row_begin, row_end);
 }
 
 void GramFusedBothPackedAvx2(const PackedCsrView& a, const double* lo,
                              const double* hi, const double* x, double* y_lo,
                              double* y_hi, size_t row_begin, size_t row_end) {
-  if (a.col16 != nullptr) {
-    PackedGramFusedBoth(a, a.col16, lo, hi, x, y_lo, y_hi, row_begin,
-                        row_end);
-  } else {
-    PackedGramFusedBoth(a, a.col32, lo, hi, x, y_lo, y_hi, row_begin,
-                        row_end);
-  }
+  GramFusedBothPackedScalar(a, lo, hi, x, y_lo, y_hi, row_begin, row_end);
 }
 
 #endif  // !IVMF_HAVE_AVX2

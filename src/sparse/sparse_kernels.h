@@ -95,6 +95,24 @@ Backend Resolve(Backend request);
 // cpuid, everything else resolves as usual.
 Backend CsrVariant(Backend backend);
 
+// Row-statistics auto-selection (the per-matrix refinement of kAuto): picks
+// the storage backend from the matrix's row-length distribution.
+// `mean_row_nnz` is nnz / rows, `cv` the coefficient of variation
+// (stddev / mean) of row lengths. SELL-C-4 only pays off on
+// short-row / irregular patterns — its padding and permutation overhead
+// loses to packed CSR once rows are long enough to amortize the gather
+// loop — so this returns kSell for short mean rows (or moderately short,
+// highly irregular ones) when AVX2 is available, and the packed-CSR AVX2
+// path (or scalar) otherwise. Pure function of its arguments, pinned by
+// tests/sparse_kernel_heuristic_test.cc; thresholds chosen so the
+// long-row CF bench matrices (mean >= ~12.5) keep the packed-CSR path
+// that PR 8's baselines were recorded with.
+inline constexpr double kSellMeanRowThreshold = 12.0;
+inline constexpr double kSellIrregularMeanRowThreshold = 24.0;
+inline constexpr double kSellIrregularCvThreshold = 1.5;
+Backend ChooseAutoBackend(double mean_row_nnz, double cv,
+                          bool avx2_supported);
+
 // -- CSR kernels -------------------------------------------------------------
 //
 // All CSR kernels operate on rows [row_begin, row_end) of a shared view, so
@@ -191,6 +209,65 @@ struct PackedCsrView {
   const uint16_t* col16 = nullptr;  // set when cols fits in 16 bits
   const uint32_t* col32 = nullptr;  // set otherwise (cols always < 2^32)
 };
+
+// Packed-index scalar kernels: the portable reference loops over the
+// 16/32-bit sidecar, with the identical per-row association as the
+// size_t-index scalar family (so a caller switching index width never
+// changes results bitwise). These are the kernels a shard whose only
+// column stream is packed (an mmap'd segment stores u32 indices, never
+// size_t) runs when the resolved backend is kScalar — calling the
+// *PackedAvx2 symbols there would execute real AVX2 code on AVX2 builds.
+// The transpose / dense members exist only in packed-scalar form: AVX2 has
+// no packed transpose-scatter or dense-block kernel, so sharded dispatch
+// uses these for every backend.
+void MatVecPackedScalar(const PackedCsrView& a, const double* v,
+                        const double* x, double* y, size_t row_begin,
+                        size_t row_end);
+void MatVecMidPackedScalar(const PackedCsrView& a, const double* lo,
+                           const double* hi, const double* x, double* y,
+                           size_t row_begin, size_t row_end);
+void MatVecBothPackedScalar(const PackedCsrView& a, const double* lo,
+                            const double* hi, const double* x, double* y_lo,
+                            double* y_hi, size_t row_begin, size_t row_end);
+void MatVecPairPackedScalar(const PackedCsrView& a, const double* lo,
+                            const double* hi, const double* x_lo,
+                            const double* x_hi, double* y_lo, double* y_hi,
+                            size_t row_begin, size_t row_end);
+// y[col[k]] += v[k] * x[i] scatter over the packed indices (accumulates;
+// caller zero-fills or reduces partials), mirroring MatVecTScalar.
+void MatVecTPackedScalar(const PackedCsrView& a, const double* v,
+                         const double* x, double* y, size_t row_begin,
+                         size_t row_end);
+// y[col[k]] += 0.5 * (lo[k] + hi[k]) * x[i] — the midpoint transpose
+// scatter (the ApplyTranspose of a sharded midpoint map, which has no
+// materialized transpose to run forward).
+void MatVecTMidPackedScalar(const PackedCsrView& a, const double* lo,
+                            const double* hi, const double* x, double* y,
+                            size_t row_begin, size_t row_end);
+// c_lo += A_*ᵀ B and c_hi += A^*ᵀ B for row-major b (a.rows x bcols):
+// the transposed dense product as a row-scatter, one pattern pass feeding
+// both endpoint accumulations. c_lo/c_hi are a.cols x bcols, caller
+// zero-fills (or reduces partials).
+void MatDenseTBothPackedScalar(const PackedCsrView& a, const double* lo,
+                               const double* hi, const double* b,
+                               size_t bcols, double* c_lo, double* c_hi,
+                               size_t row_begin, size_t row_end);
+// Packed-index counterparts of MatDenseScalar / MatDenseBothScalar
+// (accumulate into row-major c; caller zero-fills).
+void MatDensePackedScalar(const PackedCsrView& a, const double* v,
+                          const double* b, size_t bcols, double* c,
+                          size_t row_begin, size_t row_end);
+void MatDenseBothPackedScalar(const PackedCsrView& a, const double* lo,
+                              const double* hi, const double* b, size_t bcols,
+                              double* c_lo, double* c_hi, size_t row_begin,
+                              size_t row_end);
+void GramFusedPackedScalar(const PackedCsrView& a, const double* v,
+                           const double* x, double* y, size_t row_begin,
+                           size_t row_end);
+void GramFusedBothPackedScalar(const PackedCsrView& a, const double* lo,
+                               const double* hi, const double* x,
+                               double* y_lo, double* y_hi, size_t row_begin,
+                               size_t row_end);
 
 // Packed-index counterparts of the forward CSR family above; same
 // semantics, same aliasing and numerical contracts. Without AVX2 in the

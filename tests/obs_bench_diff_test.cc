@@ -90,6 +90,11 @@ TEST(MetricDirectionTest, NamePatterns) {
   EXPECT_FALSE(lower);
   ASSERT_TRUE(MetricDirection("warm_hit_rate", &lower));
   EXPECT_FALSE(lower);
+  // Memory footprint: growth regresses, like time.
+  ASSERT_TRUE(MetricDirection("peak_rss_bytes", &lower));
+  EXPECT_TRUE(lower);
+  ASSERT_TRUE(MetricDirection("mapped_bytes", &lower));
+  EXPECT_TRUE(lower);
   // Counters carry no direction, and neither does a single-sample extreme.
   EXPECT_FALSE(MetricDirection("matvecs", &lower));
   EXPECT_FALSE(MetricDirection("krylov_iterations", &lower));

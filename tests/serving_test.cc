@@ -276,6 +276,36 @@ TEST(ServingEngineTest, StepPublishesConsistentSnapshot) {
   }
 }
 
+// With shard_rows set, every published snapshot carries the frozen
+// block-row sharded view of its matrix — shape-checked against the matrix
+// view and cell-consistent with Observed across epochs.
+TEST(ServingEngineTest, ShardedViewRidesThePublishedSnapshot) {
+  Rng rng(23);
+  const size_t n = 30, m = 20;
+  CellMap cells = RandomBaseCells(n, m, 3, 0.4, rng);
+  ServingEngineOptions options;
+  options.streaming.shard_rows = 8;
+  ServingEngine engine(
+      3, 3, SparseIntervalMatrix::FromTriplets(n, m, ToTriplets(cells)),
+      options);
+
+  auto snapshot = engine.Acquire();
+  ASSERT_NE(snapshot, nullptr);
+  ASSERT_TRUE(snapshot->has_sharded());
+  EXPECT_EQ(snapshot->shared_sharded()->rows(), n);
+  EXPECT_EQ(snapshot->shared_sharded()->cols(), m);
+  EXPECT_EQ(snapshot->shared_sharded()->num_shards(), 4u);
+
+  engine.Submit({{0, 0, Interval(2.0, 2.5)}});
+  EXPECT_EQ(engine.Step(), 1u);
+  snapshot = engine.Acquire();
+  ASSERT_TRUE(snapshot->has_sharded());
+  const Interval sharded_cell = snapshot->shared_sharded()->At(0, 0);
+  const Interval observed = snapshot->Observed(0, 0);
+  EXPECT_EQ(sharded_cell.lo, observed.lo);
+  EXPECT_EQ(sharded_cell.hi, observed.hi);
+}
+
 TEST(ServingEngineTest, OnPublishSeesEveryEpochInOrder) {
   Rng rng(20);
   const CellMap cells = RandomBaseCells(12, 8, 2, 0.5, rng);

@@ -1,0 +1,131 @@
+// Pins the kAuto kernel-backend heuristic: ChooseAutoBackend as a pure
+// function of the row-length statistics, and the end-to-end resolution on
+// short-row vs long-row matrix fixtures (monolithic and sharded), with a
+// differential check that whatever backend the heuristic picks computes
+// the same matvec as the scalar reference.
+//
+// The thresholds are load-bearing for the checked-in perf baselines: the
+// CF bench matrices (mean row length >= ~12.5) must keep resolving to the
+// packed-CSR path those baselines were recorded with, while genuinely
+// short-row matrices take SELL. A threshold change must update this test
+// AND regenerate BENCH_*.json.
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "sparse/block_matrix.h"
+#include "sparse/sparse_interval_matrix.h"
+#include "sparse/sparse_kernels.h"
+
+namespace ivmf {
+namespace {
+
+using Endpoint = SparseIntervalMatrix::Endpoint;
+
+TEST(ChooseAutoBackendTest, PinnedDecisions) {
+  // Short mean rows: SELL pays for its padding/permutation.
+  EXPECT_EQ(spk::ChooseAutoBackend(4.0, 0.3, true), spk::Backend::kSell);
+  EXPECT_EQ(spk::ChooseAutoBackend(11.9, 0.0, true), spk::Backend::kSell);
+  // Moderately short but highly irregular rows: SELL's row permutation
+  // evens out the imbalance.
+  EXPECT_EQ(spk::ChooseAutoBackend(20.0, 2.0, true), spk::Backend::kSell);
+  // Long regular rows: packed CSR amortizes, keep AVX2.
+  EXPECT_EQ(spk::ChooseAutoBackend(12.5, 0.5, true), spk::Backend::kAvx2);
+  EXPECT_EQ(spk::ChooseAutoBackend(40.0, 1.0, true), spk::Backend::kAvx2);
+  // Long irregular rows: past the irregular-mean bound SELL stops winning.
+  EXPECT_EQ(spk::ChooseAutoBackend(24.0, 5.0, true), spk::Backend::kAvx2);
+  // No AVX2: both vectorized formats lose their reason to exist.
+  EXPECT_EQ(spk::ChooseAutoBackend(4.0, 0.3, false), spk::Backend::kScalar);
+  EXPECT_EQ(spk::ChooseAutoBackend(40.0, 1.0, false), spk::Backend::kScalar);
+}
+
+TEST(ChooseAutoBackendTest, ThresholdConstantsAreTheDocumentedOnes) {
+  EXPECT_DOUBLE_EQ(spk::kSellMeanRowThreshold, 12.0);
+  EXPECT_DOUBLE_EQ(spk::kSellIrregularMeanRowThreshold, 24.0);
+  EXPECT_DOUBLE_EQ(spk::kSellIrregularCvThreshold, 1.5);
+}
+
+// rows x cols with exactly `row_nnz` entries per row (spread evenly), plus
+// optionally a few dense rows to push the length variance up.
+SparseIntervalMatrix MakeFixture(size_t rows, size_t cols, size_t row_nnz,
+                                 size_t dense_rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<IntervalTriplet> entries;
+  for (size_t i = 0; i < rows; ++i) {
+    const size_t n = i < dense_rows ? cols : row_nnz;
+    const size_t stride = cols / n;
+    for (size_t k = 0; k < n; ++k) {
+      const double a = rng.Uniform(-2.0, 2.0);
+      entries.push_back({i, k * stride, Interval(a, a + rng.Uniform())});
+    }
+  }
+  return SparseIntervalMatrix::FromTriplets(rows, cols, std::move(entries));
+}
+
+// The environment override beats the row-statistics heuristic; these
+// fixtures only pin the heuristic when no override is active.
+bool EnvOverrideActive() {
+  return spk::EnvBackend() != spk::Backend::kAuto;
+}
+
+TEST(AutoResolutionTest, ShortRowFixtureResolvesSell) {
+  if (EnvOverrideActive()) GTEST_SKIP() << "IVMF_SPARSE_KERNEL set";
+  // mean 4 nnz/row, regular — far below the SELL threshold.
+  const SparseIntervalMatrix m = MakeFixture(512, 256, 4, 0, 11);
+  const spk::Backend want =
+      spk::Avx2Supported() ? spk::Backend::kSell : spk::Backend::kScalar;
+  EXPECT_EQ(m.ResolvedKernel(), want);
+  const ShardedSparseIntervalMatrix sharded =
+      ShardedSparseIntervalMatrix::FromCsr(m, 128);
+  EXPECT_EQ(sharded.resolved_kernel(), want);
+}
+
+TEST(AutoResolutionTest, LongRowFixtureResolvesPackedCsr) {
+  if (EnvOverrideActive()) GTEST_SKIP() << "IVMF_SPARSE_KERNEL set";
+  // mean 32 nnz/row, regular — packed CSR territory.
+  const SparseIntervalMatrix m = MakeFixture(256, 256, 32, 0, 12);
+  const spk::Backend want =
+      spk::Avx2Supported() ? spk::Backend::kAvx2 : spk::Backend::kScalar;
+  EXPECT_EQ(m.ResolvedKernel(), want);
+  const ShardedSparseIntervalMatrix sharded =
+      ShardedSparseIntervalMatrix::FromCsr(m, 64);
+  EXPECT_EQ(sharded.resolved_kernel(), want);
+}
+
+// Whatever kAuto picks must agree with the forced-scalar reference to the
+// kernels' differential bound on the same matrix.
+void ExpectMatvecMatchesScalar(const SparseIntervalMatrix& m,
+                               const std::string& what) {
+  Rng rng(99);
+  std::vector<double> x(m.cols());
+  for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+
+  SparseIntervalMatrix scalar = m;
+  scalar.set_kernel(spk::Backend::kScalar);
+
+  std::vector<double> y_auto(m.rows()), y_ref(m.rows());
+  for (const Endpoint e : {Endpoint::kLower, Endpoint::kUpper}) {
+    m.Multiply(e, x, y_auto);
+    scalar.Multiply(e, x, y_ref);
+    for (size_t i = 0; i < m.rows(); ++i) {
+      const double tol = 1e-12 * std::max(1.0, std::fabs(y_ref[i]));
+      EXPECT_LE(std::fabs(y_auto[i] - y_ref[i]), tol)
+          << what << " row " << i;
+    }
+  }
+}
+
+TEST(AutoResolutionTest, ResolvedBackendsMatchScalarReference) {
+  ExpectMatvecMatchesScalar(MakeFixture(512, 256, 4, 0, 21), "short-row");
+  ExpectMatvecMatchesScalar(MakeFixture(256, 256, 32, 0, 22), "long-row");
+  // Irregular: a few dense rows on a short-row background.
+  ExpectMatvecMatchesScalar(MakeFixture(512, 256, 3, 6, 23), "irregular");
+}
+
+}  // namespace
+}  // namespace ivmf

@@ -1,0 +1,127 @@
+// The shared worker pool behind ParallelFor and the shard-parallel kernels:
+// correctness of the region protocol (every index runs exactly once),
+// nested submission (help-while-wait must drain inner regions without
+// deadlock — the sharded Gram apply opens kernel regions from inside the
+// two-endpoint eigensolve's outer region), concurrent submitters from
+// independent threads, and the serial 0-worker fallback.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/parallel.h"
+#include "base/thread_pool.h"
+
+namespace ivmf {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  struct Ctx {
+    std::vector<std::atomic<int>>* hits;
+  } ctx{&hits};
+  pool.Run(kN, [](void* c, size_t i) {
+    (*static_cast<Ctx*>(c)->hits)[i].fetch_add(1, std::memory_order_relaxed);
+  }, &ctx);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  size_t sum = 0;
+  struct Ctx {
+    size_t* sum;
+  } ctx{&sum};
+  // With no workers every index runs on the submitting thread, in order —
+  // the unsynchronized sum is safe exactly because of that.
+  pool.Run(100, [](void* c, size_t i) { *static_cast<Ctx*>(c)->sum += i; },
+           &ctx);
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, EmptyRegionReturnsImmediately) {
+  ThreadPool pool(2);
+  bool ran = false;
+  struct Ctx {
+    bool* ran;
+  } ctx{&ran};
+  pool.Run(0, [](void* c, size_t) { *static_cast<Ctx*>(c)->ran = true; },
+           &ctx);
+  EXPECT_FALSE(ran);
+}
+
+// A task that itself opens a region on the same pool must complete: the
+// submitter helps with queued work while waiting, so the inner region makes
+// progress even when every worker is blocked inside outer tasks.
+TEST(ThreadPoolTest, NestedRunDoesNotDeadlock) {
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::atomic<size_t> total{0};
+  struct Ctx {
+    ThreadPool* pool;
+    std::atomic<size_t>* total;
+  } ctx{&pool, &total};
+  pool.Run(kOuter, [](void* c, size_t) {
+    auto* outer = static_cast<Ctx*>(c);
+    outer->pool->Run(kInner, [](void* c2, size_t) {
+      static_cast<Ctx*>(c2)->total->fetch_add(1, std::memory_order_relaxed);
+    }, outer);
+  }, &ctx);
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAllComplete) {
+  ThreadPool pool(3);
+  constexpr size_t kSubmitters = 6;
+  constexpr size_t kN = 500;
+  std::vector<std::atomic<size_t>> counts(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counts, s] {
+      struct Ctx {
+        std::atomic<size_t>* count;
+      } ctx{&counts[s]};
+      for (int round = 0; round < 5; ++round) {
+        pool.Run(kN, [](void* c, size_t) {
+          static_cast<Ctx*>(c)->count->fetch_add(1,
+                                                 std::memory_order_relaxed);
+        }, &ctx);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (size_t s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(counts[s].load(), 5 * kN) << "submitter " << s;
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolCapsExecutorsAtHardwareConcurrency) {
+  const size_t hw = std::thread::hardware_concurrency();
+  // workers + the submitting thread == executor count.
+  EXPECT_LE(ThreadPool::Shared().workers() + 1, hw == 0 ? 1 : hw);
+}
+
+// ParallelFor rides the shared pool; nested use inside a parallel body is
+// the pattern the sharded Lanczos drivers rely on (two-endpoint region
+// wrapping kernel regions).
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  std::atomic<size_t> total{0};
+  ParallelFor(0, 2, [&](size_t) {
+    ParallelFor(0, 1000, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 2000u);
+}
+
+}  // namespace
+}  // namespace ivmf

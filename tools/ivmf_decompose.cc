@@ -12,12 +12,20 @@
 // Usage:
 //   ivmf_decompose --input=m.csv [--rank=10] [--strategy=4] [--target=b]
 //                  [--matcher=hungarian|greedy|stable] [--eig=jacobi|lanczos]
+//                  [--shard_rows=N] [--backing=memory|mmap|auto:MB]
 //                  [--out_prefix=result]
 //
 // With --out_prefix=P the tool writes P_u.csv, P_sigma.csv, P_v.csv (interval
 // CSV for interval-valued outputs, scalar CSV otherwise) and P_recon.csv.
+//
+// --shard_rows=N (triplet input only) decomposes through a block-row
+// sharded store of N-row shards. --backing selects where the shard segments
+// live: memory (default), mmap (segment files in a temp store — the
+// out-of-core path), or auto:MB (memory unless the estimated store exceeds
+// MB mebibytes).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -30,6 +38,8 @@
 #include "io/file_util.h"
 #include "io/triplets.h"
 #include "obs/log.h"
+#include "sparse/block_matrix.h"
+#include "sparse/shard_store.h"
 
 namespace {
 
@@ -41,7 +51,33 @@ void Usage() {
                "usage: ivmf_decompose --input=FILE.csv [--rank=N] "
                "[--strategy=0..4] [--target=a|b|c]\n"
                "                      [--matcher=hungarian|greedy|stable] "
-               "[--eig=jacobi|lanczos] [--out_prefix=P]\n");
+               "[--eig=jacobi|lanczos]\n"
+               "                      [--shard_rows=N] "
+               "[--backing=memory|mmap|auto:MB] [--out_prefix=P]\n");
+}
+
+// Parses --backing. Returns false (after Usage) on a malformed value.
+bool ParseBacking(const std::string& backing, ivmf::BackingPolicy* policy) {
+  if (backing.empty() || backing == "memory") {
+    *policy = ivmf::BackingPolicy::Memory();
+    return true;
+  }
+  if (backing == "mmap") {
+    *policy = ivmf::BackingPolicy::Mmap();
+    return true;
+  }
+  constexpr char kAutoPrefix[] = "auto:";
+  if (backing.rfind(kAutoPrefix, 0) == 0) {
+    char* end = nullptr;
+    const std::string mb = backing.substr(sizeof(kAutoPrefix) - 1);
+    const unsigned long long value = std::strtoull(mb.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !mb.empty()) {
+      *policy = ivmf::BackingPolicy::Auto(static_cast<size_t>(value) << 20);
+      return true;
+    }
+  }
+  Usage();
+  return false;
 }
 
 }  // namespace
@@ -131,13 +167,34 @@ int main(int argc, char** argv) {
   }
   options.gram_side = GramSide::kAuto;
 
+  const size_t shard_rows =
+      static_cast<size_t>(IntFlag(argc, argv, "shard_rows", 0));
+  BackingPolicy backing;
+  if (!ParseBacking(StringFlag(argc, argv, "backing", ""), &backing)) {
+    return 2;
+  }
+  if (shard_rows > 0 && !sparse_input) {
+    obs::LogError("decompose_cli",
+                  "--shard_rows needs sparse triplet input", {});
+    return 2;
+  }
+
   IsvdResult result;
   if (sparse_input) {
     std::printf("input: %zu x %zu sparse interval matrix (%zu nnz, fill "
                 "%.4f) from %s\n",
                 sparse->rows(), sparse->cols(), sparse->nnz(),
                 sparse->FillFraction(), input.c_str());
-    result = RunIsvd(strategy, *sparse, rank, options);
+    if (shard_rows > 0) {
+      const ShardedSparseIntervalMatrix sharded =
+          ShardedSparseIntervalMatrix::FromCsr(*sparse, shard_rows, backing);
+      std::printf("sharded: %zu shards of %zu rows, %s-backed\n",
+                  sharded.num_shards(), sharded.shard_rows(),
+                  sharded.mmap_backed() ? "mmap" : "memory");
+      result = RunIsvd(strategy, sharded, rank, options);
+    } else {
+      result = RunIsvd(strategy, *sparse, rank, options);
+    }
   } else {
     std::printf("input: %zu x %zu interval matrix from %s\n", m->rows(),
                 m->cols(), input.c_str());
